@@ -1,0 +1,40 @@
+//! Criterion ablation benches: kernel and layout variants of the CountSketch and
+//! multisketch (the design choices DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketch_core::{CountSketch, MultiSketch, SketchOperator};
+use sketch_gpu_sim::Device;
+use sketch_la::{Layout, Matrix};
+
+fn bench_ablations(c: &mut Criterion) {
+    let device = Device::unlimited();
+    let d = 1 << 14;
+    let n = 16;
+    let a_rm = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
+    let a_cm = a_rm.to_layout(&device, Layout::ColMajor);
+    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
+    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 2).unwrap();
+    let multi_naive = multi.clone().with_naive_layout_handling();
+
+    let mut group = c.benchmark_group("ablations_d16k_n16");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("countsketch", "atomic_rowmajor"), |b| {
+        b.iter(|| count.apply_matrix(&device, &a_rm).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("countsketch", "atomic_colmajor"), |b| {
+        b.iter(|| count.apply_matrix(&device, &a_cm).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("countsketch", "gather"), |b| {
+        b.iter(|| count.apply_matrix_gather(&device, &a_rm).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("multisketch", "transpose_trick"), |b| {
+        b.iter(|| multi.apply_matrix(&device, &a_rm).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("multisketch", "naive_layout"), |b| {
+        b.iter(|| multi_naive.apply_matrix(&device, &a_rm).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

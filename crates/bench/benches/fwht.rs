@@ -1,0 +1,44 @@
+//! Criterion benches for the fast Walsh–Hadamard transform (Algorithm 3): radix-4 vs
+//! radix-2 and the per-column matrix transform behind the SRHT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketch_core::fwht::{fwht_in_place, fwht_matrix_columns, fwht_radix2_in_place, DEFAULT_TILE};
+use sketch_gpu_sim::Device;
+use sketch_la::{Layout, Matrix};
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    group.sample_size(10);
+    for pow in [16u32, 18, 20] {
+        let len = 1usize << pow;
+        let input = sketch_rng::fill::gaussian_vec(1, 0, len);
+        group.bench_function(BenchmarkId::new("radix4", format!("2^{pow}")), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                fwht_in_place(&mut v);
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("radix2", format!("2^{pow}")), |b| {
+            b.iter(|| {
+                let mut v = input.clone();
+                fwht_radix2_in_place(&mut v);
+                v
+            })
+        });
+    }
+
+    let device = Device::unlimited();
+    let base = Matrix::random_gaussian(1 << 14, 8, Layout::ColMajor, 3, 0);
+    group.bench_function("matrix_columns_2^14_x8", |b| {
+        b.iter(|| {
+            let mut m = base.clone();
+            fwht_matrix_columns(&device, &mut m, DEFAULT_TILE);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fwht);
+criterion_main!(benches);

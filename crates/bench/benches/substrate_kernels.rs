@@ -1,0 +1,50 @@
+//! Criterion benches for the substrate kernels (GEMM, SYRK, QR, Cholesky, SpMM) — the
+//! cuBLAS/cuSOLVER/cuSPARSE stand-ins every experiment is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sketch_gpu_sim::Device;
+use sketch_la::blas3::{gemm, gram_gemm, syrk_gram};
+use sketch_la::chol::potrf_upper;
+use sketch_la::qr::geqrf;
+use sketch_la::{Layout, Matrix};
+use sketch_sparse::{spmm, CooMatrix, CsrMatrix};
+
+fn bench_substrates(c: &mut Criterion) {
+    let device = Device::unlimited();
+    let d = 1 << 12;
+    let n = 64;
+    let a = Matrix::random_gaussian(d, n, Layout::ColMajor, 1, 0);
+    let b = Matrix::random_gaussian(n, n, Layout::ColMajor, 2, 0);
+    let gram = gram_gemm(&device, &a).unwrap();
+
+    // A random one-entry-per-column sparse matrix (CountSketch structure).
+    let rows = sketch_rng::fill::uniform_index_vec(3, 0, d, 2 * n * n);
+    let mut coo = CooMatrix::new(2 * n * n, d);
+    for (j, &r) in rows.iter().enumerate() {
+        coo.push(r, j, if j % 2 == 0 { 1.0 } else { -1.0 });
+    }
+    let csr = CsrMatrix::from_coo(&coo);
+
+    let mut group = c.benchmark_group("substrate_kernels");
+    group.sample_size(10);
+    group.bench_function("gemm_4096x64_x_64x64", |bch| {
+        bch.iter(|| gemm(&device, 1.0, &a, &b, 0.0, None).unwrap())
+    });
+    group.bench_function("gram_gemm_4096x64", |bch| {
+        bch.iter(|| gram_gemm(&device, &a).unwrap())
+    });
+    group.bench_function("syrk_4096x64", |bch| bch.iter(|| syrk_gram(&device, &a)));
+    group.bench_function("geqrf_4096x64", |bch| {
+        bch.iter(|| geqrf(&device, &a).unwrap())
+    });
+    group.bench_function("potrf_64", |bch| {
+        bch.iter(|| potrf_upper(&device, &gram).unwrap())
+    });
+    group.bench_function("spmm_countsketch_structure", |bch| {
+        bch.iter(|| spmm(&device, &csr, &a))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Design-choice ablations called out in DESIGN.md:
+//! atomic vs gather CountSketch kernel, row- vs column-major operand, the multisketch
+//! transpose trick, radix-2 vs radix-4 FWHT, and SyRK vs GeMM for the Gram matrix.
+
+use sketch_bench::report::{ms, Table};
+use sketch_core::fwht::{fwht_in_place, fwht_radix2_in_place};
+use sketch_core::{CountSketch, MultiSketch, SketchOperator};
+use sketch_gpu_sim::Device;
+use sketch_la::blas3::{gram_gemm, syrk_gram};
+use sketch_la::{Layout, Matrix};
+use std::time::Instant;
+
+fn time_wall<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let d = 1 << 16;
+    let n = 32;
+    let device = Device::h100();
+    let a_rm = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
+    let a_cm = a_rm.to_layout(&device, Layout::ColMajor);
+
+    let mut table = Table::new(
+        format!("Ablations at d = 2^16, n = {n} (modelled H100 ms | measured wall ms)"),
+        &["experiment", "variant", "model ms", "wall ms"],
+    );
+
+    // 1. Atomic (Algorithm 2) vs gather vs SpMM CountSketch.
+    let cs = CountSketch::generate(&device, d, 2 * n * n, 7);
+    for (label, run) in [
+        ("atomic (Alg 2)", 0usize),
+        ("gather (no atomics)", 1),
+        ("SpMM baseline", 2),
+    ] {
+        let dev = Device::h100();
+        let csl = CountSketch::generate(&dev, d, 2 * n * n, 7);
+        dev.tracker().reset();
+        let (_, wall) = time_wall(|| match run {
+            0 => csl.apply_matrix(&dev, &a_rm).unwrap(),
+            1 => csl.apply_matrix_gather(&dev, &a_rm).unwrap(),
+            _ => csl.apply_matrix_spmm(&dev, &a_rm).unwrap(),
+        });
+        let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
+        table.push_row(vec![
+            "CountSketch kernel".into(),
+            label.into(),
+            ms(model),
+            ms(wall),
+        ]);
+    }
+
+    // 2. Row-major vs column-major operand for Algorithm 2.
+    for (label, operand) in [("row-major A", &a_rm), ("column-major A", &a_cm)] {
+        let dev = Device::h100();
+        let (_, wall) = time_wall(|| cs.apply_matrix(&dev, operand).unwrap());
+        let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
+        table.push_row(vec!["operand layout".into(), label.into(), ms(model), ms(wall)]);
+    }
+
+    // 3. Multisketch transpose trick vs naive conversion.
+    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 9).unwrap();
+    for (label, naive) in [("transpose trick", false), ("naive conversion", true)] {
+        let dev = Device::h100();
+        let op = if naive {
+            multi.clone().with_naive_layout_handling()
+        } else {
+            multi.clone()
+        };
+        let (_, wall) = time_wall(|| op.apply_matrix(&dev, &a_rm).unwrap());
+        let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
+        table.push_row(vec!["multisketch layout".into(), label.into(), ms(model), ms(wall)]);
+    }
+
+    // 4. Radix-4 vs radix-2 FWHT (wall clock only; same modelled traffic).
+    let mut v4 = sketch_rng::fill::gaussian_vec(1, 0, 1 << 20);
+    let mut v2 = v4.clone();
+    let (_, wall4) = time_wall(|| fwht_in_place(&mut v4));
+    let (_, wall2) = time_wall(|| fwht_radix2_in_place(&mut v2));
+    table.push_row(vec!["FWHT radix".into(), "radix-4 (Alg 3)".into(), "-".into(), ms(wall4)]);
+    table.push_row(vec!["FWHT radix".into(), "radix-2".into(), "-".into(), ms(wall2)]);
+
+    // 5. SyRK vs GeMM for the Gram matrix.
+    for (label, use_syrk) in [("GeMM (paper's choice)", false), ("SyRK", true)] {
+        let dev = Device::h100();
+        let (_, wall) = time_wall(|| {
+            if use_syrk {
+                syrk_gram(&dev, &a_cm)
+            } else {
+                gram_gemm(&dev, &a_cm).unwrap()
+            }
+        });
+        let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
+        table.push_row(vec!["Gram matrix".into(), label.into(), ms(model), ms(wall)]);
+    }
+
+    table.print();
+}

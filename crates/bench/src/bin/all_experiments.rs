@@ -1,0 +1,37 @@
+//! Runs every figure/table harness in sequence (the EXPERIMENTS.md generator).
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table1",
+        "fig2_sketch_times",
+        "fig3_mem_throughput",
+        "fig4_flops",
+        "fig5_lsq_breakdown",
+        "fig6_residual_easy",
+        "fig7_residual_hard",
+        "fig8_stability",
+        "dist_comm",
+        "ablations",
+    ];
+    // When invoked through cargo the sibling binaries live next to this executable.
+    let current = std::env::current_exe().expect("current executable path");
+    let dir = current.parent().expect("executable directory").to_path_buf();
+    for name in binaries {
+        println!("\n########## {name} ##########");
+        let path = dir.join(name);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "sketch-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{name} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {name}: {e}"),
+        }
+    }
+}

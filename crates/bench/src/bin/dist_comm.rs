@@ -1,0 +1,52 @@
+//! Section 7: distributed sketching — per-process compute and communication volumes.
+
+use sketch_bench::report::{sci, Table};
+use sketch_core::{CountSketch, GaussianSketch, MultiSketch};
+use sketch_dist::{
+    distributed_countsketch, distributed_gaussian, distributed_multisketch, BlockRowMatrix,
+};
+use sketch_gpu_sim::Device;
+use sketch_la::{Layout, Matrix};
+
+fn main() {
+    let device = Device::unlimited();
+    let d = 1 << 14;
+    let n = 32;
+    let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
+
+    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
+    let gauss = GaussianSketch::generate(&device, d, 2 * n, 2).unwrap();
+    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).unwrap();
+
+    let mut table = Table::new(
+        "Section 7 — distributed sketching (d = 2^14, n = 32)",
+        &["p", "method", "comm words", "per-process flops (max)"],
+    );
+    for p in [2usize, 4, 8, 16] {
+        let dist = BlockRowMatrix::split(&a, p);
+        let runs = [
+            ("Gaussian", distributed_gaussian(&device, &dist, &gauss).unwrap()),
+            ("CountSketch", distributed_countsketch(&device, &dist, &count).unwrap()),
+            ("MultiSketch", distributed_multisketch(&device, &dist, &multi).unwrap()),
+        ];
+        for (label, run) in runs {
+            let max_flops = run
+                .per_process_cost
+                .iter()
+                .map(|c| c.flops)
+                .max()
+                .unwrap_or(0);
+            table.push_row(vec![
+                p.to_string(),
+                label.to_string(),
+                sci(run.comm.total_words() as f64),
+                sci(max_flops as f64),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "The multisketch matches the Gaussian's communication volume while keeping the \
+         CountSketch's tiny per-process compute cost (Section 7's conclusion)."
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 2: sketch generation + apply time versus the Gram matrix, at the
+//! paper's sizes (roofline model) and at reduced measured sizes.
+
+use sketch_bench::report::{ms, Table};
+use sketch_bench::sketch_experiments::sketch_timing_rows;
+use sketch_bench::ExperimentScale;
+
+fn print_scale(scale: ExperimentScale, title: &str) {
+    let rows = sketch_timing_rows(scale, 42);
+    let mut table = Table::new(
+        title,
+        &["d", "n", "method", "gen ms", "apply ms", "total ms", "wall ms", "note"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.label().to_string(),
+            ms(r.gen_model_ms),
+            ms(r.apply_model_ms),
+            ms(r.total_model_ms()),
+            ms(r.wall_ms),
+            if r.out_of_memory { "OOM (blank bar)".into() } else { String::new() },
+        ]);
+    }
+    table.print();
+}
+
+fn main() {
+    print_scale(
+        ExperimentScale::PaperModel,
+        "Figure 2 — paper scale (modelled H100 time)",
+    );
+    print_scale(
+        ExperimentScale::Measured,
+        "Figure 2 — measured at reduced sizes (modelled H100 time + host wall clock)",
+    );
+}

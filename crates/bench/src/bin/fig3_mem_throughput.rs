@@ -1,0 +1,22 @@
+//! Regenerates Figure 3: percent of peak memory throughput per sketch method.
+
+use sketch_bench::report::{pct, Table};
+use sketch_bench::sketch_experiments::sketch_timing_rows;
+use sketch_bench::ExperimentScale;
+
+fn main() {
+    let rows = sketch_timing_rows(ExperimentScale::PaperModel, 42);
+    let mut table = Table::new(
+        "Figure 3 — percent of peak memory throughput (paper scale, H100 model)",
+        &["d", "n", "method", "% peak bandwidth"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.label().to_string(),
+            if r.out_of_memory { "OOM".into() } else { pct(r.pct_peak_bandwidth) },
+        ]);
+    }
+    table.print();
+}

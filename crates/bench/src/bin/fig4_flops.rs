@@ -1,0 +1,22 @@
+//! Regenerates Figure 4: percent of peak FLOP/s per sketch method.
+
+use sketch_bench::report::{pct, Table};
+use sketch_bench::sketch_experiments::sketch_timing_rows;
+use sketch_bench::ExperimentScale;
+
+fn main() {
+    let rows = sketch_timing_rows(ExperimentScale::PaperModel, 42);
+    let mut table = Table::new(
+        "Figure 4 — percent of peak FP64 FLOP/s (paper scale, H100 model)",
+        &["d", "n", "method", "% peak FLOP/s"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.label().to_string(),
+            if r.out_of_memory { "OOM".into() } else { pct(r.pct_peak_flops) },
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure 5: the per-phase runtime breakdown of each least squares solver.
+
+use sketch_bench::lsq_experiments::{lsq_breakdown_measured_rows, lsq_breakdown_paper_rows};
+use sketch_bench::report::{ms, Table};
+
+fn main() {
+    let mut paper = Table::new(
+        "Figure 5 — paper scale (modelled H100 ms per phase)",
+        &["d", "n", "method", "total ms", "phases"],
+    );
+    for r in lsq_breakdown_paper_rows() {
+        let phases = r
+            .phase_ms
+            .iter()
+            .map(|(p, t)| format!("{}={:.3}", p.label(), t))
+            .collect::<Vec<_>>()
+            .join(", ");
+        paper.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.to_string(),
+            if r.out_of_memory { "OOM".into() } else { ms(r.total_model_ms) },
+            if r.out_of_memory { "blank bar".into() } else { phases },
+        ]);
+    }
+    paper.print();
+
+    let mut measured = Table::new(
+        "Figure 5 — measured at reduced sizes (modelled ms; wall clock alongside)",
+        &["d", "n", "method", "total model ms", "wall ms"],
+    );
+    for r in lsq_breakdown_measured_rows(42) {
+        measured.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.to_string(),
+            ms(r.total_model_ms),
+            ms(r.wall_ms),
+        ]);
+    }
+    measured.print();
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: relative least squares residuals on the "hard" (high noise)
+//! problem.
+
+use sketch_bench::lsq_experiments::residual_rows;
+use sketch_bench::report::{sci, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 7 — relative residuals, hard problem (eta ~ N(3, 2))",
+        &["d", "n", "method", "||b - Ax|| / ||b||"],
+    );
+    for r in residual_rows(true, 42) {
+        table.push_row(vec![
+            format!("2^{}", r.point.d.trailing_zeros()),
+            r.point.n.to_string(),
+            r.method.to_string(),
+            r.residual.map(sci).unwrap_or_else(|| "failed".into()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,695 @@
+//! The CountSketch operator and its three application strategies.
+//!
+//! Definition 4.1: the CountSketch `S ∈ R^{k x d}` has exactly one `±1` per column, at a
+//! uniformly random row.  Applying it to `A ∈ R^{d x n}` therefore adds or subtracts
+//! each row of `A` into one row of `Y = S A` (equation (2) of the paper), which is what
+//! **Algorithm 2** parallelises with one thread per input row and atomic adds on the
+//! output:
+//!
+//! ```text
+//! parallel for j = 1..d:
+//!     atomicAdd(Y[r_j, :],  s_j ? A[j, :] : -A[j, :])
+//! ```
+//!
+//! Three ways of applying the same operator are provided:
+//!
+//! * [`CountSketch::apply_matrix`] — the paper's dedicated kernel (Algorithm 2),
+//! * [`CountSketch::apply_matrix_gather`] — an atomics-free ablation that first inverts
+//!   the row map and then lets every *output* row gather its inputs,
+//! * [`CountSketch::apply_matrix_spmm`] — the naive baseline: materialise `S` as a CSR
+//!   sparse matrix and call the generic SpMM (the cuSPARSE path of Figures 2–4).
+//!
+//! [`HashCountSketch`] is the streaming variant of Section 8 (future work in the paper):
+//! `r_j` and `s_j` are recomputed from a hash of `j` instead of being stored, trading a
+//! little arithmetic for zero generation time and zero index storage.
+
+use crate::error::SketchError;
+use crate::traits::SketchOperator;
+use sketch_gpu_sim::{parallel_for_chunks, AtomicF64View, Device, KernelCost};
+use sketch_la::{Layout, Matrix};
+use sketch_rng::fill;
+use sketch_sparse::{spmm, CooMatrix, CsrMatrix};
+
+/// Extra read factor charged when the kernel must stream a column-major `A` row-wise
+/// (uncoalesced reads); the row-major layout recommended by Section 6.1 avoids it.
+const COL_MAJOR_READ_PENALTY: u64 = 2;
+
+/// The explicit CountSketch: a stored row map `r` and sign vector `s`.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    d: usize,
+    k: usize,
+    rows: Vec<usize>,
+    signs: Vec<bool>,
+    generation_cost: KernelCost,
+}
+
+impl CountSketch {
+    /// Generate a CountSketch `S ∈ R^{k x d}` from a seed.
+    ///
+    /// Only `d` uniform integers and `d` random signs are generated — the cheapness of
+    /// this step relative to generating `k·d` Gaussians is half the paper's argument.
+    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "CountSketch output dimension must be positive");
+        let rows = fill::uniform_index_vec(seed, 0, d, k);
+        let signs = fill::rademacher_bool_vec(seed, 1, d);
+        // Generation traffic: write d 4-byte integers and d 1-byte flags; a handful of
+        // flops for the rejection sampling.
+        let generation_cost = KernelCost::new(0, (d as u64) * 5, d as u64, 1);
+        device.record(generation_cost);
+        Self {
+            d,
+            k,
+            rows,
+            signs,
+            generation_cost,
+        }
+    }
+
+    /// Construct from explicit row map and signs (used by tests and the distributed
+    /// driver, which carves one big CountSketch into per-process pieces).
+    pub fn from_parts(d: usize, k: usize, rows: Vec<usize>, signs: Vec<bool>) -> Self {
+        assert_eq!(rows.len(), d, "need one target row per input row");
+        assert_eq!(signs.len(), d, "need one sign per input row");
+        assert!(rows.iter().all(|&r| r < k), "row map entry out of range");
+        Self {
+            d,
+            k,
+            rows,
+            signs,
+            generation_cost: KernelCost::zero(),
+        }
+    }
+
+    /// The stored row map (`r_j` values).
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The stored signs (`true` = `+1`).
+    pub fn signs(&self) -> &[bool] {
+        &self.signs
+    }
+
+    /// Record the cost of one Algorithm-2 style application to a `d x n` operand.
+    fn record_apply_cost(&self, device: &Device, ncols: usize, col_major_input: bool) {
+        let d = self.d as u64;
+        let n = ncols as u64;
+        let k = self.k as u64;
+        let read_a = KernelCost::f64_bytes(d * n)
+            * if col_major_input {
+                COL_MAJOR_READ_PENALTY
+            } else {
+                1
+            };
+        // Atomic add = read-modify-write on the output row, plus the initial zeroing of
+        // Y and the index/sign reads.
+        let cost = KernelCost::new(
+            read_a + KernelCost::f64_bytes(d * n) + d * 5,
+            KernelCost::f64_bytes(d * n) + KernelCost::f64_bytes(k * n),
+            d * n,
+            2,
+        );
+        device.record(cost);
+    }
+
+    /// Apply via **Algorithm 2**: one parallel task per input row, atomic adds into `Y`.
+    ///
+    /// `A` should be row-major for coalesced reads (Section 6.1); a column-major operand
+    /// is accepted but charged the uncoalesced-read penalty.  The result is row-major,
+    /// exactly as the paper produces it (and later converts or reinterprets).
+    pub fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        let n = a.ncols();
+        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
+
+        let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
+        {
+            let view = AtomicF64View::new(y.as_mut_slice());
+            let rows = &self.rows;
+            let signs = &self.signs;
+            match a.layout() {
+                Layout::RowMajor => {
+                    let data = a.as_slice();
+                    parallel_for_chunks(self.d, 2048, |start, end| {
+                        for j in start..end {
+                            let target = rows[j] * n;
+                            let row = &data[j * n..(j + 1) * n];
+                            if signs[j] {
+                                for (c, &v) in row.iter().enumerate() {
+                                    view.add(target + c, v);
+                                }
+                            } else {
+                                for (c, &v) in row.iter().enumerate() {
+                                    view.add(target + c, -v);
+                                }
+                            }
+                        }
+                    });
+                }
+                Layout::ColMajor => {
+                    parallel_for_chunks(self.d, 2048, |start, end| {
+                        for j in start..end {
+                            let target = rows[j] * n;
+                            let sign = if signs[j] { 1.0 } else { -1.0 };
+                            for c in 0..n {
+                                view.add(target + c, sign * a.get(j, c));
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        self.record_apply_cost(device, n, a.layout() == Layout::ColMajor);
+        Ok(y)
+    }
+
+    /// Atomics-free ablation: invert the row map once, then let each *output* row gather
+    /// and sum the input rows assigned to it.
+    ///
+    /// This trades the atomic RMW traffic for an extra index pass and a less balanced
+    /// work distribution; the `ablations` bench compares it against Algorithm 2.
+    pub fn apply_matrix_gather(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        let n = a.ncols();
+        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
+
+        // Build the inverse map: counting sort of input rows by target row.
+        let mut counts = vec![0usize; self.k + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.k {
+            counts[i + 1] += counts[i];
+        }
+        let mut members = vec![0usize; self.d];
+        let mut cursor = counts.clone();
+        for (j, &r) in self.rows.iter().enumerate() {
+            members[cursor[r]] = j;
+            cursor[r] += 1;
+        }
+
+        let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
+        {
+            let data = y.as_mut_slice();
+            let signs = &self.signs;
+            data.par_chunks_mut_outer(n, |m, out_row| {
+                for &j in &members[counts[m]..counts[m + 1]] {
+                    let sign = if signs[j] { 1.0 } else { -1.0 };
+                    for (c, slot) in out_row.iter_mut().enumerate() {
+                        *slot += sign * a.get(j, c);
+                    }
+                }
+            });
+        }
+
+        let d = self.d as u64;
+        let n64 = n as u64;
+        let k = self.k as u64;
+        device.record(KernelCost::new(
+            // Gathered reads of A (uncoalesced) + index arrays read twice.
+            KernelCost::f64_bytes(d * n64) * COL_MAJOR_READ_PENALTY + 2 * d * 13,
+            KernelCost::f64_bytes(k * n64) + d * 8,
+            d * n64,
+            3,
+        ));
+        Ok(y)
+    }
+
+    /// The naive baseline: materialise `S` as CSR and multiply with the generic SpMM.
+    pub fn apply_matrix_spmm(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * a.ncols()) as u64))?;
+        let s = self.to_sparse();
+        Ok(spmm(device, &s, a))
+    }
+
+    /// Apply to a single vector (the right-hand side sketch of Algorithm 1).
+    pub fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.check_input_dim(x.len())?;
+        let mut y = vec![0.0; self.k];
+        {
+            let view = AtomicF64View::new(&mut y);
+            let rows = &self.rows;
+            let signs = &self.signs;
+            parallel_for_chunks(self.d, 8192, |start, end| {
+                for j in start..end {
+                    let v = if signs[j] { x[j] } else { -x[j] };
+                    view.add(rows[j], v);
+                }
+            });
+        }
+        let d = self.d as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(2 * d) + d * 5,
+            KernelCost::f64_bytes(d + self.k as u64),
+            d,
+            2,
+        ));
+        Ok(y)
+    }
+
+    /// Materialise the operator as a `k x d` CSR matrix with one `±1` per column.
+    pub fn to_sparse(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.k, self.d, self.d);
+        for (j, (&r, &s)) in self.rows.iter().zip(self.signs.iter()).enumerate() {
+            coo.push(r, j, if s { 1.0 } else { -1.0 });
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+/// Small extension trait so the gather kernel can parallelise over output rows without
+/// pulling the full rayon prelude into this module's public surface.
+trait ParChunksOuter {
+    fn par_chunks_mut_outer(&mut self, chunk: usize, body: impl Fn(usize, &mut [f64]) + Sync);
+}
+
+impl ParChunksOuter for [f64] {
+    fn par_chunks_mut_outer(&mut self, chunk: usize, body: impl Fn(usize, &mut [f64]) + Sync) {
+        use rayon::prelude::*;
+        self.par_chunks_mut(chunk.max(1))
+            .enumerate()
+            .for_each(|(i, slice)| body(i, slice));
+    }
+}
+
+impl SketchOperator for CountSketch {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "CountSketch (Alg 2)"
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        CountSketch::apply_matrix(self, device, a)
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        CountSketch::apply_vector(self, device, x)
+    }
+
+    fn generation_cost(&self) -> KernelCost {
+        self.generation_cost
+    }
+
+    fn algorithmic_cost(&self, ncols: usize) -> KernelCost {
+        let d = self.d as u64;
+        let n = ncols as u64;
+        // Table 1: dn arithmetic, dn reads and dn writes.
+        KernelCost::new(
+            KernelCost::f64_bytes(d * n),
+            KernelCost::f64_bytes(d * n),
+            d * n,
+            1,
+        )
+    }
+}
+
+/// The streaming, hash-based CountSketch of Section 8: nothing is stored, `r_j` and
+/// `s_j` are recomputed from a hash whenever row `j` is touched.
+#[derive(Debug, Clone, Copy)]
+pub struct HashCountSketch {
+    d: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl HashCountSketch {
+    /// Create the operator; no generation work is needed.
+    pub fn new(d: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "output dimension must be positive");
+        Self { d, k, seed }
+    }
+
+    /// Hash of row `j`: returns `(target_row, sign)`.
+    #[inline]
+    pub fn hash(&self, j: usize) -> (usize, f64) {
+        let mut x = (j as u64).wrapping_add(self.seed.rotate_left(17));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let row = (x % self.k as u64) as usize;
+        let sign = if (x >> 63) & 1 == 1 { 1.0 } else { -1.0 };
+        (row, sign)
+    }
+
+    /// Materialise the equivalent explicit [`CountSketch`] (for testing equivalence and
+    /// for reusing the explicit kernels).
+    pub fn to_explicit(&self) -> CountSketch {
+        let mut rows = Vec::with_capacity(self.d);
+        let mut signs = Vec::with_capacity(self.d);
+        for j in 0..self.d {
+            let (r, s) = self.hash(j);
+            rows.push(r);
+            signs.push(s > 0.0);
+        }
+        CountSketch::from_parts(self.d, self.k, rows, signs)
+    }
+}
+
+impl SketchOperator for HashCountSketch {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "CountSketch (hash/streaming)"
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        if a.nrows() != self.d {
+            return Err(SketchError::DimensionMismatch {
+                expected: self.d,
+                found: a.nrows(),
+            });
+        }
+        let n = a.ncols();
+        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
+        let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
+        {
+            let view = AtomicF64View::new(y.as_mut_slice());
+            parallel_for_chunks(self.d, 2048, |start, end| {
+                for j in start..end {
+                    let (r, sign) = self.hash(j);
+                    let target = r * n;
+                    for c in 0..n {
+                        view.add(target + c, sign * a.get(j, c));
+                    }
+                }
+            });
+        }
+        let d = self.d as u64;
+        let n64 = n as u64;
+        let k = self.k as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(2 * d * n64),
+            KernelCost::f64_bytes(d * n64) + KernelCost::f64_bytes(k * n64),
+            d * n64 + 6 * d,
+            2,
+        ));
+        Ok(y)
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        if x.len() != self.d {
+            return Err(SketchError::DimensionMismatch {
+                expected: self.d,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.k];
+        {
+            let view = AtomicF64View::new(&mut y);
+            parallel_for_chunks(self.d, 8192, |start, end| {
+                for j in start..end {
+                    let (r, sign) = self.hash(j);
+                    view.add(r, sign * x[j]);
+                }
+            });
+        }
+        let d = self.d as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(2 * d),
+            KernelCost::f64_bytes(d + self.k as u64),
+            d + 6 * d,
+            2,
+        ));
+        Ok(y)
+    }
+
+    fn generation_cost(&self) -> KernelCost {
+        KernelCost::zero()
+    }
+
+    fn algorithmic_cost(&self, ncols: usize) -> KernelCost {
+        let d = self.d as u64;
+        let n = ncols as u64;
+        KernelCost::new(
+            KernelCost::f64_bytes(d * n),
+            KernelCost::f64_bytes(d * n),
+            d * n,
+            1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    /// Dense reference implementation of `S A` from the stored row map and signs.
+    fn reference_apply(cs: &CountSketch, a: &Matrix) -> Matrix {
+        let n = a.ncols();
+        let mut y = Matrix::zeros_with_layout(cs.output_dim(), n, Layout::RowMajor);
+        for j in 0..cs.input_dim() {
+            let sign = if cs.signs()[j] { 1.0 } else { -1.0 };
+            for c in 0..n {
+                y.add_to(cs.rows()[j], c, sign * a.get(j, c));
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn algorithm2_matches_dense_reference() {
+        let d = device();
+        let a = Matrix::random_gaussian(300, 5, Layout::RowMajor, 1, 0);
+        let cs = CountSketch::generate(&d, 300, 32, 9);
+        let y = cs.apply_matrix(&d, &a).unwrap();
+        let expect = reference_apply(&cs, &a);
+        assert!(y.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn row_major_and_col_major_inputs_agree() {
+        let d = device();
+        let a_rm = Matrix::random_gaussian(200, 4, Layout::RowMajor, 2, 0);
+        let a_cm = a_rm.to_layout(&d, Layout::ColMajor);
+        let cs = CountSketch::generate(&d, 200, 16, 3);
+        let y1 = cs.apply_matrix(&d, &a_rm).unwrap();
+        let y2 = cs.apply_matrix(&d, &a_cm).unwrap();
+        assert!(y1.max_abs_diff(&y2).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn gather_and_spmm_variants_match_algorithm2() {
+        let d = device();
+        let a = Matrix::random_gaussian(250, 6, Layout::RowMajor, 4, 0);
+        let cs = CountSketch::generate(&d, 250, 40, 5);
+        let y_atomic = cs.apply_matrix(&d, &a).unwrap();
+        let y_gather = cs.apply_matrix_gather(&d, &a).unwrap();
+        let y_spmm = cs.apply_matrix_spmm(&d, &a).unwrap();
+        assert!(y_atomic.max_abs_diff(&y_gather).unwrap() < 1e-12);
+        assert!(y_atomic.max_abs_diff(&y_spmm).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn vector_apply_matches_matrix_apply_on_single_column() {
+        let d = device();
+        let x: Vec<f64> = (0..150).map(|i| (i as f64 * 0.1).sin()).collect();
+        let a = Matrix::from_fn(150, 1, Layout::RowMajor, |i, _| x[i]);
+        let cs = CountSketch::generate(&d, 150, 20, 6);
+        let yv = cs.apply_vector(&d, &x).unwrap();
+        let ym = cs.apply_matrix(&d, &a).unwrap();
+        for i in 0..20 {
+            assert!((yv[i] - ym.get(i, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_materialisation_has_one_entry_per_column() {
+        let d = device();
+        let cs = CountSketch::generate(&d, 100, 16, 7);
+        let s = cs.to_sparse();
+        assert_eq!(s.nrows(), 16);
+        assert_eq!(s.ncols(), 100);
+        assert_eq!(s.nnz(), 100);
+        let dense = s.to_dense();
+        for j in 0..100 {
+            let nonzeros: Vec<f64> = (0..16).map(|i| dense[i][j]).filter(|&v| v != 0.0).collect();
+            assert_eq!(nonzeros.len(), 1, "column {j} must have exactly one nonzero");
+            assert!(nonzeros[0] == 1.0 || nonzeros[0] == -1.0);
+        }
+    }
+
+    #[test]
+    fn sketch_is_linear() {
+        let d = device();
+        let a = Matrix::random_gaussian(120, 3, Layout::RowMajor, 8, 0);
+        let b = Matrix::random_gaussian(120, 3, Layout::RowMajor, 8, 1);
+        let cs = CountSketch::generate(&d, 120, 24, 9);
+        // S(A + 2B) == SA + 2 SB
+        let apb = Matrix::from_fn(120, 3, Layout::RowMajor, |i, j| a.get(i, j) + 2.0 * b.get(i, j));
+        let left = cs.apply_matrix(&d, &apb).unwrap();
+        let sa = cs.apply_matrix(&d, &a).unwrap();
+        let sb = cs.apply_matrix(&d, &b).unwrap();
+        let right = Matrix::from_fn(24, 3, Layout::RowMajor, |i, j| sa.get(i, j) + 2.0 * sb.get(i, j));
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn preserves_norms_in_expectation_band() {
+        // With k = 8 n^2 the distortion should comfortably be below 0.5 for one vector.
+        let d = device();
+        let dim = 4096;
+        let x: Vec<f64> = fill::gaussian_vec(3, 3, dim);
+        let cs = CountSketch::generate(&d, dim, 512, 11);
+        let y = cs.apply_vector(&d, &x).unwrap();
+        let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((ny / nx - 1.0).abs() < 0.5, "distortion {}", ny / nx - 1.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let d = device();
+        let cs = CountSketch::generate(&d, 50, 8, 1);
+        let a = Matrix::zeros_with_layout(40, 2, Layout::RowMajor);
+        assert!(matches!(
+            cs.apply_matrix(&d, &a),
+            Err(SketchError::DimensionMismatch { expected: 50, found: 40 })
+        ));
+        assert!(cs.apply_vector(&d, &[0.0; 49]).is_err());
+    }
+
+    #[test]
+    fn oom_is_reported_when_output_does_not_fit() {
+        use sketch_gpu_sim::DeviceSpec;
+        let mut spec = DeviceSpec::h100();
+        spec.memory_bytes = 1024; // tiny device
+        let d = Device::new(spec);
+        let cs = CountSketch::generate(&d, 64, 1024, 1);
+        let a = Matrix::zeros_with_layout(64, 8, Layout::RowMajor);
+        assert!(matches!(
+            cs.apply_matrix(&d, &a),
+            Err(SketchError::WouldExceedMemory(_))
+        ));
+    }
+
+    #[test]
+    fn generation_cost_is_tiny_compared_to_gaussian() {
+        let d = device();
+        let cs = CountSketch::generate(&d, 10_000, 128, 1);
+        let gen = cs.generation_cost();
+        // 5 bytes per input row, no reads.
+        assert_eq!(gen.bytes_written, 50_000);
+        assert_eq!(gen.bytes_read, 0);
+    }
+
+    #[test]
+    fn algorithmic_cost_matches_table1() {
+        let d = device();
+        let cs = CountSketch::generate(&d, 1000, 32, 1);
+        let c = cs.algorithmic_cost(16);
+        assert_eq!(c.flops, 16_000);
+        assert_eq!(c.bytes_read, 8 * 16_000);
+        assert_eq!(c.bytes_written, 8 * 16_000);
+    }
+
+    #[test]
+    fn from_parts_validates_inputs() {
+        let cs = CountSketch::from_parts(3, 4, vec![0, 3, 1], vec![true, false, true]);
+        assert_eq!(cs.input_dim(), 3);
+        assert_eq!(cs.output_dim(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row map entry out of range")]
+    fn from_parts_rejects_out_of_range_rows() {
+        CountSketch::from_parts(2, 2, vec![0, 5], vec![true, true]);
+    }
+
+    #[test]
+    fn hash_variant_matches_its_explicit_materialisation() {
+        let d = device();
+        let h = HashCountSketch::new(200, 32, 77);
+        let explicit = h.to_explicit();
+        let a = Matrix::random_gaussian(200, 4, Layout::RowMajor, 13, 0);
+        let y_hash = h.apply_matrix(&d, &a).unwrap();
+        let y_explicit = explicit.apply_matrix(&d, &a).unwrap();
+        assert!(y_hash.max_abs_diff(&y_explicit).unwrap() < 1e-12);
+
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let v_hash = h.apply_vector(&d, &x).unwrap();
+        let v_explicit = explicit.apply_vector(&d, &x).unwrap();
+        for (a, b) in v_hash.iter().zip(&v_explicit) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hash_variant_has_zero_generation_cost_and_signs_both_occur() {
+        let h = HashCountSketch::new(1000, 64, 5);
+        assert_eq!(h.generation_cost(), KernelCost::zero());
+        assert_eq!(h.name(), "CountSketch (hash/streaming)");
+        let mut plus = 0;
+        let mut minus = 0;
+        for j in 0..1000 {
+            let (r, s) = h.hash(j);
+            assert!(r < 64);
+            if s > 0.0 {
+                plus += 1;
+            } else {
+                minus += 1;
+            }
+        }
+        assert!(plus > 300 && minus > 300, "signs unbalanced: {plus}/{minus}");
+    }
+
+    #[test]
+    fn hash_variant_rejects_bad_dimensions() {
+        let d = device();
+        let h = HashCountSketch::new(10, 4, 1);
+        assert!(h.apply_vector(&d, &[0.0; 9]).is_err());
+        let a = Matrix::zeros_with_layout(11, 2, Layout::RowMajor);
+        assert!(h.apply_matrix(&d, &a).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_all_variants_agree(d_dim in 10usize..200, n in 1usize..6, k in 2usize..32, seed in 0u64..500) {
+            let dev = device();
+            let a = Matrix::random_gaussian(d_dim, n, Layout::RowMajor, seed, 0);
+            let cs = CountSketch::generate(&dev, d_dim, k, seed + 1);
+            let y1 = cs.apply_matrix(&dev, &a).unwrap();
+            let y2 = cs.apply_matrix_gather(&dev, &a).unwrap();
+            let y3 = cs.apply_matrix_spmm(&dev, &a).unwrap();
+            prop_assert!(y1.max_abs_diff(&y2).unwrap() < 1e-10);
+            prop_assert!(y1.max_abs_diff(&y3).unwrap() < 1e-10);
+        }
+
+        #[test]
+        fn prop_column_sums_are_preserved_up_to_sign(d_dim in 10usize..100, seed in 0u64..500) {
+            // Summing all rows of Y equals the signed sum of all rows of A.
+            let dev = device();
+            let a = Matrix::random_gaussian(d_dim, 3, Layout::RowMajor, seed, 0);
+            let cs = CountSketch::generate(&dev, d_dim, 16, seed);
+            let y = cs.apply_matrix(&dev, &a).unwrap();
+            for c in 0..3 {
+                let sum_y: f64 = (0..16).map(|i| y.get(i, c)).sum();
+                let signed_sum_a: f64 = (0..d_dim)
+                    .map(|j| if cs.signs()[j] { a.get(j, c) } else { -a.get(j, c) })
+                    .sum();
+                prop_assert!((sum_y - signed_sum_a).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the sketch operators.
+
+use sketch_gpu_sim::MemoryError;
+use sketch_la::LaError;
+use std::fmt;
+
+/// Errors returned when generating or applying a sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// The operand's leading dimension does not match the sketch's input dimension.
+    DimensionMismatch {
+        /// Input dimension the sketch expects.
+        expected: usize,
+        /// Leading dimension of the operand that was supplied.
+        found: usize,
+    },
+    /// The sketch (or its intermediate product) would not fit in modelled device memory.
+    ///
+    /// This is the typed equivalent of the blank Gaussian bars in Figures 2 and 5
+    /// ("the GPU ran out of memory").
+    WouldExceedMemory(MemoryError),
+    /// An underlying dense linear algebra routine failed.
+    La(LaError),
+    /// The operator was configured with an invalid parameter (e.g. zero output
+    /// dimension).
+    InvalidParameter {
+        /// Description of the offending parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::DimensionMismatch { expected, found } => write!(
+                f,
+                "sketch expects input dimension {expected} but operand has leading dimension {found}"
+            ),
+            SketchError::WouldExceedMemory(e) => write!(f, "sketch would exceed device memory: {e}"),
+            SketchError::La(e) => write!(f, "linear algebra failure while sketching: {e}"),
+            SketchError::InvalidParameter { detail } => write!(f, "invalid sketch parameter: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+impl From<LaError> for SketchError {
+    fn from(e: LaError) -> Self {
+        SketchError::La(e)
+    }
+}
+
+impl From<MemoryError> for SketchError {
+    fn from(e: MemoryError) -> Self {
+        SketchError::WouldExceedMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let e = SketchError::DimensionMismatch {
+            expected: 10,
+            found: 5,
+        };
+        assert!(e.to_string().contains("10"));
+
+        let e: SketchError = MemoryError {
+            requested: 1,
+            in_use: 2,
+            capacity: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("device memory"));
+
+        let e: SketchError = LaError::SingularTriangular { index: 0 }.into();
+        assert!(e.to_string().contains("linear algebra"));
+
+        let e = SketchError::InvalidParameter {
+            detail: "k must be positive".into(),
+        };
+        assert!(e.to_string().contains("k must be positive"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Fast Walsh–Hadamard transforms (Algorithm 3).
+//!
+//! The SRHT of Section 5 needs an FWHT that is fast on the device.  The paper adapts the
+//! single-vector radix-4 FWHT from NVIDIA's CUDA samples to operate on all columns of a
+//! matrix and to exploit shared memory: once the butterfly span fits into the available
+//! shared memory, the remaining stages are executed entirely out of the on-chip tile,
+//! which removes `O(log tile)` global read/write passes.  [`fwht_matrix_columns`] models
+//! exactly that saving in its traffic accounting.
+
+use rayon::prelude::*;
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::{Layout, Matrix};
+
+/// Default modelled "shared memory" tile: 2048 doubles = 16 KiB per column tile.
+pub const DEFAULT_TILE: usize = 2048;
+
+/// One radix-2 butterfly stage with half-span `h` (pairs `(i, i + h)`).
+fn radix2_stage(a: &mut [f64], h: usize) {
+    let d = a.len();
+    let mut b = 0;
+    while b < d {
+        for k in 0..h {
+            let i0 = b + k;
+            let i1 = i0 + h;
+            let (x, y) = (a[i0], a[i1]);
+            a[i0] = x + y;
+            a[i1] = x - y;
+        }
+        b += 2 * h;
+    }
+}
+
+/// One radix-4 butterfly stage with stride `s` (Algorithm 3's inner loop body).
+fn radix4_stage(a: &mut [f64], stride: usize) {
+    let d = a.len();
+    let span = stride * 4;
+    let mut b = 0;
+    while b < d {
+        for k in 0..stride {
+            let i0 = b + k;
+            let i1 = i0 + stride;
+            let i2 = i0 + 2 * stride;
+            let i3 = i0 + 3 * stride;
+            let (x, y, z, t) = (a[i0], a[i1], a[i2], a[i3]);
+            let xx = x + z;
+            let yy = y + t;
+            let zz = x - z;
+            let tt = y - t;
+            a[i0] = xx + yy;
+            a[i1] = xx - yy;
+            a[i2] = zz + tt;
+            a[i3] = zz - tt;
+        }
+        b += span;
+    }
+}
+
+/// In-place unnormalised Walsh–Hadamard transform using radix-4 stages (Algorithm 3),
+/// with a single radix-2 stage when `log2(len)` is odd.
+///
+/// # Panics
+/// Panics if the length is not a power of two (the SRHT pads to the next power of two
+/// before calling this).
+pub fn fwht_in_place(a: &mut [f64]) {
+    let d = a.len();
+    if d <= 1 {
+        return;
+    }
+    assert!(d.is_power_of_two(), "FWHT length must be a power of two");
+    let bits = d.trailing_zeros() as usize;
+    let pairs = bits / 2;
+    let mut stride = d / 4;
+    for _ in 0..pairs {
+        radix4_stage(a, stride);
+        stride /= 4;
+    }
+    if bits % 2 == 1 {
+        radix2_stage(a, 1);
+    }
+}
+
+/// Reference radix-2 implementation (used by tests and the FWHT ablation bench).
+pub fn fwht_radix2_in_place(a: &mut [f64]) {
+    let d = a.len();
+    if d <= 1 {
+        return;
+    }
+    assert!(d.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < d {
+        radix2_stage(a, h);
+        h *= 2;
+    }
+}
+
+/// Number of *global-memory* passes the tiled device implementation needs for a
+/// transform of length `d` with a shared-memory tile of `tile` doubles.
+///
+/// Radix-4 stages whose butterfly span exceeds the tile each stream the whole vector
+/// through global memory; all remaining stages run out of the tile and cost one
+/// combined pass.
+pub fn global_passes(d: usize, tile: usize) -> u64 {
+    if d <= 1 {
+        return 0;
+    }
+    let bits = (d.max(2)).trailing_zeros() as usize;
+    let pairs = bits / 2;
+    let mut passes = 0u64;
+    let mut stride = d / 4;
+    let tile = tile.max(4);
+    for _ in 0..pairs {
+        if stride * 4 > tile {
+            passes += 1;
+        }
+        stride /= 4;
+    }
+    if bits % 2 == 1 && 2 > tile {
+        passes += 1;
+    }
+    // All in-tile stages together cost one read + write pass.
+    passes + 1
+}
+
+/// Apply the unnormalised FWHT to every column of a column-major matrix in parallel,
+/// recording the tiled traffic model on `device`.
+///
+/// # Panics
+/// Panics if the matrix is not column-major or its row count is not a power of two.
+pub fn fwht_matrix_columns(device: &Device, a: &mut Matrix, tile: usize) {
+    assert_eq!(
+        a.layout(),
+        Layout::ColMajor,
+        "the SRHT pipeline keeps everything column-major (Section 5)"
+    );
+    let d = a.nrows();
+    let n = a.ncols();
+    if d > 1 {
+        assert!(d.is_power_of_two(), "FWHT length must be a power of two");
+    }
+    {
+        let data = a.as_mut_slice();
+        data.par_chunks_mut(d.max(1)).for_each(|col| {
+            fwht_in_place(col);
+        });
+    }
+
+    let passes = global_passes(d, tile);
+    let dn = (d * n) as u64;
+    let bits = if d > 1 { d.trailing_zeros() as u64 } else { 0 };
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(dn) * passes,
+        KernelCost::f64_bytes(dn) * passes,
+        2 * dn * bits,
+        passes.max(1),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// O(d²) reference: multiply by the Hadamard matrix built from the recursion.
+    fn dense_hadamard_apply(x: &[f64]) -> Vec<f64> {
+        let d = x.len();
+        let mut h = vec![vec![1.0f64]];
+        while h.len() < d {
+            let m = h.len();
+            let mut next = vec![vec![0.0; 2 * m]; 2 * m];
+            for i in 0..m {
+                for j in 0..m {
+                    next[i][j] = h[i][j];
+                    next[i][j + m] = h[i][j];
+                    next[i + m][j] = h[i][j];
+                    next[i + m][j + m] = -h[i][j];
+                }
+            }
+            h = next;
+        }
+        (0..d)
+            .map(|i| (0..d).map(|j| h[i][j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn radix4_matches_dense_hadamard_for_power_of_four() {
+        for d in [4usize, 16, 64] {
+            let x: Vec<f64> = (0..d).map(|i| (i as f64 * 0.7).sin()).collect();
+            let mut a = x.clone();
+            fwht_in_place(&mut a);
+            let expect = dense_hadamard_apply(&x);
+            for (got, want) in a.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-10, "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix4_matches_dense_hadamard_for_odd_log2() {
+        for d in [2usize, 8, 32, 128] {
+            let x: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let mut a = x.clone();
+            fwht_in_place(&mut a);
+            let expect = dense_hadamard_apply(&x);
+            for (got, want) in a.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-10, "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix4_and_radix2_agree() {
+        for d in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+            let x: Vec<f64> = (0..d).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+            let mut a = x.clone();
+            let mut b = x.clone();
+            fwht_in_place(&mut a);
+            fwht_radix2_in_place(&mut b);
+            assert_eq!(a, b, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fwht_is_an_involution_up_to_scaling() {
+        let d = 256;
+        let x: Vec<f64> = (0..d).map(|i| (i as f64).cos()).collect();
+        let mut a = x.clone();
+        fwht_in_place(&mut a);
+        fwht_in_place(&mut a);
+        for (got, want) in a.iter().zip(&x) {
+            assert!((got - d as f64 * want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fwht_preserves_energy_with_hadamard_scaling() {
+        // ||H x||² = d ||x||² because HᵀH = d I.
+        let d = 512;
+        let x: Vec<f64> = (0..d).map(|i| ((i % 13) as f64) / 13.0 - 0.5).collect();
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let mut a = x;
+        fwht_in_place(&mut a);
+        let ea: f64 = a.iter().map(|v| v * v).sum();
+        assert!((ea - d as f64 * ex).abs() / (d as f64 * ex) < 1e-12);
+    }
+
+    #[test]
+    fn trivial_lengths_are_noops() {
+        let mut a: Vec<f64> = vec![];
+        fwht_in_place(&mut a);
+        let mut b = vec![3.0];
+        fwht_in_place(&mut b);
+        assert_eq!(b, vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_is_rejected() {
+        let mut a = vec![1.0; 12];
+        fwht_in_place(&mut a);
+    }
+
+    #[test]
+    fn global_passes_decrease_with_larger_tiles() {
+        let d = 1 << 20;
+        let small = global_passes(d, 256);
+        let large = global_passes(d, 1 << 16);
+        let whole = global_passes(d, d);
+        assert!(small > large);
+        assert_eq!(whole, 1);
+        assert_eq!(global_passes(1, 16), 0);
+    }
+
+    #[test]
+    fn matrix_fwht_transforms_each_column_independently() {
+        let device = Device::unlimited();
+        let d = 64;
+        let n = 3;
+        let mut m = Matrix::random_gaussian(d, n, Layout::ColMajor, 5, 0);
+        let cols: Vec<Vec<f64>> = (0..n).map(|j| m.col_to_vec(j)).collect();
+        fwht_matrix_columns(&device, &mut m, DEFAULT_TILE);
+        for (j, col) in cols.iter().enumerate() {
+            let mut expect = col.clone();
+            fwht_in_place(&mut expect);
+            for i in 0..d {
+                assert!((m.get(i, j) - expect[i]).abs() < 1e-10);
+            }
+        }
+        // Cost was recorded.
+        assert!(device.tracker().snapshot().total_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-major")]
+    fn matrix_fwht_requires_col_major() {
+        let device = Device::unlimited();
+        let mut m = Matrix::zeros_with_layout(8, 2, Layout::RowMajor);
+        fwht_matrix_columns(&device, &mut m, DEFAULT_TILE);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_fwht_matches_radix2(pow in 1u32..11, seed in 0u64..1000) {
+            let d = 1usize << pow;
+            let x = sketch_rng::fill::gaussian_vec(seed, 0, d);
+            let mut a = x.clone();
+            let mut b = x;
+            fwht_in_place(&mut a);
+            fwht_radix2_in_place(&mut b);
+            for (ai, bi) in a.iter().zip(&b) {
+                prop_assert!((ai - bi).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_parseval_identity(pow in 1u32..11, seed in 0u64..1000) {
+            let d = 1usize << pow;
+            let x = sketch_rng::fill::gaussian_vec(seed, 1, d);
+            let ex: f64 = x.iter().map(|v| v * v).sum();
+            let mut a = x;
+            fwht_in_place(&mut a);
+            let ea: f64 = a.iter().map(|v| v * v).sum();
+            prop_assert!((ea - d as f64 * ex).abs() <= 1e-9 * (1.0 + d as f64 * ex));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The dense Gaussian sketch, applied with GEMM.
+//!
+//! `S ∈ R^{k x d}` with `s_ij ~ N(0, 1/k)`.  The paper applies it with cuBLAS GEMM and
+//! charges the generation of the `k·d` Gaussians to the sketch ("the Gaussian sketch is
+//! noticeably slower than computing the Gram matrix, because one performs a GeMM using a
+//! matrix that is twice as large and one has to generate 2n·d i.i.d. Gaussian random
+//! variables").  At the largest problem sizes the `k x d` matrix simply does not fit on
+//! the 80 GB card — the blank bars of Figures 2 and 5 — which this implementation
+//! reproduces through the device memory tracker.
+
+use crate::error::SketchError;
+use crate::traits::SketchOperator;
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::{blas2, blas3, Layout, Matrix, Op};
+use sketch_rng::fill;
+
+/// Approximate flop cost of producing one Gaussian variate with Box–Muller.
+const FLOPS_PER_GAUSSIAN: u64 = 12;
+
+/// A dense Gaussian sketch `S ∈ R^{k x d}` with entries `N(0, 1/k)`.
+#[derive(Debug, Clone)]
+pub struct GaussianSketch {
+    matrix: Matrix,
+    generation_cost: KernelCost,
+}
+
+impl GaussianSketch {
+    /// Generate the sketch, reserving (and then releasing) the modelled device memory it
+    /// would occupy.  Fails with [`SketchError::WouldExceedMemory`] exactly where the
+    /// paper reports GPU out-of-memory failures.
+    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidParameter {
+                detail: "Gaussian sketch output dimension must be positive".into(),
+            });
+        }
+        let bytes = KernelCost::f64_bytes((k * d) as u64);
+        if !device.memory().would_fit(bytes) {
+            // Report the same error try_reserve would produce, without reserving.
+            return Err(device.try_reserve(bytes).expect_err("would_fit said no").into());
+        }
+        let scale = 1.0 / (k as f64).sqrt();
+        let data = fill::scaled_gaussian_vec(seed, 0, k * d, scale);
+        let matrix = Matrix::from_vec(k, d, Layout::RowMajor, data);
+        let generation_cost = KernelCost::new(
+            0,
+            bytes,
+            (k * d) as u64 * FLOPS_PER_GAUSSIAN,
+            1,
+        );
+        device.record(generation_cost);
+        Ok(Self {
+            matrix,
+            generation_cost,
+        })
+    }
+
+    /// The explicit sketch matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Bytes the stored sketch occupies on the device.
+    pub fn size_bytes(&self) -> u64 {
+        self.matrix.size_bytes()
+    }
+}
+
+impl SketchOperator for GaussianSketch {
+    fn input_dim(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn name(&self) -> &'static str {
+        "Gaussian"
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        // The sketch itself plus the result must fit on the device alongside A.
+        let _res_s = device.try_reserve(self.size_bytes())?;
+        let _res_y = device.try_reserve(KernelCost::f64_bytes(
+            (self.output_dim() * a.ncols()) as u64,
+        ))?;
+        Ok(blas3::gemm(device, 1.0, &self.matrix, a, 0.0, None)?)
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.check_input_dim(x.len())?;
+        let _res_s = device.try_reserve(self.size_bytes())?;
+        Ok(blas2::gemv(device, 1.0, Op::NoTrans, &self.matrix, x, 0.0, None)?)
+    }
+
+    fn generation_cost(&self) -> KernelCost {
+        self.generation_cost
+    }
+
+    fn algorithmic_cost(&self, ncols: usize) -> KernelCost {
+        let d = self.input_dim() as u64;
+        let k = self.output_dim() as u64;
+        let n = ncols as u64;
+        // Table 1: dn² arithmetic (with k = O(n) this is 2·d·k·n flops) and dn
+        // read/writes of the operand.
+        KernelCost::new(
+            KernelCost::f64_bytes(d * n),
+            KernelCost::f64_bytes(k * n),
+            2 * d * k * n,
+            1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_gpu_sim::DeviceSpec;
+    use sketch_la::norms::vec_norm2;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn entries_have_variance_one_over_k() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 400, 100, 3).unwrap();
+        let data = g.matrix().as_slice();
+        let var: f64 = data.iter().map(|x| x * x).sum::<f64>() / data.len() as f64;
+        assert!((var - 0.01).abs() < 2e-3, "variance {var}");
+    }
+
+    #[test]
+    fn apply_matrix_matches_manual_gemv_per_column() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 50, 10, 1).unwrap();
+        let a = Matrix::random_gaussian(50, 3, Layout::ColMajor, 2, 0);
+        let y = g.apply_matrix(&d, &a).unwrap();
+        for c in 0..3 {
+            let col = a.col_to_vec(c);
+            let yc = g.apply_vector(&d, &col).unwrap();
+            for i in 0..10 {
+                assert!((y.get(i, c) - yc[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preservation_is_reasonable_for_k_2n() {
+        // For a 1-dimensional subspace (a single vector) and k = 128 the distortion
+        // should be small with overwhelming probability.
+        let d = device();
+        let dim = 2048;
+        let g = GaussianSketch::generate(&d, dim, 128, 5).unwrap();
+        let x = fill::gaussian_vec(9, 0, dim);
+        let y = g.apply_vector(&d, &x).unwrap();
+        let ratio = vec_norm2(&y) / vec_norm2(&x);
+        assert!((ratio - 1.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn oom_reproduces_the_blank_bars() {
+        // 1 GiB device cannot hold a 2n x d Gaussian for d = 2^24, n = 64.
+        let mut spec = DeviceSpec::h100();
+        spec.memory_bytes = 1 << 30;
+        let d = Device::new(spec);
+        let err = GaussianSketch::generate(&d, 1 << 24, 128, 1).unwrap_err();
+        assert!(matches!(err, SketchError::WouldExceedMemory(_)));
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let d = device();
+        let a = GaussianSketch::generate(&d, 64, 16, 42).unwrap();
+        let b = GaussianSketch::generate(&d, 64, 16, 42).unwrap();
+        assert_eq!(a.matrix(), b.matrix());
+    }
+
+    #[test]
+    fn invalid_k_and_dimension_mismatch_are_rejected() {
+        let d = device();
+        assert!(matches!(
+            GaussianSketch::generate(&d, 10, 0, 1),
+            Err(SketchError::InvalidParameter { .. })
+        ));
+        let g = GaussianSketch::generate(&d, 10, 4, 1).unwrap();
+        assert!(g.apply_vector(&d, &[0.0; 9]).is_err());
+        let a = Matrix::zeros(11, 2);
+        assert!(g.apply_matrix(&d, &a).is_err());
+    }
+
+    #[test]
+    fn generation_cost_scales_with_k_times_d() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 100, 20, 1).unwrap();
+        assert_eq!(g.generation_cost().bytes_written, 8 * 2000);
+        assert_eq!(g.name(), "Gaussian");
+        assert_eq!(g.input_dim(), 100);
+        assert_eq!(g.output_dim(), 20);
+        let c = g.algorithmic_cost(5);
+        assert_eq!(c.flops, 2 * 100 * 20 * 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # sketch-core
+//!
+//! The paper's primary contribution: a high performance CountSketch kernel and the
+//! sketch operators it is compared against and combined with.
+//!
+//! * [`CountSketch`] — the dedicated atomic-reduction kernel of **Algorithm 2** (row
+//!   `j` of `A` is added to or subtracted from row `r_j` of `Y`), plus the SpMM baseline
+//!   the paper measures against and a gather-based ablation variant,
+//! * [`HashCountSketch`] — the "build the CountSketch on the fly with a hash" streaming
+//!   variant the paper lists as future work (Section 8),
+//! * [`GaussianSketch`] — the dense `k x d` Gaussian sketch applied with GEMM,
+//! * [`Srht`] — the subsampled randomized Hadamard transform of **Section 5**, built on
+//!   the radix-4 fast Walsh–Hadamard transform of **Algorithm 3** with a shared-memory
+//!   tile model,
+//! * [`MultiSketch`] — the Count-Gauss multisketch (CountSketch down to `k₁ = 2n²`,
+//!   Gaussian down to `k₂ = 2n`), including the transpose trick of Section 6.1,
+//! * [`embedding`] — empirical subspace-embedding distortion checks (Definitions
+//!   1.1–1.2),
+//! * [`complexity`] — the symbolic Table 1 (embedding dimensions, arithmetic,
+//!   read/writes, distortion) used by the `table1` bench binary.
+//!
+//! All operators implement [`SketchOperator`] so the least squares solvers in
+//! `sketch-lsq` and the distributed driver in `sketch-dist` are generic over the sketch.
+//!
+//! ```
+//! use sketch_core::{CountSketch, SketchOperator};
+//! use sketch_gpu_sim::Device;
+//! use sketch_la::{Layout, Matrix};
+//!
+//! let device = Device::h100();
+//! let d = 1024;
+//! let n = 8;
+//! let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
+//! let sketch = CountSketch::generate(&device, d, 2 * n * n, 7);
+//! let y = sketch.apply_matrix(&device, &a).unwrap();
+//! assert_eq!(y.nrows(), 2 * n * n);
+//! assert_eq!(y.ncols(), n);
+//! ```
+
+pub mod complexity;
+pub mod countsketch;
+pub mod embedding;
+pub mod error;
+pub mod fwht;
+pub mod gaussian;
+pub mod multisketch;
+pub mod srht;
+pub mod streaming;
+pub mod traits;
+
+pub use countsketch::{CountSketch, HashCountSketch};
+pub use error::SketchError;
+pub use gaussian::GaussianSketch;
+pub use multisketch::MultiSketch;
+pub use srht::Srht;
+pub use streaming::FrequencyCountSketch;
+pub use traits::SketchOperator;

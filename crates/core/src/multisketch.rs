@@ -1,0 +1,281 @@
+//! The Count-Gauss multisketch (Section 1, Section 6).
+//!
+//! A CountSketch `S₁ ∈ R^{k₁ x d}` (cheap, but needs `k₁ = O(n²/ε²δ)`) followed by a
+//! Gaussian `S₂ ∈ R^{k₂ x k₁}` (expensive per row, but only `k₂ = O(n/ε²)` rows are
+//! needed once the CountSketch has already shrunk the problem).  The combination reduces
+//! `A ∈ R^{d x n}` all the way to `2n x n` in `O(dn + n⁴)` work — the "MultiSketch" row
+//! of Table 1 — while only ever making a single pass over `A`.
+//!
+//! Section 6.1 describes a layout trick this module reproduces: the CountSketch output
+//! `Y` is produced row-major; instead of converting it to column-major before the GEMM,
+//! the row-major buffer is reinterpreted as `Yᵀ` in column-major, the product is formed
+//! as `Zᵀ = Yᵀ Gᵀ`, and only the small `k₂ x n` result is transposed back.
+
+use crate::countsketch::CountSketch;
+use crate::error::SketchError;
+use crate::gaussian::GaussianSketch;
+use crate::traits::SketchOperator;
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::{blas3, Matrix, Op};
+
+/// The Count-Gauss multisketch operator.
+#[derive(Debug, Clone)]
+pub struct MultiSketch {
+    count: CountSketch,
+    gauss: GaussianSketch,
+    /// Whether `apply_matrix` uses the transpose trick (default) or the naive
+    /// convert-then-multiply path (kept for the ablation bench).
+    use_transpose_trick: bool,
+}
+
+impl MultiSketch {
+    /// Build a multisketch from its two stages.
+    ///
+    /// The Gaussian's input dimension must equal the CountSketch's output dimension.
+    pub fn new(count: CountSketch, gauss: GaussianSketch) -> Result<Self, SketchError> {
+        if gauss.input_dim() != count.output_dim() {
+            return Err(SketchError::InvalidParameter {
+                detail: format!(
+                    "Gaussian stage expects input dimension {}, CountSketch produces {}",
+                    gauss.input_dim(),
+                    count.output_dim()
+                ),
+            });
+        }
+        Ok(Self {
+            count,
+            gauss,
+            use_transpose_trick: true,
+        })
+    }
+
+    /// Generate the paper's default configuration for a `d x n` operand:
+    /// CountSketch to `k₁ = 2n²`, Gaussian to `k₂ = 2n`.
+    pub fn generate_default(
+        device: &Device,
+        d: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        let k1 = 2 * n * n;
+        let k2 = 2 * n;
+        Self::generate(device, d, k1, k2, seed)
+    }
+
+    /// Generate a multisketch with explicit intermediate (`k1`) and final (`k2`)
+    /// dimensions.
+    pub fn generate(
+        device: &Device,
+        d: usize,
+        k1: usize,
+        k2: usize,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        let count = CountSketch::generate(device, d, k1, seed);
+        let gauss = GaussianSketch::generate(device, k1, k2, seed ^ 0xA5A5_5A5A_DEAD_BEEF)?;
+        Self::new(count, gauss)
+    }
+
+    /// Disable the transpose trick (ablation: convert `Y` to column-major, then GEMM).
+    pub fn with_naive_layout_handling(mut self) -> Self {
+        self.use_transpose_trick = false;
+        self
+    }
+
+    /// The CountSketch stage.
+    pub fn count_stage(&self) -> &CountSketch {
+        &self.count
+    }
+
+    /// The Gaussian stage.
+    pub fn gauss_stage(&self) -> &GaussianSketch {
+        &self.gauss
+    }
+
+    /// Intermediate dimension `k₁`.
+    pub fn intermediate_dim(&self) -> usize {
+        self.count.output_dim()
+    }
+}
+
+impl SketchOperator for MultiSketch {
+    fn input_dim(&self) -> usize {
+        self.count.input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.gauss.output_dim()
+    }
+
+    fn name(&self) -> &'static str {
+        "MultiSketch (Count-Gauss)"
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        // Stage 1: CountSketch, produced row-major (Algorithm 2).
+        let y = self.count.apply_matrix(device, a)?;
+
+        if self.use_transpose_trick {
+            // Stage 2 with the Section 6.1 trick: reinterpret the row-major Y as the
+            // column-major Yᵀ, compute Zᵀ = Yᵀ Gᵀ, and transpose the small result.
+            let yt = y.reinterpret_transposed(); // k1 x n row-major  ->  n x k1 col-major
+            let zt = blas3::gemm_op(
+                device,
+                1.0,
+                Op::NoTrans,
+                &yt,
+                Op::Trans,
+                self.gauss.matrix(),
+                0.0,
+                None,
+            )?;
+            Ok(zt.transpose(device))
+        } else {
+            // Naive path: convert the large k1 x n matrix to column-major first.
+            let y_cm = y.to_layout(device, sketch_la::Layout::ColMajor);
+            Ok(self.gauss.apply_matrix(device, &y_cm)?)
+        }
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.check_input_dim(x.len())?;
+        let y = self.count.apply_vector(device, x)?;
+        self.gauss.apply_vector(device, &y)
+    }
+
+    fn generation_cost(&self) -> KernelCost {
+        self.count.generation_cost() + self.gauss.generation_cost()
+    }
+
+    fn algorithmic_cost(&self, ncols: usize) -> KernelCost {
+        // Table 1: dn + n⁴ arithmetic and dn + n⁴ read/writes (the n⁴ term is the
+        // Gaussian stage applied to the k₁ x n intermediate).
+        let count_cost = self.count.algorithmic_cost(ncols);
+        let k1 = self.intermediate_dim() as u64;
+        let k2 = self.output_dim() as u64;
+        let n = ncols as u64;
+        let gauss_stage = KernelCost::new(
+            KernelCost::f64_bytes(k1 * n),
+            KernelCost::f64_bytes(k2 * n),
+            2 * k1 * k2 * n,
+            1,
+        );
+        count_cost + gauss_stage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::norms::vec_norm2;
+    use sketch_la::Layout;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn default_generation_uses_paper_dimensions() {
+        let d = device();
+        let ms = MultiSketch::generate_default(&d, 1000, 8, 3).unwrap();
+        assert_eq!(ms.input_dim(), 1000);
+        assert_eq!(ms.intermediate_dim(), 2 * 8 * 8);
+        assert_eq!(ms.output_dim(), 16);
+        assert_eq!(ms.name(), "MultiSketch (Count-Gauss)");
+    }
+
+    #[test]
+    fn transpose_trick_matches_naive_path() {
+        let d = device();
+        let a = Matrix::random_gaussian(500, 6, Layout::RowMajor, 1, 0);
+        let ms = MultiSketch::generate_default(&d, 500, 6, 5).unwrap();
+        let z_trick = ms.apply_matrix(&d, &a).unwrap();
+        let z_naive = ms.clone().with_naive_layout_handling().apply_matrix(&d, &a).unwrap();
+        assert!(z_trick.max_abs_diff(&z_naive).unwrap() < 1e-9);
+        assert_eq!(z_trick.nrows(), 12);
+        assert_eq!(z_trick.ncols(), 6);
+    }
+
+    #[test]
+    fn matrix_and_vector_applications_agree() {
+        let d = device();
+        let dim = 300;
+        let ms = MultiSketch::generate(&d, dim, 64, 8, 7).unwrap();
+        let x = sketch_rng::fill::gaussian_vec(2, 0, dim);
+        let a = Matrix::from_fn(dim, 1, Layout::RowMajor, |i, _| x[i]);
+        let zv = ms.apply_vector(&d, &x).unwrap();
+        let zm = ms.apply_matrix(&d, &a).unwrap();
+        for i in 0..8 {
+            assert!((zv[i] - zm.get(i, 0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn composition_equals_sequential_stages() {
+        let d = device();
+        let dim = 400;
+        let ms = MultiSketch::generate(&d, dim, 50, 10, 9).unwrap();
+        let a = Matrix::random_gaussian(dim, 3, Layout::RowMajor, 4, 0);
+        let z = ms.apply_matrix(&d, &a).unwrap();
+
+        let y = ms.count_stage().apply_matrix(&d, &a).unwrap();
+        let y_cm = y.to_layout(&d, Layout::ColMajor);
+        let z_seq = ms.gauss_stage().apply_matrix(&d, &y_cm).unwrap();
+        assert!(z.max_abs_diff(&z_seq).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn multisketch_roughly_preserves_norms() {
+        let d = device();
+        let dim = 4096;
+        let n = 8;
+        let ms = MultiSketch::generate_default(&d, dim, n, 11).unwrap();
+        let x = sketch_rng::fill::gaussian_vec(21, 0, dim);
+        let z = ms.apply_vector(&d, &x).unwrap();
+        let ratio = vec_norm2(&z) / vec_norm2(&x);
+        assert!((ratio - 1.0).abs() < 0.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mismatched_stage_dimensions_are_rejected() {
+        let d = device();
+        let count = CountSketch::generate(&d, 100, 32, 1);
+        let gauss = GaussianSketch::generate(&d, 64, 8, 1).unwrap();
+        assert!(matches!(
+            MultiSketch::new(count, gauss),
+            Err(SketchError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn input_dimension_mismatch_is_rejected() {
+        let d = device();
+        let ms = MultiSketch::generate_default(&d, 100, 4, 1).unwrap();
+        let a = Matrix::zeros_with_layout(90, 4, Layout::RowMajor);
+        assert!(ms.apply_matrix(&d, &a).is_err());
+        assert!(ms.apply_vector(&d, &[0.0; 99]).is_err());
+    }
+
+    #[test]
+    fn generation_cost_is_much_smaller_than_full_gaussian() {
+        // Generating the multisketch needs 4n³ Gaussians versus 2n·d for a full
+        // Gaussian sketch — with d = 2^15 and n = 8 that is a ~64x difference.
+        let d = device();
+        let dim = 1 << 15;
+        let n = 8;
+        let ms = MultiSketch::generate_default(&d, dim, n, 1).unwrap();
+        let full = GaussianSketch::generate(&d, dim, 2 * n, 2).unwrap();
+        assert!(ms.generation_cost().bytes_written * 4 < full.generation_cost().bytes_written);
+    }
+
+    #[test]
+    fn algorithmic_cost_contains_both_stages() {
+        let d = device();
+        let ms = MultiSketch::generate_default(&d, 1000, 4, 1).unwrap();
+        let c = ms.algorithmic_cost(4);
+        let count_only = ms.count_stage().algorithmic_cost(4);
+        assert!(c.flops > count_only.flops);
+        assert!(c.total_bytes() > count_only.total_bytes());
+    }
+}

@@ -1,0 +1,327 @@
+//! The Subsampled Randomized Hadamard Transform (Section 5).
+//!
+//! `S = (1/√k) P H_d D` where `D` flips signs, `H_d` is the (unnormalised) Hadamard
+//! transform applied with the radix-4 FWHT of [`crate::fwht`], and `P` samples `k` rows
+//! uniformly at random.  Following the paper, every step works in column-major order:
+//! the FWHT dominates the cost and coalesces best on columns, and converting the operand
+//! to row-major for the cheap sampling/scaling steps costs more than it saves.
+//!
+//! Inputs whose row count is not a power of two are zero-padded up to the next power of
+//! two, which leaves all inner products unchanged.
+
+use crate::error::SketchError;
+use crate::fwht::{fwht_matrix_columns, global_passes, DEFAULT_TILE};
+use crate::traits::SketchOperator;
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::{Layout, Matrix};
+use sketch_rng::fill;
+
+/// The SRHT operator.
+#[derive(Debug, Clone)]
+pub struct Srht {
+    /// Logical input dimension (rows of the operand).
+    d: usize,
+    /// Padded transform length (next power of two ≥ `d`).
+    d_pad: usize,
+    /// Output dimension.
+    k: usize,
+    /// Rademacher signs of `D` (length `d`).
+    signs: Vec<f64>,
+    /// Sampled row indices of `P` (length `k`, drawn from `0..d_pad`).
+    sample: Vec<usize>,
+    /// Modelled shared-memory tile used by the FWHT traffic model.
+    tile: usize,
+    generation_cost: KernelCost,
+}
+
+impl Srht {
+    /// Generate an SRHT with the default shared-memory tile.
+    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::generate_with_tile(device, d, k, seed, DEFAULT_TILE)
+    }
+
+    /// Generate an SRHT with an explicit tile size (exposed for the FWHT ablation).
+    pub fn generate_with_tile(
+        device: &Device,
+        d: usize,
+        k: usize,
+        seed: u64,
+        tile: usize,
+    ) -> Result<Self, SketchError> {
+        if k == 0 {
+            return Err(SketchError::InvalidParameter {
+                detail: "SRHT output dimension must be positive".into(),
+            });
+        }
+        if d == 0 {
+            return Err(SketchError::InvalidParameter {
+                detail: "SRHT input dimension must be positive".into(),
+            });
+        }
+        let d_pad = d.next_power_of_two();
+        let signs = fill::rademacher_vec(seed, 0, d);
+        let sample = fill::uniform_index_vec(seed, 1, k, d_pad);
+        // Generation: d signs + k sampled indices.
+        let generation_cost = KernelCost::new(0, d as u64 + 4 * k as u64, (d + k) as u64, 1);
+        device.record(generation_cost);
+        Ok(Self {
+            d,
+            d_pad,
+            k,
+            signs,
+            sample,
+            tile,
+            generation_cost,
+        })
+    }
+
+    /// The padded transform length.
+    pub fn padded_dim(&self) -> usize {
+        self.d_pad
+    }
+
+    /// The modelled shared-memory tile (in doubles).
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Build the sign-flipped, zero-padded, column-major work matrix `D A`.
+    fn build_work_matrix(&self, device: &Device, a: &Matrix) -> Matrix {
+        let n = a.ncols();
+        let mut work = Matrix::zeros_with_layout(self.d_pad, n, Layout::ColMajor);
+        for j in 0..n {
+            let col = work.col_mut(j).expect("col-major");
+            for i in 0..self.d {
+                col[i] = self.signs[i] * a.get(i, j);
+            }
+        }
+        // Sign flip + copy: read A and the signs once, write the padded work matrix.
+        let dn = (self.d * n) as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(dn) + KernelCost::f64_bytes(self.d as u64),
+            KernelCost::f64_bytes((self.d_pad * n) as u64),
+            dn,
+            1,
+        ));
+        work
+    }
+
+    /// Sample and scale the transformed work matrix: `Y = (1/√k) P (H D A)`.
+    fn sample_rows(&self, device: &Device, work: &Matrix) -> Matrix {
+        let n = work.ncols();
+        let scale = 1.0 / (self.k as f64).sqrt();
+        let mut y = Matrix::zeros(self.k, n);
+        for j in 0..n {
+            let src = work.col(j).expect("col-major");
+            let dst = y.col_mut(j).expect("col-major");
+            for (i, &row) in self.sample.iter().enumerate() {
+                dst[i] = scale * src[row];
+            }
+        }
+        let kn = (self.k * n) as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(kn) + 4 * self.k as u64,
+            KernelCost::f64_bytes(kn),
+            kn,
+            1,
+        ));
+        y
+    }
+}
+
+impl SketchOperator for Srht {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "SRHT"
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+        self.check_input_dim(a.nrows())?;
+        let n = a.ncols();
+        let _work_res = device.try_reserve(KernelCost::f64_bytes((self.d_pad * n) as u64))?;
+        let _out_res = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
+        let mut work = self.build_work_matrix(device, a);
+        fwht_matrix_columns(device, &mut work, self.tile);
+        Ok(self.sample_rows(device, &work))
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.check_input_dim(x.len())?;
+        let a = Matrix::from_vec(x.len(), 1, Layout::ColMajor, x.to_vec());
+        let y = self.apply_matrix(device, &a)?;
+        Ok(y.col_to_vec(0))
+    }
+
+    fn generation_cost(&self) -> KernelCost {
+        self.generation_cost
+    }
+
+    fn algorithmic_cost(&self, ncols: usize) -> KernelCost {
+        let d = self.d_pad as u64;
+        let n = ncols as u64;
+        let bits = if self.d_pad > 1 {
+            self.d_pad.trailing_zeros() as u64
+        } else {
+            0
+        };
+        // Table 1: dn·log n arithmetic and dn·log n read/writes.  We charge the ideal
+        // tiled traffic (the global passes an optimal shared-memory FWHT must make) as
+        // the useful volume, which is what Figure 3 normalises against.
+        let passes = global_passes(self.d_pad, self.tile);
+        KernelCost::new(
+            KernelCost::f64_bytes(d * n) * passes,
+            KernelCost::f64_bytes(d * n) * passes,
+            2 * d * n * bits,
+            1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::norms::vec_norm2;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    /// Dense reference: build S explicitly by applying the operator to the identity.
+    fn dense_srht_apply(s: &Srht, x: &[f64]) -> Vec<f64> {
+        let d = x.len();
+        let d_pad = s.padded_dim();
+        // D x, padded.
+        let mut v = vec![0.0; d_pad];
+        for i in 0..d {
+            v[i] = s.signs[i] * x[i];
+        }
+        // H v via the O(d²) definition.
+        let mut h = vec![0.0; d_pad];
+        for (i, slot) in h.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &vj) in v.iter().enumerate() {
+                // Hadamard entry (-1)^{popcount(i & j)}.
+                let sign = if ((i & j) as u64).count_ones() % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                acc += sign * vj;
+            }
+            *slot = acc;
+        }
+        let scale = 1.0 / (s.output_dim() as f64).sqrt();
+        s.sample.iter().map(|&r| scale * h[r]).collect()
+    }
+
+    #[test]
+    fn srht_matches_dense_reference_on_vectors() {
+        let d = device();
+        let s = Srht::generate(&d, 64, 16, 3).unwrap();
+        let x = fill::gaussian_vec(5, 0, 64);
+        let got = s.apply_vector(&d, &x).unwrap();
+        let want = dense_srht_apply(&s, &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn srht_pads_non_power_of_two_inputs() {
+        let d = device();
+        let s = Srht::generate(&d, 100, 20, 4).unwrap();
+        assert_eq!(s.padded_dim(), 128);
+        let x = fill::gaussian_vec(6, 0, 100);
+        let got = s.apply_vector(&d, &x).unwrap();
+        let want = dense_srht_apply(&s, &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn srht_matrix_apply_is_columnwise_vector_apply() {
+        let d = device();
+        let s = Srht::generate(&d, 32, 8, 7).unwrap();
+        let a = Matrix::random_gaussian(32, 4, Layout::ColMajor, 8, 0);
+        let y = s.apply_matrix(&d, &a).unwrap();
+        for c in 0..4 {
+            let col = a.col_to_vec(c);
+            let yc = s.apply_vector(&d, &col).unwrap();
+            for i in 0..8 {
+                assert!((y.get(i, c) - yc[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn srht_roughly_preserves_norms() {
+        let d = device();
+        let dim = 4096;
+        let s = Srht::generate(&d, dim, 256, 11).unwrap();
+        let x = fill::gaussian_vec(13, 0, dim);
+        let y = s.apply_vector(&d, &x).unwrap();
+        let ratio = vec_norm2(&y) / vec_norm2(&x);
+        assert!((ratio - 1.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn srht_is_linear() {
+        let d = device();
+        let s = Srht::generate(&d, 64, 16, 2).unwrap();
+        let x = fill::gaussian_vec(1, 0, 64);
+        let y = fill::gaussian_vec(1, 1, 64);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let s_combo = s.apply_vector(&d, &combo).unwrap();
+        let sx = s.apply_vector(&d, &x).unwrap();
+        let sy = s.apply_vector(&d, &y).unwrap();
+        for i in 0..16 {
+            assert!((s_combo[i] - (2.0 * sx[i] - 3.0 * sy[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn srht_rejects_bad_parameters_and_dimensions() {
+        let d = device();
+        assert!(Srht::generate(&d, 0, 4, 1).is_err());
+        assert!(Srht::generate(&d, 16, 0, 1).is_err());
+        let s = Srht::generate(&d, 16, 4, 1).unwrap();
+        assert!(s.apply_vector(&d, &[0.0; 15]).is_err());
+    }
+
+    #[test]
+    fn larger_tiles_reduce_modelled_traffic() {
+        let dev_small = device();
+        let dev_large = device();
+        let a = Matrix::random_gaussian(1 << 12, 2, Layout::ColMajor, 3, 0);
+        let s_small = Srht::generate_with_tile(&dev_small, 1 << 12, 64, 1, 64).unwrap();
+        let s_large = Srht::generate_with_tile(&dev_large, 1 << 12, 64, 1, 1 << 12).unwrap();
+        dev_small.tracker().reset();
+        dev_large.tracker().reset();
+        let _ = s_small.apply_matrix(&dev_small, &a).unwrap();
+        let _ = s_large.apply_matrix(&dev_large, &a).unwrap();
+        assert!(
+            dev_small.tracker().snapshot().total_bytes()
+                > dev_large.tracker().snapshot().total_bytes()
+        );
+        assert_eq!(s_small.tile(), 64);
+    }
+
+    #[test]
+    fn generation_and_algorithmic_costs_are_populated() {
+        let d = device();
+        let s = Srht::generate(&d, 1 << 10, 64, 9).unwrap();
+        assert!(s.generation_cost().bytes_written > 0);
+        let c = s.algorithmic_cost(8);
+        assert!(c.flops > 0);
+        assert!(c.total_bytes() > 0);
+        assert_eq!(s.name(), "SRHT");
+    }
+}

@@ -1,0 +1,204 @@
+//! The original streaming CountSketch of Charikar, Chen and Farach-Colton.
+//!
+//! The paper's CountSketch is named after the frequent-items data structure of
+//! reference [7]; Section 8 points out that a hash-based, on-the-fly formulation would
+//! make the GPU kernel "more amenable to streaming applications".  This module provides
+//! that streaming application — approximate frequency estimation over a stream of item
+//! identifiers — both as a faithful nod to the original algorithm and as the workload
+//! behind the `streaming_frequent_items` example.
+
+use sketch_rng::{PhiloxRng, Rng};
+
+/// A CountSketch frequency estimator with `depth` independent hash rows of `width`
+/// counters each; estimates are medians over the rows.
+#[derive(Debug, Clone)]
+pub struct FrequencyCountSketch {
+    depth: usize,
+    width: usize,
+    /// Per-row hash seeds for the bucket hash.
+    bucket_seeds: Vec<u64>,
+    /// Per-row hash seeds for the sign hash.
+    sign_seeds: Vec<u64>,
+    /// `depth x width` counter table, row-major.
+    counters: Vec<f64>,
+}
+
+impl FrequencyCountSketch {
+    /// Create an estimator.
+    ///
+    /// # Panics
+    /// Panics if `depth` or `width` is zero.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(width > 0, "width must be positive");
+        let mut rng = PhiloxRng::seed_from(seed);
+        let bucket_seeds = (0..depth).map(|_| rng.gen::<u64>()).collect();
+        let sign_seeds = (0..depth).map(|_| rng.gen::<u64>()).collect();
+        Self {
+            depth,
+            width,
+            bucket_seeds,
+            sign_seeds,
+            counters: vec![0.0; depth * width],
+        }
+    }
+
+    /// Number of hash rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    #[inline]
+    fn mix(seed: u64, item: u64) -> u64 {
+        let mut x = item ^ seed.rotate_left(31);
+        x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^ (x >> 33)
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        (Self::mix(self.bucket_seeds[row], item) % self.width as u64) as usize
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, item: u64) -> f64 {
+        if Self::mix(self.sign_seeds[row], item) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Process one occurrence of `item` with weight `count`.
+    pub fn update(&mut self, item: u64, count: f64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, item);
+            let s = self.sign(row, item);
+            self.counters[row * self.width + b] += s * count;
+        }
+    }
+
+    /// Estimate the total weight of `item` seen so far (median over the rows).
+    pub fn estimate(&self, item: u64) -> f64 {
+        let mut votes: Vec<f64> = (0..self.depth)
+            .map(|row| self.sign(row, item) * self.counters[row * self.width + self.bucket(row, item)])
+            .collect();
+        votes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN counters"));
+        let mid = self.depth / 2;
+        if self.depth % 2 == 1 {
+            votes[mid]
+        } else {
+            0.5 * (votes[mid - 1] + votes[mid])
+        }
+    }
+
+    /// Merge another sketch built with the same parameters and seeds (e.g. from another
+    /// shard of the stream).
+    ///
+    /// # Panics
+    /// Panics if the two sketches are not mergeable (different shape or seeds).
+    pub fn merge(&mut self, other: &FrequencyCountSketch) {
+        assert_eq!(self.depth, other.depth, "depth mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.bucket_seeds, other.bucket_seeds, "seed mismatch");
+        assert_eq!(self.sign_seeds, other.sign_seeds, "seed mismatch");
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hitters_are_estimated_accurately() {
+        let mut sketch = FrequencyCountSketch::new(5, 256, 42);
+        // One heavy item among uniform noise.
+        for i in 0..5000u64 {
+            sketch.update(i % 500, 1.0);
+        }
+        for _ in 0..2000 {
+            sketch.update(7, 1.0);
+        }
+        let est = sketch.estimate(7);
+        let true_count = 2000.0 + 10.0; // item 7 also appears in the background stream
+        assert!(
+            (est - true_count).abs() < 0.15 * true_count,
+            "estimate {est} vs {true_count}"
+        );
+    }
+
+    #[test]
+    fn unseen_items_estimate_near_zero() {
+        let mut sketch = FrequencyCountSketch::new(5, 512, 1);
+        for i in 0..1000u64 {
+            sketch.update(i, 1.0);
+        }
+        let est = sketch.estimate(999_999);
+        assert!(est.abs() < 50.0, "estimate {est}");
+    }
+
+    #[test]
+    fn weighted_updates_accumulate() {
+        let mut sketch = FrequencyCountSketch::new(3, 64, 9);
+        sketch.update(5, 2.5);
+        sketch.update(5, 1.5);
+        assert!((sketch.estimate(5) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_processing_the_union() {
+        let mut left = FrequencyCountSketch::new(5, 128, 7);
+        let mut right = FrequencyCountSketch::new(5, 128, 7);
+        let mut combined = FrequencyCountSketch::new(5, 128, 7);
+        for i in 0..500u64 {
+            left.update(i % 37, 1.0);
+            combined.update(i % 37, 1.0);
+        }
+        for i in 0..500u64 {
+            right.update(i % 11, 1.0);
+            combined.update(i % 11, 1.0);
+        }
+        left.merge(&right);
+        for item in 0..40u64 {
+            assert!((left.estimate(item) - combined.estimate(item)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn even_depth_uses_average_of_middle_votes() {
+        let mut sketch = FrequencyCountSketch::new(4, 64, 3);
+        sketch.update(1, 10.0);
+        let est = sketch.estimate(1);
+        assert!((est - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn merge_rejects_incompatible_shapes() {
+        let mut a = FrequencyCountSketch::new(3, 64, 1);
+        let b = FrequencyCountSketch::new(4, 64, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_is_rejected() {
+        FrequencyCountSketch::new(3, 0, 1);
+    }
+
+    #[test]
+    fn accessors_report_shape() {
+        let s = FrequencyCountSketch::new(3, 64, 1);
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.width(), 64);
+    }
+}

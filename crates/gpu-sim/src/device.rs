@@ -1,0 +1,225 @@
+//! Device specifications and the [`Device`] handle shared by every kernel.
+
+use crate::counters::{CostTracker, KernelCost};
+use crate::memory::{MemoryError, MemoryTracker, Reservation};
+use crate::roofline::RooflineModel;
+use serde::{Deserialize, Serialize};
+
+/// Published peak characteristics of the accelerator being modelled.
+///
+/// The defaults follow NVIDIA's public datasheets; the efficiency factor captures the
+/// fact that real streaming kernels do not achieve the full theoretical bandwidth (the
+/// paper's own best kernels plateau at 50–70 % of peak, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human readable name used in reports.
+    pub name: &'static str,
+    /// Peak global memory bandwidth in bytes per second.
+    pub peak_bandwidth_bytes_per_s: f64,
+    /// Peak double precision throughput in FLOP/s (without tensor cores, as used by
+    /// cuBLAS DGEMM on FP64 data).
+    pub peak_flops_f64: f64,
+    /// Device memory capacity in bytes (used to reproduce the out-of-memory behaviour
+    /// of the Gaussian sketch at the largest problem sizes).
+    pub memory_bytes: u64,
+    /// Fixed overhead charged per kernel launch, in seconds.
+    pub kernel_launch_overhead_s: f64,
+    /// Fraction of peak bandwidth a well-written streaming kernel actually sustains.
+    pub streaming_efficiency: f64,
+    /// Fraction of peak FLOP/s a well-written GEMM actually sustains.
+    pub gemm_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA H100 SXM5 80 GB — the device used throughout the paper's evaluation.
+    pub const fn h100() -> Self {
+        Self {
+            name: "NVIDIA H100 SXM5 80GB (modelled)",
+            // 3.35 TB/s HBM3.
+            peak_bandwidth_bytes_per_s: 3.35e12,
+            // 34 TFLOP/s FP64 (non tensor-core).
+            peak_flops_f64: 34.0e12,
+            memory_bytes: 80 * (1 << 30),
+            kernel_launch_overhead_s: 5.0e-6,
+            streaming_efficiency: 0.85,
+            gemm_efficiency: 0.80,
+        }
+    }
+
+    /// NVIDIA A100 SXM4 80 GB — the device used by the rand_cholQR paper the authors
+    /// compare against; provided for cross-checking.
+    pub const fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100 SXM4 80GB (modelled)",
+            peak_bandwidth_bytes_per_s: 2.039e12,
+            peak_flops_f64: 9.7e12,
+            memory_bytes: 80 * (1 << 30),
+            kernel_launch_overhead_s: 5.0e-6,
+            streaming_efficiency: 0.85,
+            gemm_efficiency: 0.80,
+        }
+    }
+
+    /// A modest host CPU, useful when interpreting the measured wall-clock numbers that
+    /// accompany the modelled device times in the benchmark reports.
+    pub const fn host_cpu() -> Self {
+        Self {
+            name: "host CPU (modelled)",
+            peak_bandwidth_bytes_per_s: 5.0e10,
+            peak_flops_f64: 1.0e11,
+            memory_bytes: 16 * (1 << 30),
+            kernel_launch_overhead_s: 1.0e-7,
+            streaming_efficiency: 0.7,
+            gemm_efficiency: 0.7,
+        }
+    }
+
+    /// A spec with effectively unlimited memory, used by tests that should never hit
+    /// the modelled OOM path.
+    pub const fn unlimited() -> Self {
+        let mut spec = Self::h100();
+        spec.memory_bytes = u64::MAX;
+        spec
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::h100()
+    }
+}
+
+/// A handle to the simulated device: spec + cost counters + memory tracker.
+///
+/// The handle is `Send + Sync`; kernels take `&Device` and record their costs into it.
+#[derive(Debug, Default)]
+pub struct Device {
+    spec: DeviceSpec,
+    tracker: CostTracker,
+    memory: MemoryTracker,
+}
+
+impl Device {
+    /// Create a device from an explicit spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self {
+            memory: MemoryTracker::new(spec.memory_bytes),
+            tracker: CostTracker::new(),
+            spec,
+        }
+    }
+
+    /// The H100 used in the paper.
+    pub fn h100() -> Self {
+        Self::new(DeviceSpec::h100())
+    }
+
+    /// An A100 for cross-checks.
+    pub fn a100() -> Self {
+        Self::new(DeviceSpec::a100())
+    }
+
+    /// A device that never reports out-of-memory; convenient in unit tests.
+    pub fn unlimited() -> Self {
+        Self::new(DeviceSpec::unlimited())
+    }
+
+    /// The spec this device was built with.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The cost tracker accumulating every kernel executed on this device.
+    #[inline]
+    pub fn tracker(&self) -> &CostTracker {
+        &self.tracker
+    }
+
+    /// The memory tracker modelling device memory capacity.
+    #[inline]
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Record a kernel cost.
+    #[inline]
+    pub fn record(&self, cost: KernelCost) {
+        self.tracker.record(cost);
+    }
+
+    /// Reserve `bytes` of modelled device memory, failing like `cudaMalloc` would.
+    pub fn try_reserve(&self, bytes: u64) -> Result<Reservation<'_>, MemoryError> {
+        self.memory.try_reserve(bytes)
+    }
+
+    /// The roofline model for this device.
+    #[inline]
+    pub fn roofline(&self) -> RooflineModel {
+        RooflineModel::new(self.spec)
+    }
+
+    /// Modelled execution time of a kernel cost on this device, in seconds.
+    #[inline]
+    pub fn model_time(&self, cost: &KernelCost) -> f64 {
+        self.roofline().time(cost)
+    }
+
+    /// Percent of peak memory bandwidth achieved by `cost` if it ran in `seconds`.
+    #[inline]
+    pub fn percent_peak_bandwidth(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        self.roofline().percent_peak_bandwidth(cost, seconds)
+    }
+
+    /// Percent of peak FP64 throughput achieved by `cost` if it ran in `seconds`.
+    #[inline]
+    pub fn percent_peak_flops(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        self.roofline().percent_peak_flops(cost, seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_relationships() {
+        let h100 = DeviceSpec::h100();
+        let a100 = DeviceSpec::a100();
+        assert!(h100.peak_bandwidth_bytes_per_s > a100.peak_bandwidth_bytes_per_s);
+        assert!(h100.peak_flops_f64 > a100.peak_flops_f64);
+        assert_eq!(h100.memory_bytes, 80 * (1 << 30));
+    }
+
+    #[test]
+    fn device_records_costs() {
+        let d = Device::h100();
+        d.record(KernelCost::new(8, 8, 2, 1));
+        d.record(KernelCost::new(8, 0, 1, 1));
+        let snap = d.tracker().snapshot();
+        assert_eq!(snap.bytes_read, 16);
+        assert_eq!(snap.bytes_written, 8);
+        assert_eq!(snap.flops, 3);
+        assert_eq!(snap.launches, 2);
+    }
+
+    #[test]
+    fn device_memory_reservation_fails_beyond_capacity() {
+        let d = Device::h100();
+        assert!(d.try_reserve(1 << 30).is_ok());
+        assert!(d.try_reserve(100 * (1 << 30)).is_err());
+    }
+
+    #[test]
+    fn unlimited_device_never_ooms() {
+        let d = Device::unlimited();
+        assert!(d.try_reserve(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn model_time_positive_for_nonzero_cost() {
+        let d = Device::h100();
+        let t = d.model_time(&KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1));
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Phase-level profiling matching the paper's runtime breakdowns.
+//!
+//! Figure 5 stacks the least-squares solver runtimes into named phases: "Gram matrix",
+//! "AT*b", "Sketch gen", "Matrix sketch", "Vector sketch", "POTRF", "GEQRF", "ORMQR",
+//! "TRSV", "TRSM".  Figure 2 similarly splits sketch times into generation and apply.
+//! [`Profiler`] captures, for each phase, both the modelled device time (from the cost
+//! counters) and the measured wall-clock time, so the bench harness can print the exact
+//! same stacks.
+
+use crate::counters::KernelCost;
+use crate::device::Device;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The phases used across the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Phase {
+    /// Gram matrix `AᵀA` (normal equations / comparisons in Figure 2).
+    GramMatrix,
+    /// Right-hand side product `Aᵀb`.
+    ATransposeB,
+    /// Random generation of the sketch ingredients.
+    SketchGen,
+    /// Applying the sketch to the coefficient matrix.
+    MatrixSketch,
+    /// Applying the sketch to the right-hand side vector.
+    VectorSketch,
+    /// Cholesky factorisation.
+    Potrf,
+    /// Householder QR factorisation.
+    Geqrf,
+    /// Application of the Householder reflectors to the right-hand side.
+    Ormqr,
+    /// Triangular solve with a vector.
+    Trsv,
+    /// Triangular solve with a matrix.
+    Trsm,
+    /// Anything else (named free-form).
+    Other(&'static str),
+}
+
+impl Phase {
+    /// The label used in reports; matches the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::GramMatrix => "Gram matrix",
+            Phase::ATransposeB => "AT*b",
+            Phase::SketchGen => "Sketch gen",
+            Phase::MatrixSketch => "Matrix sketch",
+            Phase::VectorSketch => "Vector sketch",
+            Phase::Potrf => "POTRF",
+            Phase::Geqrf => "GEQRF",
+            Phase::Ormqr => "ORMQR",
+            Phase::Trsv => "TRSV",
+            Phase::Trsm => "TRSM",
+            Phase::Other(name) => name,
+        }
+    }
+}
+
+/// One recorded phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PhaseRecord {
+    /// Which phase this record belongs to.
+    pub phase: Phase,
+    /// Cost accumulated on the device during the phase.
+    #[serde(skip)]
+    pub cost: KernelCost,
+    /// Modelled device time in seconds.
+    pub model_seconds: f64,
+    /// Measured host wall-clock time in seconds.
+    pub wall_seconds: f64,
+}
+
+/// A completed run: an ordered list of phase records.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunBreakdown {
+    /// Phases in execution order.
+    pub phases: Vec<PhaseRecord>,
+}
+
+impl RunBreakdown {
+    /// Total modelled time across phases, in seconds.
+    pub fn total_model_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.model_seconds).sum()
+    }
+
+    /// Total modelled time in milliseconds.
+    pub fn total_model_ms(&self) -> f64 {
+        self.total_model_seconds() * 1e3
+    }
+
+    /// Total wall-clock time across phases, in seconds.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_seconds).sum()
+    }
+
+    /// Total device cost across phases.
+    pub fn total_cost(&self) -> KernelCost {
+        self.phases
+            .iter()
+            .fold(KernelCost::zero(), |acc, p| acc + p.cost)
+    }
+
+    /// Modelled time of a specific phase (summed over repeats), in seconds.
+    pub fn model_seconds_of(&self, phase: Phase) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.phase == phase)
+            .map(|p| p.model_seconds)
+            .sum()
+    }
+
+    /// Merge another breakdown after this one (e.g. sketch phases + solve phases).
+    pub fn extend(&mut self, other: RunBreakdown) {
+        self.phases.extend(other.phases);
+    }
+}
+
+/// Records phases executed on one device.
+#[derive(Debug)]
+pub struct Profiler<'a> {
+    device: &'a Device,
+    breakdown: RunBreakdown,
+}
+
+impl<'a> Profiler<'a> {
+    /// Start profiling on a device.
+    pub fn new(device: &'a Device) -> Self {
+        Self {
+            device,
+            breakdown: RunBreakdown::default(),
+        }
+    }
+
+    /// The device being profiled.
+    #[inline]
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// Run `f` as `phase`, recording its device cost delta and wall time.
+    pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let before = self.device.tracker().snapshot();
+        let start = Instant::now();
+        let out = f();
+        let wall = start.elapsed().as_secs_f64();
+        let cost = self.device.tracker().snapshot() - before;
+        let model = self.device.model_time(&cost);
+        self.breakdown.phases.push(PhaseRecord {
+            phase,
+            cost,
+            model_seconds: model,
+            wall_seconds: wall,
+        });
+        out
+    }
+
+    /// Finish and return the breakdown.
+    pub fn finish(self) -> RunBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_match_figure5_legend() {
+        assert_eq!(Phase::GramMatrix.label(), "Gram matrix");
+        assert_eq!(Phase::ATransposeB.label(), "AT*b");
+        assert_eq!(Phase::SketchGen.label(), "Sketch gen");
+        assert_eq!(Phase::MatrixSketch.label(), "Matrix sketch");
+        assert_eq!(Phase::VectorSketch.label(), "Vector sketch");
+        assert_eq!(Phase::Potrf.label(), "POTRF");
+        assert_eq!(Phase::Geqrf.label(), "GEQRF");
+        assert_eq!(Phase::Ormqr.label(), "ORMQR");
+        assert_eq!(Phase::Trsv.label(), "TRSV");
+        assert_eq!(Phase::Trsm.label(), "TRSM");
+        assert_eq!(Phase::Other("custom").label(), "custom");
+    }
+
+    #[test]
+    fn profiler_records_cost_deltas_per_phase() {
+        let device = Device::h100();
+        let mut prof = Profiler::new(&device);
+        prof.phase(Phase::MatrixSketch, || {
+            device.record(KernelCost::new(1000, 500, 100, 1));
+        });
+        prof.phase(Phase::Geqrf, || {
+            device.record(KernelCost::new(10, 10, 10_000, 1));
+        });
+        let breakdown = prof.finish();
+        assert_eq!(breakdown.phases.len(), 2);
+        assert_eq!(breakdown.phases[0].cost.bytes_read, 1000);
+        assert_eq!(breakdown.phases[1].cost.flops, 10_000);
+        assert!(breakdown.total_model_seconds() > 0.0);
+        assert!(breakdown.total_wall_seconds() >= 0.0);
+        assert_eq!(breakdown.total_cost().launches, 2);
+    }
+
+    #[test]
+    fn model_seconds_of_sums_repeated_phases() {
+        let device = Device::h100();
+        let mut prof = Profiler::new(&device);
+        for _ in 0..3 {
+            prof.phase(Phase::Trsv, || {
+                device.record(KernelCost::new(800, 800, 100, 1));
+            });
+        }
+        let b = prof.finish();
+        let single = b.phases[0].model_seconds;
+        assert!((b.model_seconds_of(Phase::Trsv) - 3.0 * single).abs() < 1e-12);
+        assert_eq!(b.model_seconds_of(Phase::Potrf), 0.0);
+    }
+
+    #[test]
+    fn extend_concatenates_breakdowns() {
+        let device = Device::h100();
+        let mut p1 = Profiler::new(&device);
+        p1.phase(Phase::SketchGen, || device.record(KernelCost::new(8, 8, 1, 1)));
+        let mut b1 = p1.finish();
+
+        let mut p2 = Profiler::new(&device);
+        p2.phase(Phase::MatrixSketch, || device.record(KernelCost::new(8, 8, 1, 1)));
+        let b2 = p2.finish();
+
+        b1.extend(b2);
+        assert_eq!(b1.phases.len(), 2);
+        assert_eq!(b1.phases[1].phase, Phase::MatrixSketch);
+    }
+
+    #[test]
+    fn profiler_passes_through_return_values() {
+        let device = Device::h100();
+        let mut prof = Profiler::new(&device);
+        let value = prof.phase(Phase::Other("compute"), || 42);
+        assert_eq!(value, 42);
+        assert!(std::ptr::eq(prof.device(), &device));
+    }
+}

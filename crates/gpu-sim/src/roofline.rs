@@ -1,0 +1,169 @@
+//! Roofline execution-time model.
+//!
+//! The paper's performance story is a roofline story: the CountSketch touches each
+//! element of `A` once (memory bound, Figure 3), the Gaussian sketch and Gram matrix are
+//! GEMMs (compute bound, Figure 4), and the SRHT moves `d·n·log d` words through the
+//! FWHT.  Given the exact byte/flop counts collected by [`crate::CostTracker`], the
+//! model predicts the time each kernel would take on the target device as
+//!
+//! ```text
+//! time = launches * launch_overhead
+//!      + max( bytes / (BW * streaming_efficiency),  flops / (peak * gemm_efficiency) )
+//! ```
+//!
+//! which is the classical roofline with a fixed launch latency.  The same counts yield
+//! the percent-of-peak plots of Figures 3 and 4.
+
+use crate::counters::KernelCost;
+use crate::device::DeviceSpec;
+
+/// Roofline model bound to one device spec.
+#[derive(Debug, Clone, Copy)]
+pub struct RooflineModel {
+    spec: DeviceSpec,
+}
+
+impl RooflineModel {
+    /// Build a model for the given spec.
+    #[inline]
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec this model uses.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Effective sustained bandwidth in bytes/s.
+    #[inline]
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.spec.peak_bandwidth_bytes_per_s * self.spec.streaming_efficiency
+    }
+
+    /// Effective sustained FP64 throughput in FLOP/s.
+    #[inline]
+    pub fn effective_flops(&self) -> f64 {
+        self.spec.peak_flops_f64 * self.spec.gemm_efficiency
+    }
+
+    /// Modelled execution time in seconds.
+    pub fn time(&self, cost: &KernelCost) -> f64 {
+        let mem_time = cost.total_bytes() as f64 / self.effective_bandwidth();
+        let flop_time = cost.flops as f64 / self.effective_flops();
+        let launch_time = cost.launches as f64 * self.spec.kernel_launch_overhead_s;
+        launch_time + mem_time.max(flop_time)
+    }
+
+    /// Modelled execution time in milliseconds (the unit of the paper's figures).
+    #[inline]
+    pub fn time_ms(&self, cost: &KernelCost) -> f64 {
+        self.time(cost) * 1e3
+    }
+
+    /// Whether the roofline classifies this cost as memory bound on this device.
+    pub fn is_memory_bound(&self, cost: &KernelCost) -> bool {
+        let mem_time = cost.total_bytes() as f64 / self.effective_bandwidth();
+        let flop_time = cost.flops as f64 / self.effective_flops();
+        mem_time >= flop_time
+    }
+
+    /// Achieved bandwidth in bytes/s given an execution time.
+    #[inline]
+    pub fn achieved_bandwidth(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        cost.total_bytes() as f64 / seconds
+    }
+
+    /// Achieved FLOP/s given an execution time.
+    #[inline]
+    pub fn achieved_flops(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        cost.flops as f64 / seconds
+    }
+
+    /// Percent of *peak* memory bandwidth achieved (the y-axis of Figure 3).
+    #[inline]
+    pub fn percent_peak_bandwidth(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        100.0 * self.achieved_bandwidth(cost, seconds) / self.spec.peak_bandwidth_bytes_per_s
+    }
+
+    /// Percent of *peak* FP64 throughput achieved (the y-axis of Figure 4).
+    #[inline]
+    pub fn percent_peak_flops(&self, cost: &KernelCost, seconds: f64) -> f64 {
+        100.0 * self.achieved_flops(cost, seconds) / self.spec.peak_flops_f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RooflineModel {
+        RooflineModel::new(DeviceSpec::h100())
+    }
+
+    #[test]
+    fn streaming_kernel_is_memory_bound() {
+        // One pass over 1 GiB with one flop per byte read: clearly memory bound.
+        let cost = KernelCost::new(1 << 30, 0, 1 << 27, 1);
+        assert!(model().is_memory_bound(&cost));
+        let t = model().time(&cost);
+        let expected = (1u64 << 30) as f64 / model().effective_bandwidth()
+            + DeviceSpec::h100().kernel_launch_overhead_s;
+        assert!((t - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn gemm_like_kernel_is_compute_bound() {
+        // 1e9 flops on only 1 MiB of traffic.
+        let cost = KernelCost::new(1 << 20, 1 << 20, 1_000_000_000, 1);
+        assert!(!model().is_memory_bound(&cost));
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let cost = KernelCost::new(0, 0, 0, 10);
+        let t = model().time(&cost);
+        assert!((t - 10.0 * DeviceSpec::h100().kernel_launch_overhead_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percent_peak_bandwidth_upper_bound() {
+        let cost = KernelCost::new(1 << 30, 1 << 30, 0, 1);
+        let t = model().time(&cost);
+        let pct = model().percent_peak_bandwidth(&cost, t);
+        // Cannot exceed the streaming efficiency ceiling by construction (launch
+        // overhead only pushes it lower).
+        assert!(pct <= 100.0 * DeviceSpec::h100().streaming_efficiency + 1e-9);
+        assert!(pct > 50.0);
+    }
+
+    #[test]
+    fn percent_peak_flops_of_pure_gemm() {
+        let cost = KernelCost::new(1 << 20, 1 << 20, 10_000_000_000, 1);
+        let t = model().time(&cost);
+        let pct = model().percent_peak_flops(&cost, t);
+        assert!(pct <= 100.0 * DeviceSpec::h100().gemm_efficiency + 1e-9);
+        assert!(pct > 50.0);
+    }
+
+    #[test]
+    fn zero_time_guards() {
+        let cost = KernelCost::new(100, 100, 100, 1);
+        assert_eq!(model().achieved_bandwidth(&cost, 0.0), 0.0);
+        assert_eq!(model().achieved_flops(&cost, -1.0), 0.0);
+    }
+
+    #[test]
+    fn time_ms_is_scaled_time() {
+        let cost = KernelCost::new(1 << 28, 1 << 28, 1 << 20, 2);
+        let m = model();
+        assert!((m.time_ms(&cost) - 1e3 * m.time(&cost)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,511 @@
+//! Level-3 BLAS: matrix-matrix kernels (GEMM, SYRK, TRSM) with device cost accounting.
+//!
+//! These are the cuBLAS substitutes.  GEMM packs both operands into dot-product-friendly
+//! orientations and parallelises over output columns; SYRK exploits symmetry exactly the
+//! way the paper uses it for the Gram matrix `AᵀA` (Section 6).  The paper notes that
+//! cuBLAS SyRK is slower than GeMM in practice and therefore times the Gram matrix with
+//! GeMM; both are provided so the ablation bench can reproduce that comparison.
+
+use crate::blas1::dot_unrecorded;
+use crate::blas2::Triangle;
+use crate::error::{dim_err, LaError};
+use crate::matrix::{Layout, Matrix, Op};
+use rayon::prelude::*;
+use sketch_gpu_sim::{Device, KernelCost};
+
+/// Pack `op(A)` so that its rows are contiguous (row-major copy of the logical operand).
+fn pack_rows(a: &Matrix, op: Op) -> Vec<f64> {
+    let m = op.rows(a);
+    let k = op.cols(a);
+    let mut out = vec![0.0; m * k];
+    match (op, a.layout()) {
+        (Op::NoTrans, Layout::RowMajor) | (Op::Trans, Layout::ColMajor) => {
+            out.copy_from_slice(a.as_slice());
+        }
+        _ => {
+            out.par_chunks_mut(k.max(1)).enumerate().for_each(|(i, row)| {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = op.get(a, i, j);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Pack `op(B)` so that its columns are contiguous (column-major copy of the operand).
+fn pack_cols(b: &Matrix, op: Op) -> Vec<f64> {
+    let k = op.rows(b);
+    let n = op.cols(b);
+    let mut out = vec![0.0; k * n];
+    match (op, b.layout()) {
+        (Op::NoTrans, Layout::ColMajor) | (Op::Trans, Layout::RowMajor) => {
+            out.copy_from_slice(b.as_slice());
+        }
+        _ => {
+            out.par_chunks_mut(k.max(1)).enumerate().for_each(|(j, col)| {
+                for (i, slot) in col.iter_mut().enumerate() {
+                    *slot = op.get(b, i, j);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// General matrix-matrix product `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// The result is returned as a new column-major matrix; `c` supplies the `beta`-scaled
+/// initial value when provided.
+pub fn gemm_op(
+    device: &Device,
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix,
+    op_b: Op,
+    b: &Matrix,
+    beta: f64,
+    c: Option<&Matrix>,
+) -> Result<Matrix, LaError> {
+    let m = op_a.rows(a);
+    let k = op_a.cols(a);
+    let kb = op_b.rows(b);
+    let n = op_b.cols(b);
+    if k != kb {
+        return Err(dim_err(
+            "gemm",
+            format!("op(A) is {m}x{k} but op(B) is {kb}x{n}"),
+        ));
+    }
+    if let Some(c0) = c {
+        if c0.nrows() != m || c0.ncols() != n {
+            return Err(dim_err(
+                "gemm",
+                format!("C is {}x{} but product is {m}x{n}", c0.nrows(), c0.ncols()),
+            ));
+        }
+    }
+
+    let packed_a = pack_rows(a, op_a);
+    let packed_b = pack_cols(b, op_b);
+
+    let mut out = Matrix::zeros(m, n);
+    {
+        let data = out.as_mut_slice();
+        data.par_chunks_mut(m.max(1)).enumerate().for_each(|(j, col)| {
+            let bcol = &packed_b[j * k..(j + 1) * k];
+            for (i, slot) in col.iter_mut().enumerate() {
+                let arow = &packed_a[i * k..(i + 1) * k];
+                let mut value = alpha * dot_unrecorded(arow, bcol);
+                if beta != 0.0 {
+                    if let Some(c0) = c {
+                        value += beta * c0.get(i, j);
+                    }
+                }
+                *slot = value;
+            }
+        });
+    }
+
+    let (m64, n64, k64) = (m as u64, n as u64, k as u64);
+    let read_c = if beta != 0.0 && c.is_some() { m64 * n64 } else { 0 };
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(m64 * k64 + k64 * n64 + read_c),
+        KernelCost::f64_bytes(m64 * n64),
+        2 * m64 * n64 * k64,
+        1,
+    ));
+    Ok(out)
+}
+
+/// Convenience GEMM without transposes: `C = alpha * A * B + beta * C`.
+pub fn gemm(
+    device: &Device,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: Option<&Matrix>,
+) -> Result<Matrix, LaError> {
+    gemm_op(device, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c)
+}
+
+/// Symmetric rank-k update computing the Gram matrix `G = AᵀA` (column-major result).
+///
+/// Only the upper triangle is computed; the lower triangle is mirrored afterwards, which
+/// halves the flops compared to [`gemm_op`] with `(Op::Trans, Op::NoTrans)` — the SyRK
+/// vs GeMM trade-off discussed in Section 6.
+pub fn syrk_gram(device: &Device, a: &Matrix) -> Matrix {
+    let d = a.nrows();
+    let n = a.ncols();
+    // Columns of A must be contiguous for the dot products.
+    let packed = pack_cols(a, Op::NoTrans);
+
+    let mut g = Matrix::zeros(n, n);
+    {
+        let data = g.as_mut_slice();
+        data.par_chunks_mut(n.max(1)).enumerate().for_each(|(j, col)| {
+            let cj = &packed[j * d..(j + 1) * d];
+            for (i, slot) in col.iter_mut().enumerate().take(j + 1) {
+                let ci = &packed[i * d..(i + 1) * d];
+                *slot = dot_unrecorded(ci, cj);
+            }
+        });
+    }
+    // Mirror the strictly-upper part (stored in columns j, rows i<j) to the lower part.
+    for j in 0..n {
+        for i in 0..j {
+            let v = g.get(i, j);
+            g.set(j, i, v);
+        }
+    }
+
+    let (d64, n64) = (d as u64, n as u64);
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(d64 * n64),
+        KernelCost::f64_bytes(n64 * n64),
+        d64 * n64 * (n64 + 1),
+        1,
+    ));
+    g
+}
+
+/// Gram matrix via plain GEMM (`G = AᵀA` computed with full 2dn² flops), matching how
+/// the paper actually times the normal equations ("SyRK's performance is much worse in
+/// practice than GeMM").
+pub fn gram_gemm(device: &Device, a: &Matrix) -> Result<Matrix, LaError> {
+    gemm_op(device, 1.0, Op::Trans, a, Op::NoTrans, a, 0.0, None)
+}
+
+/// Triangular solve with multiple right-hand sides: solves `op(T) X = B` (left side).
+pub fn trsm(
+    device: &Device,
+    triangle: Triangle,
+    op_t: Op,
+    t: &Matrix,
+    b: &Matrix,
+) -> Result<Matrix, LaError> {
+    let n = t.nrows();
+    if t.ncols() != n {
+        return Err(dim_err("trsm", format!("T is {}x{}", t.nrows(), t.ncols())));
+    }
+    if b.nrows() != n {
+        return Err(dim_err(
+            "trsm",
+            format!("T is {n}x{n} but B is {}x{}", b.nrows(), b.ncols()),
+        ));
+    }
+    let nrhs = b.ncols();
+
+    let effective = match (triangle, op_t) {
+        (Triangle::Upper, Op::NoTrans) | (Triangle::Lower, Op::Trans) => Triangle::Upper,
+        (Triangle::Lower, Op::NoTrans) | (Triangle::Upper, Op::Trans) => Triangle::Lower,
+    };
+    // Validate the diagonal once up front.
+    for i in 0..n {
+        if op_t.get(t, i, i) == 0.0 {
+            return Err(LaError::SingularTriangular { index: i });
+        }
+    }
+
+    let mut x = Matrix::zeros(n, nrhs);
+    {
+        let data = x.as_mut_slice();
+        data.par_chunks_mut(n.max(1)).enumerate().for_each(|(col_idx, col)| {
+            for i in 0..n {
+                col[i] = b.get(i, col_idx);
+            }
+            match effective {
+                Triangle::Upper => {
+                    for i in (0..n).rev() {
+                        let mut acc = col[i];
+                        for j in i + 1..n {
+                            acc -= op_t.get(t, i, j) * col[j];
+                        }
+                        col[i] = acc / op_t.get(t, i, i);
+                    }
+                }
+                Triangle::Lower => {
+                    for i in 0..n {
+                        let mut acc = col[i];
+                        for j in 0..i {
+                            acc -= op_t.get(t, i, j) * col[j];
+                        }
+                        col[i] = acc / op_t.get(t, i, i);
+                    }
+                }
+            }
+        });
+    }
+
+    let (n64, r64) = (n as u64, nrhs as u64);
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(n64 * (n64 + 1) / 2 + n64 * r64),
+        KernelCost::f64_bytes(n64 * r64),
+        n64 * n64 * r64,
+        1,
+    ));
+    Ok(x)
+}
+
+/// Right-side triangular solve: solves `X op(T) = B`, i.e. `X = B op(T)^{-1}`.
+///
+/// Used by rand_cholQR to precondition `A₀ = A R₀^{-1}` (Algorithm 4, step 3).
+pub fn trsm_right(
+    device: &Device,
+    triangle: Triangle,
+    op_t: Op,
+    t: &Matrix,
+    b: &Matrix,
+) -> Result<Matrix, LaError> {
+    let n = t.nrows();
+    if t.ncols() != n {
+        return Err(dim_err(
+            "trsm_right",
+            format!("T is {}x{}", t.nrows(), t.ncols()),
+        ));
+    }
+    if b.ncols() != n {
+        return Err(dim_err(
+            "trsm_right",
+            format!("T is {n}x{n} but B is {}x{}", b.nrows(), b.ncols()),
+        ));
+    }
+    // X op(T) = B  <=>  op(T)ᵀ Xᵀ = Bᵀ.  Solve column-by-column of Xᵀ, i.e. row-by-row
+    // of X, in parallel over the rows of B.
+    let flipped_op = match op_t {
+        Op::NoTrans => Op::Trans,
+        Op::Trans => Op::NoTrans,
+    };
+    let effective = match (triangle, flipped_op) {
+        (Triangle::Upper, Op::NoTrans) | (Triangle::Lower, Op::Trans) => Triangle::Upper,
+        (Triangle::Lower, Op::NoTrans) | (Triangle::Upper, Op::Trans) => Triangle::Lower,
+    };
+    for i in 0..n {
+        if t.get(i, i) == 0.0 {
+            return Err(LaError::SingularTriangular { index: i });
+        }
+    }
+
+    let m = b.nrows();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    (0..m)
+        .into_par_iter()
+        .map(|r| {
+            let mut row: Vec<f64> = (0..n).map(|j| b.get(r, j)).collect();
+            match effective {
+                Triangle::Upper => {
+                    for i in (0..n).rev() {
+                        let mut acc = row[i];
+                        for j in i + 1..n {
+                            acc -= flipped_op.get(t, i, j) * row[j];
+                        }
+                        row[i] = acc / flipped_op.get(t, i, i);
+                    }
+                }
+                Triangle::Lower => {
+                    for i in 0..n {
+                        let mut acc = row[i];
+                        for j in 0..i {
+                            acc -= flipped_op.get(t, i, j) * row[j];
+                        }
+                        row[i] = acc / flipped_op.get(t, i, i);
+                    }
+                }
+            }
+            row
+        })
+        .collect_into_vec(&mut rows);
+
+    let mut x = Matrix::zeros(m, n);
+    for (r, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            x.set(r, j, v);
+        }
+    }
+
+    let (n64, m64) = (n as u64, m as u64);
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(n64 * (n64 + 1) / 2 + m64 * n64),
+        KernelCost::f64_bytes(m64 * n64),
+        m64 * n64 * n64,
+        1,
+    ));
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b).unwrap() < tol,
+            "matrices differ by {}",
+            a.max_abs_diff(b).unwrap()
+        );
+    }
+
+    #[test]
+    fn gemm_small_known_product() {
+        let d = device();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&d, 1.0, &a, &b, 0.0, None).unwrap();
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        assert_close(&c, &expect, 1e-12);
+    }
+
+    #[test]
+    fn gemm_identity_is_neutral() {
+        let d = device();
+        let a = Matrix::random_gaussian(7, 5, Layout::ColMajor, 1, 0);
+        let c = gemm(&d, 1.0, &a, &Matrix::identity(5), 0.0, None).unwrap();
+        assert_close(&c, &a.to_layout(&d, Layout::ColMajor), 1e-12);
+    }
+
+    #[test]
+    fn gemm_respects_alpha_beta_and_c() {
+        let d = device();
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let c0 = Matrix::from_fn(3, 3, Layout::ColMajor, |i, j| (i + j) as f64);
+        let c = gemm(&d, 2.0, &a, &b, 0.5, Some(&c0)).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 2.0 } else { 0.0 } + 0.5 * (i + j) as f64;
+                assert!((c.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_combinations_agree_with_explicit_transpose() {
+        let d = device();
+        let a = Matrix::random_gaussian(4, 6, Layout::RowMajor, 2, 0);
+        let b = Matrix::random_gaussian(4, 3, Layout::ColMajor, 2, 1);
+        // AᵀB via op flags vs via materialised transpose.
+        let via_op = gemm_op(&d, 1.0, Op::Trans, &a, Op::NoTrans, &b, 0.0, None).unwrap();
+        let at = a.transpose(&d);
+        let via_explicit = gemm(&d, 1.0, &at, &b, 0.0, None).unwrap();
+        assert_close(&via_op, &via_explicit, 1e-12);
+
+        // ABᵀ with A 4x6, B 3x6.
+        let b2 = Matrix::random_gaussian(3, 6, Layout::RowMajor, 5, 0);
+        let via_op2 = gemm_op(&d, 1.0, Op::NoTrans, &a, Op::Trans, &b2, 0.0, None).unwrap();
+        let b2t = b2.transpose(&d);
+        let via_explicit2 = gemm(&d, 1.0, &a, &b2t, 0.0, None).unwrap();
+        assert_close(&via_op2, &via_explicit2, 1e-12);
+    }
+
+    #[test]
+    fn gemm_rejects_mismatched_inner_dimensions() {
+        let d = device();
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(gemm(&d, 1.0, &a, &b, 0.0, None).is_err());
+        let c_wrong = Matrix::zeros(5, 5);
+        let b_ok = Matrix::zeros(3, 2);
+        assert!(gemm(&d, 1.0, &a, &b_ok, 1.0, Some(&c_wrong)).is_err());
+    }
+
+    #[test]
+    fn gemm_records_2mnk_flops() {
+        let d = device();
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(4, 5);
+        let _ = gemm(&d, 1.0, &a, &b, 0.0, None).unwrap();
+        assert_eq!(d.tracker().snapshot().flops, 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_gram() {
+        let d = device();
+        let a = Matrix::random_gaussian(50, 8, Layout::ColMajor, 7, 0);
+        let g1 = syrk_gram(&d, &a);
+        let g2 = gram_gemm(&d, &a).unwrap();
+        assert_close(&g1, &g2, 1e-10);
+        // Gram matrices are symmetric.
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((g1.get(i, j) - g1.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_uses_roughly_half_the_flops_of_gemm_gram() {
+        let d1 = device();
+        let a = Matrix::zeros(100, 10);
+        let _ = syrk_gram(&d1, &a);
+        let syrk_flops = d1.tracker().snapshot().flops;
+
+        let d2 = device();
+        let _ = gram_gemm(&d2, &a).unwrap();
+        let gemm_flops = d2.tracker().snapshot().flops;
+        assert!(syrk_flops < gemm_flops);
+        assert!(syrk_flops * 2 <= gemm_flops + 2 * 100 * 10);
+    }
+
+    #[test]
+    fn syrk_gram_works_on_row_major_input() {
+        let d = device();
+        let a_rm = Matrix::random_gaussian(40, 6, Layout::RowMajor, 9, 0);
+        let a_cm = a_rm.to_layout(&d, Layout::ColMajor);
+        assert_close(&syrk_gram(&d, &a_rm), &syrk_gram(&d, &a_cm), 1e-12);
+    }
+
+    #[test]
+    fn trsm_left_solves_upper_and_lower_systems() {
+        let d = device();
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let x_true = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]);
+        let b = gemm(&d, 1.0, &u, &x_true, 0.0, None).unwrap();
+        let x = trsm(&d, Triangle::Upper, Op::NoTrans, &u, &b).unwrap();
+        assert_close(&x, &x_true.to_layout(&d, Layout::ColMajor), 1e-12);
+
+        // Lower case: solve Uᵀ X = B.
+        let bt = gemm_op(&d, 1.0, Op::Trans, &u, Op::NoTrans, &x_true, 0.0, None).unwrap();
+        let xt = trsm(&d, Triangle::Upper, Op::Trans, &u, &bt).unwrap();
+        assert_close(&xt, &x_true.to_layout(&d, Layout::ColMajor), 1e-12);
+    }
+
+    #[test]
+    fn trsm_right_solves_post_multiplied_system() {
+        let d = device();
+        let r = Matrix::from_rows(&[&[2.0, -1.0, 0.5], &[0.0, 1.5, 1.0], &[0.0, 0.0, 3.0]]);
+        let x_true = Matrix::random_gaussian(6, 3, Layout::ColMajor, 11, 0);
+        // B = X R  => X = B R^{-1}
+        let b = gemm(&d, 1.0, &x_true, &r, 0.0, None).unwrap();
+        let x = trsm_right(&d, Triangle::Upper, Op::NoTrans, &r, &b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn trsm_detects_singular_diagonal() {
+        let d = device();
+        let mut u = Matrix::identity(3);
+        u.set(2, 2, 0.0);
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(
+            trsm(&d, Triangle::Upper, Op::NoTrans, &u, &b),
+            Err(LaError::SingularTriangular { index: 2 })
+        ));
+        let b_right = Matrix::zeros(2, 3);
+        assert!(trsm_right(&d, Triangle::Upper, Op::NoTrans, &u, &b_right).is_err());
+    }
+
+    #[test]
+    fn trsm_rejects_bad_shapes() {
+        let d = device();
+        let t = Matrix::identity(3);
+        assert!(trsm(&d, Triangle::Upper, Op::NoTrans, &t, &Matrix::zeros(2, 2)).is_err());
+        assert!(trsm_right(&d, Triangle::Upper, Op::NoTrans, &t, &Matrix::zeros(2, 2)).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(trsm(&d, Triangle::Upper, Op::NoTrans, &rect, &Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the linear algebra routines.
+
+use std::fmt;
+
+/// Errors returned by the dense linear algebra substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaError {
+    /// Operand dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Name of the routine that rejected the operands.
+        op: &'static str,
+        /// Human readable description of the mismatch.
+        detail: String,
+    },
+    /// Cholesky factorisation encountered a non-positive pivot: the matrix is not
+    /// (numerically) positive definite.  This is exactly how the normal equations fail
+    /// in Figure 8 once `κ(A)` exceeds `u^{-1/2}`.
+    NotPositiveDefinite {
+        /// Column at which the factorisation broke down.
+        column: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// A triangular solve hit a zero (or subnormal) diagonal entry.
+    SingularTriangular {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+    /// The routine requires a matrix with at least as many rows as columns.
+    NotOverdetermined {
+        /// Number of rows provided.
+        rows: usize,
+        /// Number of columns provided.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaError::DimensionMismatch { op, detail } => {
+                write!(f, "{op}: dimension mismatch ({detail})")
+            }
+            LaError::NotPositiveDefinite { column, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:e} at column {column}"
+            ),
+            LaError::SingularTriangular { index } => {
+                write!(f, "triangular matrix is singular at diagonal index {index}")
+            }
+            LaError::NotOverdetermined { rows, cols } => write!(
+                f,
+                "routine requires rows >= cols, got {rows} x {cols}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaError {}
+
+/// Convenience constructor for dimension mismatch errors.
+pub(crate) fn dim_err(op: &'static str, detail: impl Into<String>) -> LaError {
+    LaError::DimensionMismatch {
+        op,
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = dim_err("gemm", "A is 2x3 but B is 4x5");
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LaError::NotPositiveDefinite {
+            column: 3,
+            pivot: -1.0,
+        };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LaError::SingularTriangular { index: 0 };
+        assert!(e.to_string().contains("singular"));
+
+        let e = LaError::NotOverdetermined { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("rows >= cols"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LaError::SingularTriangular { index: 1 },
+            LaError::SingularTriangular { index: 1 }
+        );
+        assert_ne!(
+            LaError::SingularTriangular { index: 1 },
+            LaError::SingularTriangular { index: 2 }
+        );
+    }
+}

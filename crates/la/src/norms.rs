@@ -1,0 +1,124 @@
+//! Norms and residual helpers used throughout the evaluation.
+//!
+//! Figures 6–8 of the paper report the relative least squares residual
+//! `||b - A x||₂ / ||b||₂`; [`relative_residual`] computes exactly that quantity.
+
+use crate::blas1::nrm2_unrecorded;
+use crate::blas2::gemv;
+use crate::error::LaError;
+use crate::matrix::{Matrix, Op};
+use sketch_gpu_sim::{Device, KernelCost};
+
+/// Euclidean norm of a vector (no device accounting; convenience wrapper).
+#[inline]
+pub fn vec_norm2(x: &[f64]) -> f64 {
+    nrm2_unrecorded(x)
+}
+
+/// Frobenius norm of a matrix, recorded as one streaming pass.
+pub fn frobenius(device: &Device, a: &Matrix) -> f64 {
+    let n = a.len() as u64;
+    device.record(KernelCost::new(KernelCost::f64_bytes(n), 0, 2 * n, 1));
+    nrm2_unrecorded(a.as_slice())
+}
+
+/// Euclidean norms of every column of `a`.
+pub fn column_norms(device: &Device, a: &Matrix) -> Vec<f64> {
+    let n = a.len() as u64;
+    device.record(KernelCost::new(KernelCost::f64_bytes(n), 0, 2 * n, 1));
+    (0..a.ncols())
+        .map(|j| nrm2_unrecorded(&a.col_to_vec(j)))
+        .collect()
+}
+
+/// Relative least squares residual `||b - A x||₂ / ||b||₂`.
+pub fn relative_residual(
+    device: &Device,
+    a: &Matrix,
+    x: &[f64],
+    b: &[f64],
+) -> Result<f64, LaError> {
+    let ax = gemv(device, 1.0, Op::NoTrans, a, x, 0.0, None)?;
+    let mut r = b.to_vec();
+    for (ri, axi) in r.iter_mut().zip(ax.iter()) {
+        *ri -= axi;
+    }
+    let nb = nrm2_unrecorded(b);
+    if nb == 0.0 {
+        return Ok(nrm2_unrecorded(&r));
+    }
+    Ok(nrm2_unrecorded(&r) / nb)
+}
+
+/// Maximum absolute entry of a vector difference (used by accuracy comparisons).
+pub fn max_abs_diff_vec(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn frobenius_of_identity() {
+        let d = device();
+        assert!((frobenius(&d, &Matrix::identity(9)) - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn column_norms_of_known_matrix() {
+        let d = device();
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 2.0]]);
+        let norms = column_norms(&d, &a);
+        assert!((norms[0] - 5.0).abs() < 1e-14);
+        assert!((norms[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_is_zero_for_exact_solution() {
+        let d = device();
+        let a = Matrix::random_gaussian(20, 4, Layout::ColMajor, 1, 0);
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let b = gemv(&d, 1.0, Op::NoTrans, &a, &x, 0.0, None).unwrap();
+        let r = relative_residual(&d, &a, &x, &b).unwrap();
+        assert!(r < 1e-13);
+    }
+
+    #[test]
+    fn residual_is_one_for_zero_solution() {
+        let d = device();
+        let a = Matrix::random_gaussian(10, 3, Layout::ColMajor, 2, 0);
+        let b = vec![1.0; 10];
+        let r = relative_residual(&d, &a, &[0.0; 3], &b).unwrap();
+        assert!((r - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_with_zero_rhs_returns_absolute_norm() {
+        let d = device();
+        let a = Matrix::identity(3);
+        let r = relative_residual(&d, &a, &[1.0, 0.0, 0.0], &[0.0; 3]).unwrap();
+        assert!((r - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_rejects_dimension_mismatch() {
+        let d = device();
+        let a = Matrix::identity(3);
+        assert!(relative_residual(&d, &a, &[1.0, 2.0], &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn vec_helpers() {
+        assert_eq!(vec_norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(max_abs_diff_vec(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+    }
+}

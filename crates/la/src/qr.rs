@@ -1,0 +1,398 @@
+//! Householder QR factorisation (GEQRF) and reflector application (ORMQR).
+//!
+//! The paper's sketch-and-solve pipeline (Section 6.1) computes the QR factorisation of
+//! the *sketched* matrix with cuSOLVER's `GeQRF`, applies the reflectors to the sketched
+//! right-hand side with `OrMQR`, and finishes with a triangular solve — explicitly
+//! avoiding `GeLS`, which the authors found much slower.  This module provides the same
+//! three building blocks plus an explicit thin-Q extraction used by rand_cholQR tests.
+
+use crate::blas1::nrm2_unrecorded;
+use crate::blas2::{trsv, Triangle};
+use crate::error::{dim_err, LaError};
+use crate::matrix::{Layout, Matrix, Op};
+use sketch_gpu_sim::{Device, KernelCost};
+
+/// The compact Householder QR factorisation of an `m x n` matrix (`m >= n`).
+///
+/// `factors` holds `R` in its upper triangle and the Householder vectors below the
+/// diagonal (each with an implicit unit leading entry); `taus` holds the scalar
+/// coefficients, mirroring LAPACK's `geqrf` output.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    factors: Matrix,
+    taus: Vec<f64>,
+}
+
+/// Approximate block size used when modelling the memory traffic of a blocked QR; the
+/// flop counts are exact, the traffic model assumes the panel is re-read once per block
+/// column rather than once per column.
+const QR_MODEL_BLOCK: u64 = 32;
+
+/// Compute the Householder QR factorisation of `a` (GEQRF).
+///
+/// Requires `a.nrows() >= a.ncols()`.
+pub fn geqrf(device: &Device, a: &Matrix) -> Result<QrFactors, LaError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(LaError::NotOverdetermined { rows: m, cols: n });
+    }
+
+    let mut f = a.to_layout(device, Layout::ColMajor);
+    let mut taus = vec![0.0; n];
+
+    for k in 0..n {
+        // Build the Householder reflector for column k from rows k..m.
+        let col = f.col(k).expect("col-major");
+        let x = &col[k..m];
+        let norm = nrm2_unrecorded(x);
+        if norm == 0.0 {
+            taus[k] = 0.0;
+            continue;
+        }
+        let a_kk = x[0];
+        let beta = if a_kk >= 0.0 { -norm } else { norm };
+        let tau = (beta - a_kk) / beta;
+        let scale = 1.0 / (a_kk - beta);
+
+        // Write the reflector back into the column: implicit 1 at row k, scaled tail.
+        {
+            let col = f.col_mut(k).expect("col-major");
+            col[k] = beta;
+            for i in k + 1..m {
+                col[i] *= scale;
+            }
+        }
+        taus[k] = tau;
+
+        // Apply H = I - tau v vᵀ to the trailing columns.
+        let v: Vec<f64> = {
+            let col = f.col(k).expect("col-major");
+            let mut v = vec![0.0; m - k];
+            v[0] = 1.0;
+            v[1..].copy_from_slice(&col[k + 1..m]);
+            v
+        };
+        for j in k + 1..n {
+            let col_j = f.col_mut(j).expect("col-major");
+            let tail = &mut col_j[k..m];
+            let mut w = 0.0;
+            for (vi, ti) in v.iter().zip(tail.iter()) {
+                w += vi * ti;
+            }
+            w *= tau;
+            for (vi, ti) in v.iter().zip(tail.iter_mut()) {
+                *ti -= w * vi;
+            }
+        }
+    }
+
+    let (m64, n64) = (m as u64, n as u64);
+    let flops = 2 * m64 * n64 * n64 - (2 * n64 * n64 * n64) / 3;
+    let passes = n64.div_ceil(QR_MODEL_BLOCK).max(1);
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(m64 * n64) * passes,
+        KernelCost::f64_bytes(m64 * n64) * passes,
+        flops,
+        n64,
+    ));
+
+    Ok(QrFactors { factors: f, taus })
+}
+
+impl QrFactors {
+    /// Number of rows of the factored matrix.
+    pub fn nrows(&self) -> usize {
+        self.factors.nrows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn ncols(&self) -> usize {
+        self.factors.ncols()
+    }
+
+    /// The raw compact factors (R + reflectors), mainly for diagnostics.
+    pub fn factors(&self) -> &Matrix {
+        &self.factors
+    }
+
+    /// The Householder coefficients.
+    pub fn taus(&self) -> &[f64] {
+        &self.taus
+    }
+
+    /// Extract the `n x n` upper triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.ncols();
+        Matrix::from_fn(n, n, Layout::ColMajor, |i, j| {
+            if i <= j {
+                self.factors.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Apply `Qᵀ` to a vector of length `m` (ORMQR with side=left, trans=T).
+    pub fn apply_qt_vec(&self, device: &Device, b: &[f64]) -> Result<Vec<f64>, LaError> {
+        let m = self.nrows();
+        let n = self.ncols();
+        if b.len() != m {
+            return Err(dim_err(
+                "ormqr",
+                format!("factor has {m} rows but b has length {}", b.len()),
+            ));
+        }
+        let mut y = b.to_vec();
+        // Qᵀ = H_{n-1} ... H_1 H_0 applied as H_0 first.
+        for k in 0..n {
+            self.apply_reflector(k, &mut y);
+        }
+        let (m64, n64) = (m as u64, n as u64);
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(m64 * n64 + m64),
+            KernelCost::f64_bytes(m64),
+            4 * m64 * n64,
+            1,
+        ));
+        Ok(y)
+    }
+
+    /// Apply `Q` to a vector of length `m` (ORMQR with side=left, trans=N).
+    pub fn apply_q_vec(&self, device: &Device, b: &[f64]) -> Result<Vec<f64>, LaError> {
+        let m = self.nrows();
+        let n = self.ncols();
+        if b.len() != m {
+            return Err(dim_err(
+                "ormqr",
+                format!("factor has {m} rows but b has length {}", b.len()),
+            ));
+        }
+        let mut y = b.to_vec();
+        for k in (0..n).rev() {
+            self.apply_reflector(k, &mut y);
+        }
+        let (m64, n64) = (m as u64, n as u64);
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(m64 * n64 + m64),
+            KernelCost::f64_bytes(m64),
+            4 * m64 * n64,
+            1,
+        ));
+        Ok(y)
+    }
+
+    /// Apply reflector `k` (symmetric, so the same routine serves Q and Qᵀ) to `y`.
+    fn apply_reflector(&self, k: usize, y: &mut [f64]) {
+        let m = self.nrows();
+        let tau = self.taus[k];
+        if tau == 0.0 {
+            return;
+        }
+        let col = self.factors.col(k).expect("col-major");
+        // v = [1, col[k+1..m]] acting on y[k..m].
+        let mut w = y[k];
+        for i in k + 1..m {
+            w += col[i] * y[i];
+        }
+        w *= tau;
+        y[k] -= w;
+        for i in k + 1..m {
+            y[i] -= w * col[i];
+        }
+    }
+
+    /// Materialise the thin orthogonal factor `Q` (`m x n`).
+    pub fn q_thin(&self, device: &Device) -> Matrix {
+        let m = self.nrows();
+        let n = self.ncols();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            let mut e = vec![0.0; m];
+            e[j] = 1.0;
+            for k in (0..n).rev() {
+                self.apply_reflector(k, &mut e);
+            }
+            q.col_mut(j).expect("col-major").copy_from_slice(&e);
+        }
+        let (m64, n64) = (m as u64, n as u64);
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(m64 * n64),
+            KernelCost::f64_bytes(m64 * n64),
+            4 * m64 * n64 * n64,
+            1,
+        ));
+        q
+    }
+
+    /// Solve the least squares problem `min ||b - A x||` given this factorisation of
+    /// `A`: `x = R^{-1} (Qᵀ b)[0..n]` — GEQRF + ORMQR + TRSV, the exact sequence the
+    /// paper uses for its sketch-and-solve solves.
+    pub fn solve_ls(&self, device: &Device, b: &[f64]) -> Result<Vec<f64>, LaError> {
+        let n = self.ncols();
+        let qtb = self.apply_qt_vec(device, b)?;
+        let r = self.r();
+        trsv(device, Triangle::Upper, Op::NoTrans, &r, &qtb[..n])
+    }
+}
+
+/// Convenience: full economy QR returning `(Q, R)` explicitly.
+pub fn economy_qr(device: &Device, a: &Matrix) -> Result<(Matrix, Matrix), LaError> {
+    let f = geqrf(device, a)?;
+    Ok((f.q_thin(device), f.r()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, gemm_op};
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b).unwrap() < tol,
+            "difference {}",
+            a.max_abs_diff(b).unwrap()
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_the_matrix() {
+        let d = device();
+        let a = Matrix::random_gaussian(30, 8, Layout::ColMajor, 1, 0);
+        let (q, r) = economy_qr(&d, &a).unwrap();
+        let qr = gemm(&d, 1.0, &q, &r, 0.0, None).unwrap();
+        assert_close(&qr, &a, 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let d = device();
+        let a = Matrix::random_gaussian(40, 10, Layout::ColMajor, 2, 0);
+        let (q, _) = economy_qr(&d, &a).unwrap();
+        let qtq = gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
+        assert_close(&qtq, &Matrix::identity(10), 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let d = device();
+        let a = Matrix::random_gaussian(20, 6, Layout::ColMajor, 3, 0);
+        let r = geqrf(&d, &a).unwrap().r();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qt_then_q_is_identity_on_vectors() {
+        let d = device();
+        let a = Matrix::random_gaussian(25, 5, Layout::ColMajor, 4, 0);
+        let f = geqrf(&d, &a).unwrap();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64).sin()).collect();
+        let qtb = f.apply_qt_vec(&d, &b).unwrap();
+        let back = f.apply_q_vec(&d, &qtb).unwrap();
+        for (x, y) in b.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_ls_recovers_exact_solution_for_consistent_system() {
+        let d = device();
+        let a = Matrix::random_gaussian(50, 7, Layout::ColMajor, 5, 0);
+        let x_true: Vec<f64> = (0..7).map(|i| 1.0 + i as f64).collect();
+        let b = crate::blas2::gemv(&d, 1.0, Op::NoTrans, &a, &x_true, 0.0, None).unwrap();
+        let f = geqrf(&d, &a).unwrap();
+        let x = f.solve_ls(&d, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn qr_of_square_identity_is_identity() {
+        let d = device();
+        let f = geqrf(&d, &Matrix::identity(5)).unwrap();
+        let q = f.q_thin(&d);
+        // Q should be +/- identity columns; QR = I must hold exactly up to roundoff.
+        let qr = gemm(&d, 1.0, &q, &f.r(), 0.0, None).unwrap();
+        assert_close(&qr, &Matrix::identity(5), 1e-12);
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient_zero_column() {
+        let d = device();
+        let mut a = Matrix::random_gaussian(10, 4, Layout::ColMajor, 6, 0);
+        for i in 0..10 {
+            a.set(i, 2, 0.0);
+        }
+        let f = geqrf(&d, &a).unwrap();
+        let (q, r) = (f.q_thin(&d), f.r());
+        let qr = gemm(&d, 1.0, &q, &r, 0.0, None).unwrap();
+        assert_close(&qr, &a, 1e-10);
+        // The zero column yields a zero diagonal in R.
+        assert!(r.get(2, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined_input() {
+        let d = device();
+        let a = Matrix::zeros(3, 5);
+        assert!(matches!(
+            geqrf(&d, &a),
+            Err(LaError::NotOverdetermined { rows: 3, cols: 5 })
+        ));
+    }
+
+    #[test]
+    fn ormqr_rejects_wrong_vector_length() {
+        let d = device();
+        let a = Matrix::random_gaussian(8, 3, Layout::ColMajor, 7, 0);
+        let f = geqrf(&d, &a).unwrap();
+        assert!(f.apply_qt_vec(&d, &[1.0; 5]).is_err());
+        assert!(f.apply_q_vec(&d, &[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn qt_preserves_euclidean_norm() {
+        let d = device();
+        let a = Matrix::random_gaussian(60, 12, Layout::ColMajor, 8, 0);
+        let f = geqrf(&d, &a).unwrap();
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).cos()).collect();
+        let qtb = f.apply_qt_vec(&d, &b).unwrap();
+        let nb = nrm2_unrecorded(&b);
+        let nq = nrm2_unrecorded(&qtb);
+        assert!((nb - nq).abs() / nb < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_qr_reconstruction(m in 4usize..40, n in 1usize..8, seed in 0u64..500) {
+            prop_assume!(m >= n);
+            let d = device();
+            let a = Matrix::random_gaussian(m, n, Layout::ColMajor, seed, 0);
+            let (q, r) = economy_qr(&d, &a).unwrap();
+            let qr = gemm(&d, 1.0, &q, &r, 0.0, None).unwrap();
+            prop_assert!(qr.max_abs_diff(&a).unwrap() < 1e-9);
+        }
+
+        #[test]
+        fn prop_q_orthonormal(m in 4usize..40, n in 1usize..8, seed in 0u64..500) {
+            prop_assume!(m >= n);
+            let d = device();
+            let a = Matrix::random_gaussian(m, n, Layout::ColMajor, seed, 0);
+            let (q, _) = economy_qr(&d, &a).unwrap();
+            let qtq = gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
+            prop_assert!(qtq.max_abs_diff(&Matrix::identity(n)).unwrap() < 1e-9);
+        }
+    }
+}

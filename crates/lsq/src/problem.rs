@@ -1,0 +1,214 @@
+//! Least squares problem generators matching the paper's experiments (Section 6.3).
+//!
+//! * the *performance* experiments (Figure 5) fix `κ(A) = 10²` so the normal equations
+//!   stay stable and only speed is compared,
+//! * the *accuracy* experiments use `b = A·1 + η` with `η ~ N(0, 0.01)` ("easy",
+//!   Figure 6) or `η ~ N(3, 2)` ("hard", Figure 7),
+//! * the *stability* experiment (Figure 8) uses `b = A·e` with `e` the all-ones vector
+//!   and sweeps `κ(A)` from `1` to `10²⁰`.
+
+use crate::error::LsqError;
+use sketch_gpu_sim::Device;
+use sketch_la::{blas2, cond, Layout, Matrix, Op};
+use sketch_rng::fill;
+
+/// An overdetermined least squares problem `min_x ||b - A x||₂`.
+#[derive(Debug, Clone)]
+pub struct LsqProblem {
+    /// Coefficient matrix, stored row-major so the CountSketch reads coalesce
+    /// (Section 6.1).
+    pub a: Matrix,
+    /// Right-hand side.
+    pub b: Vec<f64>,
+    /// The planted solution, when the generator knows it (used by accuracy checks).
+    pub x_true: Option<Vec<f64>>,
+    /// Condition number the generator aimed for, when controlled.
+    pub target_cond: Option<f64>,
+}
+
+impl LsqProblem {
+    /// Wrap an explicit `(A, b)` pair.
+    pub fn new(a: Matrix, b: Vec<f64>) -> Result<Self, LsqError> {
+        if a.nrows() < a.ncols() {
+            return Err(LsqError::BadProblem {
+                detail: format!("matrix is {}x{}, need rows >= cols", a.nrows(), a.ncols()),
+            });
+        }
+        if b.len() != a.nrows() {
+            return Err(LsqError::BadProblem {
+                detail: format!("b has length {} but A has {} rows", b.len(), a.nrows()),
+            });
+        }
+        Ok(Self {
+            a,
+            b,
+            x_true: None,
+            target_cond: None,
+        })
+    }
+
+    /// Rows of the coefficient matrix.
+    pub fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Columns of the coefficient matrix.
+    pub fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    /// The performance-experiment problem: a well conditioned (`κ(A) = 10²`) random
+    /// matrix and a right-hand side with a noisy planted solution.
+    pub fn performance(device: &Device, d: usize, n: usize, seed: u64) -> Result<Self, LsqError> {
+        Self::with_noise(device, d, n, 1e2, 0.0, 0.1, seed)
+    }
+
+    /// The "easy" accuracy problem of Figure 6: `b = A·1 + η`, `η ~ N(0, 0.01)`.
+    pub fn easy(device: &Device, d: usize, n: usize, seed: u64) -> Result<Self, LsqError> {
+        Self::with_noise(device, d, n, 1e2, 0.0, 0.01f64.sqrt(), seed)
+    }
+
+    /// The "hard" accuracy problem of Figure 7: `b = A·1 + η`, `η ~ N(3, 2)`.
+    pub fn hard(device: &Device, d: usize, n: usize, seed: u64) -> Result<Self, LsqError> {
+        Self::with_noise(device, d, n, 1e2, 3.0, 2.0f64.sqrt(), seed)
+    }
+
+    /// The Figure 8 stability problem: `b = A·e` exactly (zero residual in exact
+    /// arithmetic) with a prescribed condition number.
+    pub fn conditioned(
+        device: &Device,
+        d: usize,
+        n: usize,
+        kappa: f64,
+        seed: u64,
+    ) -> Result<Self, LsqError> {
+        let a_cm = cond::matrix_with_cond(device, d, n, kappa, seed)?;
+        let a = a_cm.to_layout(device, Layout::RowMajor);
+        let ones = vec![1.0; n];
+        let b = blas2::gemv(device, 1.0, Op::NoTrans, &a, &ones, 0.0, None)?;
+        Ok(Self {
+            a,
+            b,
+            x_true: Some(ones),
+            target_cond: Some(kappa),
+        })
+    }
+
+    /// Shared generator: `A` with condition number `kappa`, `b = A·1 + η` with
+    /// `η ~ N(mu, sigma²)`.
+    ///
+    /// The matrix mimics the paper's random test matrices: singular values of order
+    /// `√d` (like an i.i.d. Gaussian matrix) with one singular value lowered to
+    /// `√d / κ` to pin the condition number.
+    pub fn with_noise(
+        device: &Device,
+        d: usize,
+        n: usize,
+        kappa: f64,
+        mu: f64,
+        sigma: f64,
+        seed: u64,
+    ) -> Result<Self, LsqError> {
+        if d < n {
+            return Err(LsqError::BadProblem {
+                detail: format!("requested {d}x{n}, need rows >= cols"),
+            });
+        }
+        let scale = (d as f64).sqrt();
+        let mut singular_values = vec![scale; n];
+        if n > 1 {
+            singular_values[n - 1] = scale / kappa;
+        }
+        let a_cm = cond::matrix_with_singular_values(device, d, n, &singular_values, seed)?;
+        let a = a_cm.to_layout(device, Layout::RowMajor);
+        let ones = vec![1.0; n];
+        let mut b = blas2::gemv(device, 1.0, Op::NoTrans, &a, &ones, 0.0, None)?;
+        if sigma != 0.0 || mu != 0.0 {
+            let noise = fill::gaussian_vec(seed ^ 0x00C0_FFEE, 5, d);
+            for (bi, eta) in b.iter_mut().zip(noise.iter()) {
+                *bi += mu + sigma * eta;
+            }
+        }
+        Ok(Self {
+            a,
+            b,
+            x_true: Some(ones),
+            target_cond: Some(kappa),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::norms::{relative_residual, vec_norm2};
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn constructor_validates_shapes() {
+        let a = Matrix::zeros_with_layout(10, 3, Layout::RowMajor);
+        assert!(LsqProblem::new(a.clone(), vec![0.0; 10]).is_ok());
+        assert!(LsqProblem::new(a.clone(), vec![0.0; 9]).is_err());
+        let wide = Matrix::zeros_with_layout(3, 10, Layout::RowMajor);
+        assert!(LsqProblem::new(wide, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn easy_problem_has_small_relative_residual_at_x_true() {
+        let d = device();
+        let p = LsqProblem::easy(&d, 2000, 8, 1).unwrap();
+        let x = p.x_true.clone().unwrap();
+        let r = relative_residual(&d, &p.a, &x, &p.b).unwrap();
+        assert!(r < 0.1, "easy residual {r}");
+    }
+
+    #[test]
+    fn hard_problem_has_larger_residual_than_easy() {
+        let d = device();
+        let easy = LsqProblem::easy(&d, 2000, 8, 2).unwrap();
+        let hard = LsqProblem::hard(&d, 2000, 8, 2).unwrap();
+        let xe = easy.x_true.clone().unwrap();
+        let xh = hard.x_true.clone().unwrap();
+        let re = relative_residual(&d, &easy.a, &xe, &easy.b).unwrap();
+        let rh = relative_residual(&d, &hard.a, &xh, &hard.b).unwrap();
+        assert!(rh > 2.0 * re, "easy {re}, hard {rh}");
+    }
+
+    #[test]
+    fn conditioned_problem_is_exactly_consistent() {
+        let d = device();
+        let p = LsqProblem::conditioned(&d, 512, 8, 1e6, 3).unwrap();
+        let x = p.x_true.clone().unwrap();
+        let r = relative_residual(&d, &p.a, &x, &p.b).unwrap();
+        assert!(r < 1e-10, "consistent residual {r}");
+        assert_eq!(p.target_cond, Some(1e6));
+        assert_eq!(p.nrows(), 512);
+        assert_eq!(p.ncols(), 8);
+    }
+
+    #[test]
+    fn matrices_are_row_major_for_the_countsketch() {
+        let d = device();
+        let p = LsqProblem::performance(&d, 256, 4, 7).unwrap();
+        assert_eq!(p.a.layout(), Layout::RowMajor);
+        assert!(vec_norm2(&p.b) > 0.0);
+    }
+
+    #[test]
+    fn underdetermined_requests_are_rejected() {
+        let d = device();
+        assert!(LsqProblem::easy(&d, 4, 8, 1).is_err());
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let d = device();
+        let p1 = LsqProblem::hard(&d, 200, 4, 9).unwrap();
+        let p2 = LsqProblem::hard(&d, 200, 4, 9).unwrap();
+        assert_eq!(p1.a, p2.a);
+        assert_eq!(p1.b, p2.b);
+    }
+}

@@ -1,0 +1,202 @@
+//! Randomized Cholesky QR (Algorithms 4 and 5).
+//!
+//! rand_cholQR forms a true QR factorisation of `A` using one sketch, one small QR, one
+//! Gram matrix and one Cholesky factorisation; it is stable whenever `κ(A) < u⁻¹`
+//! (Balabanov; Higgins, Szyld, Boman & Yamazaki), unlike the normal equations which
+//! need `κ(A) < u⁻¹ᐟ²`.  The least squares variant (Algorithm 5) skips forming `Q`
+//! explicitly and is mathematically equivalent to the preconditioned normal equations
+//! of Ipsen (2025).
+
+use crate::error::LsqError;
+use crate::problem::LsqProblem;
+use crate::solvers::LsqSolution;
+use sketch_core::SketchOperator;
+use sketch_gpu_sim::{Device, Phase, Profiler};
+use sketch_la::blas2::{gemv, trsv, Triangle};
+use sketch_la::blas3::{gemm, gram_gemm, trsm_right};
+use sketch_la::chol::potrf_upper;
+use sketch_la::qr::geqrf;
+use sketch_la::{Layout, Matrix, Op};
+
+/// The factors produced by [`rand_cholqr`]: `A = Q R` with orthonormal `Q`.
+#[derive(Debug, Clone)]
+pub struct RandCholQrFactors {
+    /// The thin orthogonal factor (`d x n`).
+    pub q: Matrix,
+    /// The upper triangular factor (`n x n`), `R = R₁ R₀`.
+    pub r: Matrix,
+}
+
+/// Algorithm 4 — randomized Cholesky QR.
+///
+/// 1. `Y = S A`          (sketch)
+/// 2. `[~, R₀] = qr(Y)`   (small QR)
+/// 3. `A₀ = A R₀⁻¹`       (precondition)
+/// 4. `G = A₀ᵀ A₀`        (Gram)
+/// 5. `R₁ = chol(G)`      (Cholesky)
+/// 6. `Q = A₀ R₁⁻¹`, `R = R₁ R₀`
+pub fn rand_cholqr<S: SketchOperator + ?Sized>(
+    device: &Device,
+    a: &Matrix,
+    sketch: &S,
+) -> Result<RandCholQrFactors, LsqError> {
+    let y = sketch.apply_matrix(device, a)?;
+    let y_cm = y.to_layout(device, Layout::ColMajor);
+    let r0 = geqrf(device, &y_cm)?.r();
+    let a0 = trsm_right(device, Triangle::Upper, Op::NoTrans, &r0, a)?;
+    let gram = gram_gemm(device, &a0)?;
+    let r1 = potrf_upper(device, &gram)?;
+    let q = trsm_right(device, Triangle::Upper, Op::NoTrans, &r1, &a0)?;
+    let r = gemm(device, 1.0, &r1, &r0, 0.0, None)?;
+    Ok(RandCholQrFactors { q, r })
+}
+
+/// Algorithm 5 — rand_cholQR least squares (one TRSM, no explicit `Q`).
+///
+/// Produces the breakdown phases the Figure 5 harness expects: sketch gen, matrix
+/// sketch, GEQRF (on the sketched matrix), TRSM (preconditioning), Gram matrix, `A₀ᵀb`,
+/// POTRF and the final triangular solves.
+pub fn rand_cholqr_least_squares<S: SketchOperator + ?Sized>(
+    device: &Device,
+    problem: &LsqProblem,
+    sketch: &S,
+) -> Result<LsqSolution, LsqError> {
+    let mut prof = Profiler::new(device);
+    prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
+
+    // Step 1: sketch the coefficient matrix.
+    let y = prof.phase(Phase::MatrixSketch, || sketch.apply_matrix(device, &problem.a))?;
+    let y_cm = y.to_layout(device, Layout::ColMajor);
+
+    // Step 2: economy QR of the sketched matrix (only R₀ is needed).
+    let r0 = prof.phase(Phase::Geqrf, || geqrf(device, &y_cm))?.r();
+
+    // Step 3: precondition A₀ = A R₀⁻¹.
+    let a0 = prof.phase(Phase::Trsm, || {
+        trsm_right(device, Triangle::Upper, Op::NoTrans, &r0, &problem.a)
+    })?;
+
+    // Step 4: Gram matrix and right-hand side in the preconditioned basis.
+    let gram = prof.phase(Phase::GramMatrix, || gram_gemm(device, &a0))?;
+    let z = prof.phase(Phase::ATransposeB, || {
+        gemv(device, 1.0, Op::Trans, &a0, &problem.b, 0.0, None)
+    })?;
+
+    // Step 5: Cholesky of the (nearly orthonormal) Gram matrix.
+    let r1 = prof.phase(Phase::Potrf, || potrf_upper(device, &gram))?;
+
+    // Steps 6–8: R = R₁R₀ (only needed implicitly), y = R₁⁻ᵀ z, x = R⁻¹ y = R₀⁻¹ R₁⁻¹ y.
+    let y1 = prof.phase(Phase::Trsv, || {
+        trsv(device, Triangle::Upper, Op::Trans, &r1, &z)
+    })?;
+    let y2 = prof.phase(Phase::Trsv, || {
+        trsv(device, Triangle::Upper, Op::NoTrans, &r1, &y1)
+    })?;
+    let x = prof.phase(Phase::Trsv, || {
+        trsv(device, Triangle::Upper, Op::NoTrans, &r0, &y2)
+    })?;
+
+    Ok(LsqSolution {
+        x,
+        method: "rand_cholQR",
+        breakdown: prof.finish(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::qr_direct;
+    use sketch_core::{CountSketch, MultiSketch};
+    use sketch_la::blas3::gemm_op;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn rand_cholqr_produces_orthonormal_q_and_reconstructs_a() {
+        let dev = device();
+        let a = Matrix::random_gaussian(1024, 6, Layout::RowMajor, 1, 0);
+        let ms = MultiSketch::generate(&dev, 1024, 8 * 36, 8 * 6, 2).unwrap();
+        let f = rand_cholqr(&dev, &a, &ms).unwrap();
+
+        let qtq = gemm_op(&dev, 1.0, Op::Trans, &f.q, Op::NoTrans, &f.q, 0.0, None).unwrap();
+        assert!(qtq.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-8);
+
+        let qr = gemm(&dev, 1.0, &f.q, &f.r, 0.0, None).unwrap();
+        let a_cm = a.to_layout(&dev, Layout::ColMajor);
+        assert!(qr.max_abs_diff(&a_cm).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn r_factor_is_upper_triangular() {
+        let dev = device();
+        let a = Matrix::random_gaussian(512, 4, Layout::RowMajor, 3, 0);
+        let cs = CountSketch::generate(&dev, 512, 8 * 16, 4);
+        let f = rand_cholqr(&dev, &a, &cs).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(f.r.get(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_solution_matches_direct_qr() {
+        let dev = device();
+        let p = LsqProblem::easy(&dev, 2048, 5, 5).unwrap();
+        let qr = qr_direct(&dev, &p).unwrap();
+        let ms = MultiSketch::generate(&dev, p.nrows(), 8 * 25, 8 * 5, 6).unwrap();
+        let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
+        for (a, b) in rc.x.iter().zip(&qr.x) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+        assert_eq!(rc.method, "rand_cholQR");
+    }
+
+    #[test]
+    fn least_squares_has_no_distortion_unlike_sketch_and_solve() {
+        let dev = device();
+        let p = LsqProblem::hard(&dev, 4096, 4, 7).unwrap();
+        let best = qr_direct(&dev, &p)
+            .unwrap()
+            .relative_residual(&dev, &p)
+            .unwrap();
+        let cs = CountSketch::generate(&dev, p.nrows(), 8 * 16, 8);
+        let rc = rand_cholqr_least_squares(&dev, &p, &cs).unwrap();
+        let res = rc.relative_residual(&dev, &p).unwrap();
+        assert!((res - best).abs() / best < 1e-6, "rand_cholQR {res} vs QR {best}");
+    }
+
+    #[test]
+    fn breakdown_contains_trsm_and_gram_phases() {
+        let dev = device();
+        let p = LsqProblem::performance(&dev, 1024, 4, 9).unwrap();
+        let cs = CountSketch::generate(&dev, p.nrows(), 4 * 16, 10);
+        let rc = rand_cholqr_least_squares(&dev, &p, &cs).unwrap();
+        assert!(rc.breakdown.model_seconds_of(Phase::Trsm) > 0.0);
+        assert!(rc.breakdown.model_seconds_of(Phase::GramMatrix) > 0.0);
+        assert!(rc.breakdown.model_seconds_of(Phase::Potrf) > 0.0);
+    }
+
+    #[test]
+    fn works_on_moderately_ill_conditioned_problems() {
+        // kappa = 1e8 breaks the normal equations but not rand_cholQR.
+        let dev = device();
+        let p = LsqProblem::conditioned(&dev, 2048, 4, 1e8, 11).unwrap();
+        let ms = MultiSketch::generate(&dev, p.nrows(), 16 * 16, 16 * 4, 12).unwrap();
+        let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
+        let res = rc.relative_residual(&dev, &p).unwrap();
+        assert!(res < 1e-6, "residual {res}");
+    }
+
+    #[test]
+    fn sketch_dimension_mismatch_is_an_error() {
+        let dev = device();
+        let p = LsqProblem::performance(&dev, 256, 4, 1).unwrap();
+        let wrong = CountSketch::generate(&dev, 128, 64, 1);
+        assert!(rand_cholqr_least_squares(&dev, &p, &wrong).is_err());
+        assert!(rand_cholqr(&dev, &p.a, &wrong).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! The normal equations, sketch-and-solve (Algorithm 1) and direct QR solvers.
+
+use crate::error::LsqError;
+use crate::problem::LsqProblem;
+use sketch_core::SketchOperator;
+use sketch_gpu_sim::{Device, Phase, Profiler, RunBreakdown};
+use sketch_la::blas2::{gemv, trsv, Triangle};
+use sketch_la::blas3::gram_gemm;
+use sketch_la::chol::potrf_upper;
+use sketch_la::norms::relative_residual;
+use sketch_la::qr::geqrf;
+use sketch_la::Op;
+
+/// The result of a least squares solve: the solution vector plus the phase breakdown
+/// used by the Figure 5 harness.
+#[derive(Debug, Clone)]
+pub struct LsqSolution {
+    /// Solution vector of length `n`.
+    pub x: Vec<f64>,
+    /// Name of the method that produced it.
+    pub method: &'static str,
+    /// Per-phase cost/time breakdown.
+    pub breakdown: RunBreakdown,
+}
+
+impl LsqSolution {
+    /// Relative residual `||b - A x|| / ||b||` of this solution on `problem`.
+    pub fn relative_residual(
+        &self,
+        device: &Device,
+        problem: &LsqProblem,
+    ) -> Result<f64, LsqError> {
+        Ok(relative_residual(device, &problem.a, &self.x, &problem.b)?)
+    }
+
+    /// Total modelled device time in milliseconds.
+    pub fn model_ms(&self) -> f64 {
+        self.breakdown.total_model_ms()
+    }
+}
+
+/// Solve via the normal equations: `G = AᵀA`, `y = Aᵀb`, `G = RᵀR`, `x = R⁻¹ R⁻ᵀ y`.
+///
+/// The paper times exactly this sequence with GeMM + GeMV + POTRF + 2×TRSV and calls it
+/// "typically the fastest direct least squares solver in practice"; its weakness is that
+/// it squares the condition number.
+pub fn normal_equations(device: &Device, problem: &LsqProblem) -> Result<LsqSolution, LsqError> {
+    let mut prof = Profiler::new(device);
+    let gram = prof.phase(Phase::GramMatrix, || gram_gemm(device, &problem.a))?;
+    let atb = prof.phase(Phase::ATransposeB, || {
+        gemv(device, 1.0, Op::Trans, &problem.a, &problem.b, 0.0, None)
+    })?;
+    let r = prof.phase(Phase::Potrf, || potrf_upper(device, &gram))?;
+    let y = prof.phase(Phase::Trsv, || {
+        trsv(device, Triangle::Upper, Op::Trans, &r, &atb)
+    })?;
+    let x = prof.phase(Phase::Trsv, || {
+        trsv(device, Triangle::Upper, Op::NoTrans, &r, &y)
+    })?;
+    Ok(LsqSolution {
+        x,
+        method: "Normal Eq",
+        breakdown: prof.finish(),
+    })
+}
+
+/// Algorithm 1 — sketch-and-solve: sketch `A` and `b`, then QR-solve the reduced
+/// problem with GEQRF + ORMQR + TRSV (the cuSOLVER sequence of Section 6.1).
+///
+/// The sketch must already be generated; its generation cost is charged to the
+/// `Sketch gen` phase so the breakdown matches Figure 5.
+pub fn sketch_and_solve<S: SketchOperator + ?Sized>(
+    device: &Device,
+    problem: &LsqProblem,
+    sketch: &S,
+) -> Result<LsqSolution, LsqError> {
+    let mut prof = Profiler::new(device);
+    // Charge the (already incurred) generation cost as its own phase.
+    prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
+
+    let w = prof.phase(Phase::MatrixSketch, || sketch.apply_matrix(device, &problem.a))?;
+    let z = prof.phase(Phase::VectorSketch, || {
+        sketch.apply_vector(device, &problem.b)
+    })?;
+
+    // The sketched matrix arrives row-major from the CountSketch-style kernels; the QR
+    // wants column-major, mirroring the conversion the paper performs.
+    let w_cm = w.to_layout(device, sketch_la::Layout::ColMajor);
+    let factors = prof.phase(Phase::Geqrf, || geqrf(device, &w_cm))?;
+    let qtz = prof.phase(Phase::Ormqr, || factors.apply_qt_vec(device, &z))?;
+    let r = factors.r();
+    let x = prof.phase(Phase::Trsv, || {
+        trsv(
+            device,
+            Triangle::Upper,
+            Op::NoTrans,
+            &r,
+            &qtz[..problem.ncols()],
+        )
+    })?;
+
+    Ok(LsqSolution {
+        x,
+        method: "Sketch-and-solve",
+        breakdown: prof.finish(),
+    })
+}
+
+/// Direct Householder QR on the full matrix — the accuracy reference ("QR" in Figures
+/// 6–8); much slower than everything else, which is why the paper leaves it out of the
+/// runtime plots.
+pub fn qr_direct(device: &Device, problem: &LsqProblem) -> Result<LsqSolution, LsqError> {
+    let mut prof = Profiler::new(device);
+    let a_cm = problem.a.to_layout(device, sketch_la::Layout::ColMajor);
+    let factors = prof.phase(Phase::Geqrf, || geqrf(device, &a_cm))?;
+    let qtb = prof.phase(Phase::Ormqr, || factors.apply_qt_vec(device, &problem.b))?;
+    let r = factors.r();
+    let x = prof.phase(Phase::Trsv, || {
+        trsv(
+            device,
+            Triangle::Upper,
+            Op::NoTrans,
+            &r,
+            &qtb[..problem.ncols()],
+        )
+    })?;
+    Ok(LsqSolution {
+        x,
+        method: "QR",
+        breakdown: prof.finish(),
+    })
+}
+
+/// Build the residual-norm comparison the paper's accuracy sections rely on: the
+/// theoretical guarantee is `||b - A x_s|| <= sqrt((1+eps)/(1-eps)) * ||b - A x_t||`.
+pub fn distortion_bound(eps: f64) -> f64 {
+    ((1.0 + eps) / (1.0 - eps)).sqrt()
+}
+
+/// Helper shared by tests and benches: the residual of the exact solution (via QR).
+pub fn best_residual(device: &Device, problem: &LsqProblem) -> Result<f64, LsqError> {
+    let x = qr_direct(device, problem)?;
+    x.relative_residual(device, problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_core::{CountSketch, GaussianSketch, MultiSketch, Srht};
+    use sketch_gpu_sim::Device;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn problem(d: usize, n: usize, seed: u64) -> LsqProblem {
+        LsqProblem::easy(&device(), d, n, seed).unwrap()
+    }
+
+    #[test]
+    fn normal_equations_match_qr_on_well_conditioned_problems() {
+        let dev = device();
+        let p = problem(1024, 6, 1);
+        let ne = normal_equations(&dev, &p).unwrap();
+        let qr = qr_direct(&dev, &p).unwrap();
+        for (a, b) in ne.x.iter().zip(&qr.x) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert_eq!(ne.method, "Normal Eq");
+        assert!(ne.model_ms() > 0.0);
+    }
+
+    #[test]
+    fn normal_equations_breakdown_has_expected_phases() {
+        let dev = device();
+        let p = problem(512, 4, 2);
+        let ne = normal_equations(&dev, &p).unwrap();
+        assert!(ne.breakdown.model_seconds_of(Phase::GramMatrix) > 0.0);
+        assert!(ne.breakdown.model_seconds_of(Phase::Potrf) > 0.0);
+        assert!(ne.breakdown.model_seconds_of(Phase::Trsv) > 0.0);
+        assert_eq!(ne.breakdown.model_seconds_of(Phase::Geqrf), 0.0);
+    }
+
+    #[test]
+    fn qr_solution_is_near_the_planted_solution_for_low_noise() {
+        let dev = device();
+        let p = LsqProblem::with_noise(&dev, 2048, 5, 10.0, 0.0, 1e-3, 3).unwrap();
+        let qr = qr_direct(&dev, &p).unwrap();
+        for xi in &qr.x {
+            assert!((xi - 1.0).abs() < 0.05, "{xi}");
+        }
+    }
+
+    #[test]
+    fn countsketch_sketch_and_solve_residual_is_close_to_optimal() {
+        let dev = device();
+        let p = problem(4096, 6, 4);
+        let best = best_residual(&dev, &p).unwrap();
+        let cs = CountSketch::generate(&dev, p.nrows(), 2 * p.ncols() * p.ncols(), 11);
+        let sol = sketch_and_solve(&dev, &p, &cs).unwrap();
+        let res = sol.relative_residual(&dev, &p).unwrap();
+        assert!(res >= best * (1.0 - 1e-12));
+        assert!(res < 1.5 * best, "sketched {res} vs best {best}");
+    }
+
+    #[test]
+    fn gaussian_and_srht_sketch_and_solve_are_accurate() {
+        let dev = device();
+        let p = problem(2048, 4, 5);
+        let best = best_residual(&dev, &p).unwrap();
+
+        let g = GaussianSketch::generate(&dev, p.nrows(), 8 * p.ncols(), 7).unwrap();
+        let sol_g = sketch_and_solve(&dev, &p, &g).unwrap();
+        assert!(sol_g.relative_residual(&dev, &p).unwrap() < 1.6 * best);
+
+        let s = Srht::generate(&dev, p.nrows(), 8 * p.ncols(), 8).unwrap();
+        let sol_s = sketch_and_solve(&dev, &p, &s).unwrap();
+        assert!(sol_s.relative_residual(&dev, &p).unwrap() < 1.6 * best);
+    }
+
+    #[test]
+    fn multisketch_sketch_and_solve_is_accurate_and_has_all_phases() {
+        let dev = device();
+        let p = problem(4096, 6, 6);
+        let best = best_residual(&dev, &p).unwrap();
+        let ms = MultiSketch::generate(&dev, p.nrows(), 8 * p.ncols() * p.ncols(), 8 * p.ncols(), 9)
+            .unwrap();
+        let sol = sketch_and_solve(&dev, &p, &ms).unwrap();
+        let res = sol.relative_residual(&dev, &p).unwrap();
+        assert!(res < 1.6 * best, "multisketch {res} vs best {best}");
+        for phase in [
+            Phase::SketchGen,
+            Phase::MatrixSketch,
+            Phase::VectorSketch,
+            Phase::Geqrf,
+            Phase::Ormqr,
+            Phase::Trsv,
+        ] {
+            assert!(
+                sol.breakdown.phases.iter().any(|p| p.phase == phase),
+                "missing phase {phase:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_and_solve_residual_never_beats_the_true_minimum() {
+        let dev = device();
+        let p = LsqProblem::hard(&dev, 2048, 4, 7).unwrap();
+        let best = best_residual(&dev, &p).unwrap();
+        let cs = CountSketch::generate(&dev, p.nrows(), 4 * p.ncols() * p.ncols(), 3);
+        let sol = sketch_and_solve(&dev, &p, &cs).unwrap();
+        let res = sol.relative_residual(&dev, &p).unwrap();
+        assert!(res + 1e-12 >= best);
+        // And it obeys the theoretical distortion bound for a generous eps.
+        assert!(res <= distortion_bound(0.9) * best * 1.1);
+    }
+
+    #[test]
+    fn distortion_bound_is_monotone() {
+        assert!(distortion_bound(0.1) < distortion_bound(0.5));
+        assert!((distortion_bound(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sketch_dimension_mismatch_propagates_as_error() {
+        let dev = device();
+        let p = problem(256, 4, 8);
+        let wrong = CountSketch::generate(&dev, 128, 32, 1);
+        assert!(matches!(
+            sketch_and_solve(&dev, &p, &wrong),
+            Err(LsqError::Sketch(_))
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributions layered on top of the Philox generator.
+//!
+//! The sketches in the paper need exactly three random ingredients (Section 4 and 6.1):
+//!
+//! * i.i.d. standard **Gaussians** scaled by `1/sqrt(k)` for the Gaussian sketch,
+//! * i.i.d. **Rademacher** signs (±1) for the CountSketch signs and the SRHT's `D`,
+//! * i.i.d. **uniform integers** in `{0, …, k-1}` for the CountSketch row map and the
+//!   SRHT's row sampling `P`.
+
+use crate::philox::PhiloxRng;
+
+/// Box–Muller transform producing standard normal variates two at a time.
+///
+/// cuRAND's normal generators use the same transform; it consumes two uniforms per pair
+/// which is what the generation-cost model in `sketch-gpu-sim` assumes.
+#[derive(Debug, Clone, Default)]
+pub struct BoxMuller {
+    /// Cached second variate of the most recent pair.
+    spare: Option<f64>,
+}
+
+impl BoxMuller {
+    /// Create a transform with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one standard normal variate.
+    #[inline]
+    pub fn sample(&mut self, rng: &mut PhiloxRng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let (z0, z1) = Self::sample_pair(rng);
+        self.spare = Some(z1);
+        z0
+    }
+
+    /// Draw a pair of independent standard normal variates.
+    #[inline]
+    pub fn sample_pair(rng: &mut PhiloxRng) -> (f64, f64) {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+/// Rademacher distribution: ±1 with equal probability.
+///
+/// The CountSketch kernel (Algorithm 2) never multiplies by the sign — it branches on a
+/// boolean — so the sampler exposes both a `f64` and a `bool` view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rademacher;
+
+impl Rademacher {
+    /// Sample a sign as `+1.0` / `-1.0`.
+    #[inline]
+    pub fn sample_f64(rng: &mut PhiloxRng) -> f64 {
+        if Self::sample_bool(rng) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Sample a sign as a boolean (`true` = `+1`).
+    #[inline]
+    pub fn sample_bool(rng: &mut PhiloxRng) -> bool {
+        rng.next_word() & 1 == 1
+    }
+}
+
+/// Uniform integer in `{0, …, bound-1}` using Lemire-style rejection to avoid modulo bias.
+///
+/// Used for the CountSketch row map `r_j` and the SRHT row sampling matrix `P`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformIndex {
+    bound: u32,
+    /// Rejection threshold: values below it would introduce bias and are re-drawn.
+    threshold: u32,
+}
+
+impl UniformIndex {
+    /// Create a sampler over `{0, …, bound-1}`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn new(bound: usize) -> Self {
+        assert!(bound > 0, "UniformIndex bound must be positive");
+        assert!(bound <= u32::MAX as usize, "UniformIndex bound too large");
+        let bound = bound as u32;
+        let threshold = bound.wrapping_neg() % bound;
+        Self { bound, threshold }
+    }
+
+    /// Upper bound (exclusive) of the sampled range.
+    #[inline]
+    pub fn bound(&self) -> usize {
+        self.bound as usize
+    }
+
+    /// Sample one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut PhiloxRng) -> usize {
+        loop {
+            let x = rng.next_word();
+            let m = (x as u64).wrapping_mul(self.bound as u64);
+            let lo = m as u32;
+            if lo >= self.threshold {
+                return (m >> 32) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = PhiloxRng::seed_from(99);
+        let mut bm = BoxMuller::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 1e-2, "mean = {mean}");
+        assert!((var - 1.0).abs() < 2e-2, "var = {var}");
+    }
+
+    #[test]
+    fn box_muller_pair_components_are_uncorrelated() {
+        let mut rng = PhiloxRng::seed_from(4);
+        let n = 100_000;
+        let mut cov = 0.0;
+        for _ in 0..n {
+            let (a, b) = BoxMuller::sample_pair(&mut rng);
+            cov += a * b;
+        }
+        cov /= n as f64;
+        assert!(cov.abs() < 1e-2, "cov = {cov}");
+    }
+
+    #[test]
+    fn rademacher_is_balanced() {
+        let mut rng = PhiloxRng::seed_from(7);
+        let n = 100_000;
+        let plus = (0..n)
+            .filter(|_| Rademacher::sample_bool(&mut rng))
+            .count();
+        let frac = plus as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 1e-2, "frac = {frac}");
+    }
+
+    #[test]
+    fn rademacher_f64_is_plus_or_minus_one() {
+        let mut rng = PhiloxRng::seed_from(8);
+        for _ in 0..1000 {
+            let s = Rademacher::sample_f64(&mut rng);
+            assert!(s == 1.0 || s == -1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_index_stays_in_range() {
+        let mut rng = PhiloxRng::seed_from(21);
+        for bound in [1usize, 2, 3, 7, 64, 1000, 1 << 20] {
+            let sampler = UniformIndex::new(bound);
+            for _ in 0..1000 {
+                assert!(sampler.sample(&mut rng) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_index_bound_one_is_always_zero() {
+        let mut rng = PhiloxRng::seed_from(22);
+        let sampler = UniformIndex::new(1);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_index_is_roughly_uniform() {
+        let mut rng = PhiloxRng::seed_from(23);
+        let bound = 16;
+        let sampler = UniformIndex::new(bound);
+        let n = 160_000;
+        let mut counts = vec![0usize; bound];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "bucket {i} off by {rel}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn uniform_index_rejects_zero_bound() {
+        UniformIndex::new(0);
+    }
+}

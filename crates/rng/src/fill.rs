@@ -1,0 +1,187 @@
+//! Deterministic parallel fills of large arrays.
+//!
+//! A Gaussian sketch of a `d x n` matrix with `d = 2^23` needs `2n·d` Gaussian variates;
+//! the paper counts that generation cost as part of the sketch time (the "Sketch gen
+//! time" stacks of Figures 2 and 5).  On the GPU every thread generates its own values
+//! from `(seed, counter)`; here every rayon chunk does the same, so the result is
+//! bit-identical regardless of thread count or chunk scheduling.
+
+use crate::distributions::{BoxMuller, Rademacher, UniformIndex};
+use crate::stream::StreamFactory;
+use rayon::prelude::*;
+
+/// Number of elements generated per independent chunk.
+///
+/// Each chunk starts at its own Philox block so chunks never share counter ranges;
+/// 8192 elements keeps scheduling overhead negligible while staying cache friendly.
+const CHUNK: usize = 8192;
+
+/// Worst-case Philox blocks consumed per generated element, used to space the chunk
+/// starting blocks far enough apart that chunks can never overlap.
+/// (A Gaussian pair consumes 4 words = 1 block; a rejection-sampled index may retry.)
+const BLOCKS_PER_ELEMENT: u64 = 4;
+
+/// Fill a new vector with standard normal variates, in parallel, deterministically.
+pub fn gaussian_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; len];
+    gaussian_fill(seed, stream, &mut out);
+    out
+}
+
+/// Fill an existing slice with standard normal variates (parallel, deterministic).
+pub fn gaussian_fill(seed: u64, stream: u64, out: &mut [f64]) {
+    let factory = StreamFactory::new(seed);
+    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+        let mut rng = factory.stream_at(stream, block);
+        let mut bm = BoxMuller::new();
+        for x in chunk.iter_mut() {
+            *x = bm.sample(&mut rng);
+        }
+    });
+}
+
+/// Fill a new vector with scaled normal variates `N(0, scale^2)`.
+pub fn scaled_gaussian_vec(seed: u64, stream: u64, len: usize, scale: f64) -> Vec<f64> {
+    let mut out = gaussian_vec(seed, stream, len);
+    out.par_iter_mut().for_each(|x| *x *= scale);
+    out
+}
+
+/// Fill a new vector with Rademacher signs stored as `+1.0` / `-1.0`.
+pub fn rademacher_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
+    rademacher_bool_vec(seed, stream, len)
+        .into_iter()
+        .map(|b| if b { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// Fill a new vector with Rademacher signs stored as booleans (`true` = `+1`),
+/// which is the representation Algorithm 2 consumes.
+pub fn rademacher_bool_vec(seed: u64, stream: u64, len: usize) -> Vec<bool> {
+    let factory = StreamFactory::new(seed);
+    let mut out = vec![false; len];
+    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+        let mut rng = factory.stream_at(stream, block);
+        for b in chunk.iter_mut() {
+            *b = Rademacher::sample_bool(&mut rng);
+        }
+    });
+    out
+}
+
+/// Fill a new vector with uniform indices in `{0, …, bound-1}` — the CountSketch row
+/// map and the SRHT row sample both use this.
+pub fn uniform_index_vec(seed: u64, stream: u64, len: usize, bound: usize) -> Vec<usize> {
+    let factory = StreamFactory::new(seed);
+    let sampler = UniformIndex::new(bound);
+    let mut out = vec![0usize; len];
+    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+        let mut rng = factory.stream_at(stream, block);
+        for r in chunk.iter_mut() {
+            *r = sampler.sample(&mut rng);
+        }
+    });
+    out
+}
+
+/// Fill a new vector with uniform doubles in `[0, 1)`.
+pub fn uniform_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
+    let factory = StreamFactory::new(seed);
+    let mut out = vec![0.0; len];
+    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+        let mut rng = factory.stream_at(stream, block);
+        for x in chunk.iter_mut() {
+            *x = rng.next_f64();
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_fill_is_deterministic_across_calls() {
+        let a = gaussian_vec(1, 0, 3 * CHUNK + 17);
+        let b = gaussian_vec(1, 0, 3 * CHUNK + 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_fill_prefix_is_chunk_stable() {
+        // The first CHUNK elements must not depend on total length (chunking is local).
+        let long = gaussian_vec(5, 1, 2 * CHUNK);
+        let short = gaussian_vec(5, 1, CHUNK);
+        assert_eq!(&long[..CHUNK], &short[..]);
+    }
+
+    #[test]
+    fn gaussian_fill_has_unit_variance() {
+        let v = gaussian_vec(2, 0, 100_000);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 2e-2);
+        assert!((var - 1.0).abs() < 3e-2);
+    }
+
+    #[test]
+    fn scaled_gaussian_scales_variance() {
+        let v = scaled_gaussian_vec(2, 0, 100_000, 0.5);
+        let var = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!((var - 0.25).abs() < 2e-2, "var = {var}");
+    }
+
+    #[test]
+    fn different_streams_give_different_data() {
+        let a = gaussian_vec(1, 0, 1000);
+        let b = gaussian_vec(1, 1, 1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rademacher_vec_is_signs_only_and_balanced() {
+        let v = rademacher_vec(3, 0, 50_000);
+        assert!(v.iter().all(|&x| x == 1.0 || x == -1.0));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 2e-2);
+    }
+
+    #[test]
+    fn rademacher_bool_matches_f64_version() {
+        let b = rademacher_bool_vec(3, 0, 4096);
+        let f = rademacher_vec(3, 0, 4096);
+        for (bi, fi) in b.iter().zip(f.iter()) {
+            assert_eq!(*bi, *fi > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_index_vec_respects_bound() {
+        let v = uniform_index_vec(4, 0, 100_000, 37);
+        assert!(v.iter().all(|&r| r < 37));
+        // All buckets should be hit for this many samples.
+        let mut seen = vec![false; 37];
+        for &r in &v {
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_vec_in_unit_interval() {
+        let v = uniform_vec(6, 2, 10_000);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn empty_fills_are_fine() {
+        assert!(gaussian_vec(1, 0, 0).is_empty());
+        assert!(uniform_index_vec(1, 0, 0, 5).is_empty());
+        assert!(rademacher_bool_vec(1, 0, 0).is_empty());
+    }
+}

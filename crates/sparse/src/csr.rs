@@ -1,0 +1,205 @@
+//! Compressed sparse row storage.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in CSR format: `row_ptr` (length `nrows + 1`), `col_idx` and `values`
+/// (length `nnz`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are structurally inconsistent.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows + 1 entries");
+        assert_eq!(col_idx.len(), values.len(), "col_idx / values length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), values.len(), "row_ptr must end at nnz");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be monotone");
+        assert!(col_idx.iter().all(|&j| j < ncols), "column index out of bounds");
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Convert from COO, summing duplicate coordinates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        // Sort triplets by (row, col); duplicates become adjacent and are merged.
+        let mut entries: Vec<(usize, usize, f64)> = coo.entries().to_vec();
+        entries.sort_unstable_by_key(|&(i, j, _)| (i, j));
+
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for &(i, j, v) in &entries {
+            if prev == Some((i, j)) {
+                *values.last_mut().expect("previous entry exists") += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+                row_ptr[i + 1] += 1;
+                prev = Some((i, j));
+            }
+        }
+        // Prefix-sum the per-row counts into offsets.
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate over `(col, value)` pairs of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.row_ptr[i];
+        let end = self.row_ptr[i + 1];
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Bytes occupied by the index + value arrays (used by traffic modelling).
+    pub fn size_bytes(&self) -> u64 {
+        (self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Dense representation for tests.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i) {
+                dense[i][j] += v;
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 3, 2.0);
+        coo.push(2, 0, -1.0);
+        coo.push(1, 2, 4.0);
+        coo
+    }
+
+    #[test]
+    fn coo_to_csr_preserves_dense_form() {
+        let coo = sample_coo();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.to_dense(), coo.to_dense());
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row_ptr(), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.to_dense()[0][0], 3.5);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut coo = CooMatrix::new(4, 2);
+        coo.push(3, 1, 7.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.row_ptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(csr.row(0).count(), 0);
+        assert_eq!(csr.row(3).collect::<Vec<_>>(), vec![(1, 7.0)]);
+    }
+
+    #[test]
+    fn from_raw_validates_structure() {
+        let csr = CsrMatrix::from_raw(2, 3, vec![0, 1, 2], vec![0, 2], vec![1.0, 2.0]);
+        assert_eq!(csr.to_dense(), vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 2.0]]);
+        assert!(csr.size_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn from_raw_rejects_inconsistent_nnz() {
+        CsrMatrix::from_raw(1, 1, vec![0, 2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn from_raw_rejects_bad_column() {
+        CsrMatrix::from_raw(1, 1, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn empty_matrix_conversion() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row_ptr(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Section 7 as an example: apply one global sketch to a block-row distributed matrix
+//! and compare communication volume and per-process compute across sketch types.
+//!
+//! Run with: `cargo run --release --example distributed_sketch`
+
+use gpu_countsketch::prelude::*;
+
+fn main() {
+    let d = 1 << 14;
+    let n = 32;
+    let p = 8;
+    let device = Device::unlimited();
+    let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 5, 0);
+    let dist = BlockRowMatrix::split(&a, p);
+    println!("A is {d} x {n}, distributed block-row across {p} simulated processes\n");
+
+    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
+    let gauss = GaussianSketch::generate(&device, d, 2 * n, 2).expect("fits in memory");
+    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).expect("fits in memory");
+
+    let single = count.apply_matrix(&device, &a).expect("single-device reference");
+    let out_count = distributed_countsketch(&device, &dist, &count).expect("dims match");
+    let out_gauss = distributed_gaussian(&device, &dist, &gauss).expect("dims match");
+    let out_multi = distributed_multisketch(&device, &dist, &multi).expect("dims match");
+
+    println!(
+        "distributed CountSketch equals the single-device result: max diff {:.2e}\n",
+        out_count.result.max_abs_diff(&single).expect("same shape")
+    );
+
+    println!(
+        "{:<14} {:>12} {:>18} {:>22}",
+        "sketch", "output dim", "comm words", "max per-process flops"
+    );
+    for (label, run) in [
+        ("Gaussian", &out_gauss),
+        ("CountSketch", &out_count),
+        ("MultiSketch", &out_multi),
+    ] {
+        let max_flops = run.per_process_cost.iter().map(|c| c.flops).max().unwrap_or(0);
+        println!(
+            "{:<14} {:>12} {:>18} {:>22}",
+            label,
+            run.result.nrows(),
+            run.comm.total_words(),
+            max_flops
+        );
+    }
+
+    println!("\nThe multisketch communicates as little as the Gaussian (2n rows reduced)");
+    println!("while doing CountSketch-level work per process — Section 7's conclusion that");
+    println!("it 'will almost certainly outperform the Gaussian in a distributed setting'.");
+}

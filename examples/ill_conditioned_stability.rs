@@ -1,0 +1,49 @@
+//! The Figure 8 experiment as an example: sweep the condition number of `A` and watch
+//! the normal equations fail while the sketched solvers and QR stay accurate.
+//!
+//! Run with: `cargo run --release --example ill_conditioned_stability`
+
+use gpu_countsketch::prelude::*;
+
+fn main() {
+    let d = 1 << 13;
+    let n = 16;
+    println!("Least squares with b = A*ones (exact solution exists), A is {d} x {n}\n");
+    println!(
+        "{:>10}  {:>14} {:>14} {:>14} {:>14}",
+        "cond(A)", "Normal Eq", "Count", "Multi", "QR"
+    );
+
+    for exponent in (0..=16).step_by(2) {
+        let kappa = 10f64.powi(exponent);
+        let device = Device::unlimited();
+        let problem =
+            LsqProblem::conditioned(&device, d, n, kappa, 42 + exponent as u64).expect("valid");
+        let mut cells = Vec::new();
+        for method in [
+            Method::NormalEquations,
+            Method::CountSketch,
+            Method::MultiSketch,
+            Method::Qr,
+        ] {
+            let cell = match solve(&device, &problem, method, 7) {
+                Ok(sol) => match sol.relative_residual(&device, &problem) {
+                    Ok(r) if r.is_finite() => format!("{r:.3e}"),
+                    _ => "NaN".to_string(),
+                },
+                Err(e) if e.is_gram_breakdown() => "POTRF fail".to_string(),
+                Err(_) => "failed".to_string(),
+            };
+            cells.push(cell);
+        }
+        println!(
+            "{:>10.1e}  {:>14} {:>14} {:>14} {:>14}",
+            kappa, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!("\nThe normal equations square the condition number, so they lose accuracy (and");
+    println!("eventually the Cholesky factorisation fails outright) once cond(A) passes ~1e8,");
+    println!("while the sketch-and-solve and QR solvers keep tracking the exact solution —");
+    println!("exactly the behaviour of Figure 8 in the paper.");
+}

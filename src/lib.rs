@@ -1,0 +1,70 @@
+//! # gpu-countsketch
+//!
+//! Umbrella crate for the reproduction of *"A High Performance GPU CountSketch
+//! Implementation and Its Application to Multisketching and Least Squares Problems"*
+//! (Higgins, Boman, Yamazaki — SC 2025) on a simulated GPU device model.
+//!
+//! This crate simply re-exports the workspace's public API under one roof so the
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`sketch`] — the sketch operators (CountSketch, Gaussian, SRHT, multisketch),
+//! * [`lsq`] — the least squares solvers (normal equations, sketch-and-solve,
+//!   rand_cholQR, QR),
+//! * [`la`] — the dense linear algebra substrate,
+//! * [`sparse`] — the sparse (SpMM) substrate,
+//! * [`gpu`] — the simulated device, cost counters and roofline model,
+//! * [`rng`] — the Philox counter-based random number generator,
+//! * [`dist`] — the block-row distributed sketching simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_countsketch::prelude::*;
+//!
+//! let device = Device::h100();
+//! let d = 4096;
+//! let n = 8;
+//! let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
+//! let sketch = CountSketch::generate(&device, d, 2 * n * n, 2);
+//! let y = sketch.apply_matrix(&device, &a).unwrap();
+//! assert_eq!(y.nrows(), 2 * n * n);
+//! println!("modelled H100 time: {:.3} ms",
+//!          device.model_time(&device.tracker().snapshot()) * 1e3);
+//! ```
+
+pub use sketch_core as sketch;
+pub use sketch_dist as dist;
+pub use sketch_gpu_sim as gpu;
+pub use sketch_la as la;
+pub use sketch_lsq as lsq;
+pub use sketch_rng as rng;
+pub use sketch_sparse as sparse;
+
+/// The most commonly used types, importable with one `use` line.
+pub mod prelude {
+    pub use sketch_core::{
+        CountSketch, FrequencyCountSketch, GaussianSketch, HashCountSketch, MultiSketch,
+        SketchError, SketchOperator, Srht,
+    };
+    pub use sketch_dist::{
+        distributed_countsketch, distributed_gaussian, distributed_multisketch, BlockRowMatrix,
+    };
+    pub use sketch_gpu_sim::{Device, DeviceSpec, KernelCost, Phase, Profiler, RunBreakdown};
+    pub use sketch_la::{Layout, Matrix, Op};
+    pub use sketch_lsq::{solve, LsqProblem, LsqSolution, Method};
+    pub use sketch_rng::{PhiloxRng, StreamFactory};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_end_to_end_pipeline() {
+        let device = Device::h100();
+        let problem = LsqProblem::easy(&device, 1024, 4, 1).unwrap();
+        let sol = solve(&device, &problem, Method::MultiSketch, 2).unwrap();
+        assert_eq!(sol.x.len(), 4);
+        assert!(sol.relative_residual(&device, &problem).unwrap().is_finite());
+    }
+}
