@@ -222,12 +222,7 @@ impl SketchMethod {
 /// Cost the GEMM kernel records for an `m x k` times `k x n` product.
 pub fn gemm_cost(m: u64, k: u64, n: u64, accumulate: bool) -> KernelCost {
     let read_c = if accumulate { m * n } else { 0 };
-    KernelCost::new(
-        f64b(m * k + k * n + read_c),
-        f64b(m * n),
-        2 * m * n * k,
-        1,
-    )
+    KernelCost::new(f64b(m * k + k * n + read_c), f64b(m * n), 2 * m * n * k, 1)
 }
 
 /// Cost the Algorithm 2 CountSketch kernel records for a row-major `d x n` operand.
@@ -444,7 +439,8 @@ mod tests {
             let recorded = device.tracker().snapshot();
             let analytic = method.apply_cost(d, n);
             assert_eq!(
-                recorded, analytic,
+                recorded,
+                analytic,
                 "{}: recorded {recorded:?} vs analytic {analytic:?}",
                 method.label()
             );
@@ -513,7 +509,12 @@ mod tests {
         }
         // The multisketch and CountSketch never exceed the budget.
         for (d, n) in [(1usize << 23, 128usize), (1 << 22, 256)] {
-            assert!(!exceeds_suite_memory(SketchMethod::MultiSketch, d, n, &spec));
+            assert!(!exceeds_suite_memory(
+                SketchMethod::MultiSketch,
+                d,
+                n,
+                &spec
+            ));
             assert!(!exceeds_suite_memory(SketchMethod::CountAlg2, d, n, &spec));
         }
     }
@@ -550,7 +551,10 @@ mod tests {
             .iter()
             .map(|(_, c)| device.model_time(c))
             .sum();
-        assert!(multi < ne, "multi {multi} should beat normal equations {ne}");
+        assert!(
+            multi < ne,
+            "multi {multi} should beat normal equations {ne}"
+        );
         let speedup = (ne - multi) / ne;
         assert!(
             speedup > 0.3,

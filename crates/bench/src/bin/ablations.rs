@@ -57,7 +57,12 @@ fn main() {
         let dev = Device::h100();
         let (_, wall) = time_wall(|| cs.apply_matrix(&dev, operand).unwrap());
         let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
-        table.push_row(vec!["operand layout".into(), label.into(), ms(model), ms(wall)]);
+        table.push_row(vec![
+            "operand layout".into(),
+            label.into(),
+            ms(model),
+            ms(wall),
+        ]);
     }
 
     // 3. Multisketch transpose trick vs naive conversion.
@@ -71,7 +76,12 @@ fn main() {
         };
         let (_, wall) = time_wall(|| op.apply_matrix(&dev, &a_rm).unwrap());
         let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
-        table.push_row(vec!["multisketch layout".into(), label.into(), ms(model), ms(wall)]);
+        table.push_row(vec![
+            "multisketch layout".into(),
+            label.into(),
+            ms(model),
+            ms(wall),
+        ]);
     }
 
     // 4. Radix-4 vs radix-2 FWHT (wall clock only; same modelled traffic).
@@ -79,8 +89,18 @@ fn main() {
     let mut v2 = v4.clone();
     let (_, wall4) = time_wall(|| fwht_in_place(&mut v4));
     let (_, wall2) = time_wall(|| fwht_radix2_in_place(&mut v2));
-    table.push_row(vec!["FWHT radix".into(), "radix-4 (Alg 3)".into(), "-".into(), ms(wall4)]);
-    table.push_row(vec!["FWHT radix".into(), "radix-2".into(), "-".into(), ms(wall2)]);
+    table.push_row(vec![
+        "FWHT radix".into(),
+        "radix-4 (Alg 3)".into(),
+        "-".into(),
+        ms(wall4),
+    ]);
+    table.push_row(vec![
+        "FWHT radix".into(),
+        "radix-2".into(),
+        "-".into(),
+        ms(wall2),
+    ]);
 
     // 5. SyRK vs GeMM for the Gram matrix.
     for (label, use_syrk) in [("GeMM (paper's choice)", false), ("SyRK", true)] {
@@ -93,7 +113,12 @@ fn main() {
             }
         });
         let model = dev.model_time(&dev.tracker().snapshot()) * 1e3;
-        table.push_row(vec!["Gram matrix".into(), label.into(), ms(model), ms(wall)]);
+        table.push_row(vec![
+            "Gram matrix".into(),
+            label.into(),
+            ms(model),
+            ms(wall),
+        ]);
     }
 
     table.print();

@@ -17,7 +17,10 @@ fn main() {
     ];
     // When invoked through cargo the sibling binaries live next to this executable.
     let current = std::env::current_exe().expect("current executable path");
-    let dir = current.parent().expect("executable directory").to_path_buf();
+    let dir = current
+        .parent()
+        .expect("executable directory")
+        .to_path_buf();
     for name in binaries {
         println!("\n########## {name} ##########");
         let path = dir.join(name);
@@ -25,7 +28,15 @@ fn main() {
             Command::new(&path).status()
         } else {
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "sketch-bench", "--bin", name])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "sketch-bench",
+                    "--bin",
+                    name,
+                ])
                 .status()
         };
         match status {

@@ -25,9 +25,18 @@ fn main() {
     for p in [2usize, 4, 8, 16] {
         let dist = BlockRowMatrix::split(&a, p);
         let runs = [
-            ("Gaussian", distributed_gaussian(&device, &dist, &gauss).unwrap()),
-            ("CountSketch", distributed_countsketch(&device, &dist, &count).unwrap()),
-            ("MultiSketch", distributed_multisketch(&device, &dist, &multi).unwrap()),
+            (
+                "Gaussian",
+                distributed_gaussian(&device, &dist, &gauss).unwrap(),
+            ),
+            (
+                "CountSketch",
+                distributed_countsketch(&device, &dist, &count).unwrap(),
+            ),
+            (
+                "MultiSketch",
+                distributed_multisketch(&device, &dist, &multi).unwrap(),
+            ),
         ];
         for (label, run) in runs {
             let max_flops = run

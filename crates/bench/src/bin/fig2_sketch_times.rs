@@ -9,7 +9,9 @@ fn print_scale(scale: ExperimentScale, title: &str) {
     let rows = sketch_timing_rows(scale, 42);
     let mut table = Table::new(
         title,
-        &["d", "n", "method", "gen ms", "apply ms", "total ms", "wall ms", "note"],
+        &[
+            "d", "n", "method", "gen ms", "apply ms", "total ms", "wall ms", "note",
+        ],
     );
     for r in rows {
         table.push_row(vec![
@@ -20,7 +22,11 @@ fn print_scale(scale: ExperimentScale, title: &str) {
             ms(r.apply_model_ms),
             ms(r.total_model_ms()),
             ms(r.wall_ms),
-            if r.out_of_memory { "OOM (blank bar)".into() } else { String::new() },
+            if r.out_of_memory {
+                "OOM (blank bar)".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     table.print();

@@ -15,7 +15,11 @@ fn main() {
             format!("2^{}", r.point.d.trailing_zeros()),
             r.point.n.to_string(),
             r.method.label().to_string(),
-            if r.out_of_memory { "OOM".into() } else { pct(r.pct_peak_bandwidth) },
+            if r.out_of_memory {
+                "OOM".into()
+            } else {
+                pct(r.pct_peak_bandwidth)
+            },
         ]);
     }
     table.print();

@@ -19,8 +19,16 @@ fn main() {
             format!("2^{}", r.point.d.trailing_zeros()),
             r.point.n.to_string(),
             r.method.to_string(),
-            if r.out_of_memory { "OOM".into() } else { ms(r.total_model_ms) },
-            if r.out_of_memory { "blank bar".into() } else { phases },
+            if r.out_of_memory {
+                "OOM".into()
+            } else {
+                ms(r.total_model_ms)
+            },
+            if r.out_of_memory {
+                "blank bar".into()
+            } else {
+                phases
+            },
         ]);
     }
     paper.print();

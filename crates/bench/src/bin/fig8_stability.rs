@@ -13,7 +13,9 @@ fn main() {
         table.push_row(vec![
             sci(r.kappa),
             r.method.to_string(),
-            r.residual.map(sci).unwrap_or_else(|| "failed (POTRF breakdown)".into()),
+            r.residual
+                .map(sci)
+                .unwrap_or_else(|| "failed (POTRF breakdown)".into()),
         ]);
     }
     table.print();

@@ -9,7 +9,13 @@ fn main() {
     let (d, n, eps) = (1usize << 21, 128usize, 0.5f64);
     let mut symbolic = Table::new(
         format!("Table 1 (symbolic, evaluated at d = 2^21, n = {n}, eps = {eps})"),
-        &["Sketch", "Embed dim", "Arithmetic", "Read/Writes", "Max distortion"],
+        &[
+            "Sketch",
+            "Embed dim",
+            "Arithmetic",
+            "Read/Writes",
+            "Max distortion",
+        ],
     );
     for kind in SketchKind::ALL {
         symbolic.push_row(vec![

@@ -213,9 +213,7 @@ mod tests {
     fn paper_scale_figure5_rows_cover_all_methods_and_sizes() {
         let rows = lsq_breakdown_paper_rows();
         assert_eq!(rows.len(), 11 * 6);
-        assert!(rows
-            .iter()
-            .any(|r| r.method == "Gauss" && r.out_of_memory));
+        assert!(rows.iter().any(|r| r.method == "Gauss" && r.out_of_memory));
     }
 
     #[test]
@@ -232,7 +230,10 @@ mod tests {
             let qr = of("QR");
             for label in ["Gauss", "Count", "Multi", "SRHT"] {
                 let res = of(label);
-                assert!(res + 1e-12 >= qr, "{label} residual {res} below optimum {qr}");
+                assert!(
+                    res + 1e-12 >= qr,
+                    "{label} residual {res} below optimum {qr}"
+                );
                 assert!(res < 3.0 * qr, "{label} residual {res} vs QR {qr}");
             }
             for label in ["Normal Eq", "rand_cholQR"] {

@@ -177,7 +177,10 @@ mod tests {
         let spmm = at(SketchMethod::CountSpmm).total_model_ms();
         assert!(count < gram, "CountSketch {count} vs Gram {gram}");
         assert!(multi < gram, "Multi {multi} vs Gram {gram}");
-        assert!(spmm > count, "SPMM {spmm} should lose to the dedicated kernel {count}");
+        assert!(
+            spmm > count,
+            "SPMM {spmm} should lose to the dedicated kernel {count}"
+        );
         let gauss = at(SketchMethod::Gaussian);
         assert!(gauss.out_of_memory || gauss.total_model_ms() > gram);
     }
@@ -196,7 +199,10 @@ mod tests {
         // The CountSketch and multisketch never OOM.
         assert!(rows
             .iter()
-            .filter(|r| matches!(r.method, SketchMethod::CountAlg2 | SketchMethod::MultiSketch))
+            .filter(|r| matches!(
+                r.method,
+                SketchMethod::CountAlg2 | SketchMethod::MultiSketch
+            ))
             .all(|r| !r.out_of_memory));
     }
 
@@ -244,10 +250,14 @@ mod tests {
 
     #[test]
     fn measured_rows_execute_and_fill_wall_clock_times() {
-        let rows: Vec<SketchTimingRow> = [SketchMethod::Gram, SketchMethod::CountAlg2, SketchMethod::MultiSketch]
-            .into_iter()
-            .map(|m| measured_row(SweepPoint { d: 4096, n: 16 }, m, 3))
-            .collect();
+        let rows: Vec<SketchTimingRow> = [
+            SketchMethod::Gram,
+            SketchMethod::CountAlg2,
+            SketchMethod::MultiSketch,
+        ]
+        .into_iter()
+        .map(|m| measured_row(SweepPoint { d: 4096, n: 16 }, m, 3))
+        .collect();
         for r in &rows {
             assert!(!r.out_of_memory);
             assert!(r.wall_ms > 0.0);

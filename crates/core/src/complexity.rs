@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn labels_and_order_match_table1() {
         let labels: Vec<&str> = SketchKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels, vec!["Gaussian", "SRHT", "CountSketch", "MultiSketch"]);
+        assert_eq!(
+            labels,
+            vec!["Gaussian", "SRHT", "CountSketch", "MultiSketch"]
+        );
     }
 
     #[test]
@@ -132,7 +135,9 @@ mod tests {
         );
         // dn + n⁴ is far below dn² for these sizes.
         assert!(SketchKind::MultiSketch.arithmetic(d, n) < SketchKind::Gaussian.arithmetic(d, n));
-        assert!(SketchKind::MultiSketch.arithmetic(d, n) >= SketchKind::CountSketch.arithmetic(d, n));
+        assert!(
+            SketchKind::MultiSketch.arithmetic(d, n) >= SketchKind::CountSketch.arithmetic(d, n)
+        );
     }
 
     #[test]
@@ -154,6 +159,9 @@ mod tests {
         assert_eq!(SketchKind::Gaussian.experimental_embedding_dim(n), 256);
         assert_eq!(SketchKind::Srht.experimental_embedding_dim(n), 256);
         assert_eq!(SketchKind::MultiSketch.experimental_embedding_dim(n), 256);
-        assert_eq!(SketchKind::CountSketch.experimental_embedding_dim(n), 2 * 128 * 128);
+        assert_eq!(
+            SketchKind::CountSketch.experimental_embedding_dim(n),
+            2 * 128 * 128
+        );
     }
 }

@@ -91,11 +91,17 @@ impl CountSketch {
         &self.signs
     }
 
-    /// Record the cost of one Algorithm-2 style application to a `d x n` operand.
-    fn record_apply_cost(&self, device: &Device, ncols: usize, col_major_input: bool) {
-        let d = self.d as u64;
+    /// Modelled cost of one Algorithm-2 style application of a CountSketch
+    /// with `d_rows` input rows and `k` output rows to an operand with `ncols`
+    /// columns.
+    ///
+    /// Exposed so other drivers (e.g. `sketch-dist`, which applies row slices
+    /// of one global sketch per rank) charge exactly the same model as the
+    /// single-device kernel instead of duplicating the formula.
+    pub fn apply_cost(d_rows: usize, k: usize, ncols: usize, col_major_input: bool) -> KernelCost {
+        let d = d_rows as u64;
         let n = ncols as u64;
-        let k = self.k as u64;
+        let k = k as u64;
         let read_a = KernelCost::f64_bytes(d * n)
             * if col_major_input {
                 COL_MAJOR_READ_PENALTY
@@ -104,13 +110,17 @@ impl CountSketch {
             };
         // Atomic add = read-modify-write on the output row, plus the initial zeroing of
         // Y and the index/sign reads.
-        let cost = KernelCost::new(
+        KernelCost::new(
             read_a + KernelCost::f64_bytes(d * n) + d * 5,
             KernelCost::f64_bytes(d * n) + KernelCost::f64_bytes(k * n),
             d * n,
             2,
-        );
-        device.record(cost);
+        )
+    }
+
+    /// Record the cost of one Algorithm-2 style application to a `d x n` operand.
+    fn record_apply_cost(&self, device: &Device, ncols: usize, col_major_input: bool) {
+        device.record(Self::apply_cost(self.d, self.k, ncols, col_major_input));
     }
 
     /// Apply via **Algorithm 2**: one parallel task per input row, atomic adds into `Y`.
@@ -219,7 +229,8 @@ impl CountSketch {
     /// The naive baseline: materialise `S` as CSR and multiply with the generic SpMM.
     pub fn apply_matrix_spmm(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
         self.check_input_dim(a.nrows())?;
-        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * a.ncols()) as u64))?;
+        let _reservation =
+            device.try_reserve(KernelCost::f64_bytes((self.k * a.ncols()) as u64))?;
         let s = self.to_sparse();
         Ok(spmm(device, &s, a))
     }
@@ -523,7 +534,11 @@ mod tests {
         let dense = s.to_dense();
         for j in 0..100 {
             let nonzeros: Vec<f64> = (0..16).map(|i| dense[i][j]).filter(|&v| v != 0.0).collect();
-            assert_eq!(nonzeros.len(), 1, "column {j} must have exactly one nonzero");
+            assert_eq!(
+                nonzeros.len(),
+                1,
+                "column {j} must have exactly one nonzero"
+            );
             assert!(nonzeros[0] == 1.0 || nonzeros[0] == -1.0);
         }
     }
@@ -535,11 +550,15 @@ mod tests {
         let b = Matrix::random_gaussian(120, 3, Layout::RowMajor, 8, 1);
         let cs = CountSketch::generate(&d, 120, 24, 9);
         // S(A + 2B) == SA + 2 SB
-        let apb = Matrix::from_fn(120, 3, Layout::RowMajor, |i, j| a.get(i, j) + 2.0 * b.get(i, j));
+        let apb = Matrix::from_fn(120, 3, Layout::RowMajor, |i, j| {
+            a.get(i, j) + 2.0 * b.get(i, j)
+        });
         let left = cs.apply_matrix(&d, &apb).unwrap();
         let sa = cs.apply_matrix(&d, &a).unwrap();
         let sb = cs.apply_matrix(&d, &b).unwrap();
-        let right = Matrix::from_fn(24, 3, Layout::RowMajor, |i, j| sa.get(i, j) + 2.0 * sb.get(i, j));
+        let right = Matrix::from_fn(24, 3, Layout::RowMajor, |i, j| {
+            sa.get(i, j) + 2.0 * sb.get(i, j)
+        });
         assert!(left.max_abs_diff(&right).unwrap() < 1e-10);
     }
 
@@ -563,7 +582,10 @@ mod tests {
         let a = Matrix::zeros_with_layout(40, 2, Layout::RowMajor);
         assert!(matches!(
             cs.apply_matrix(&d, &a),
-            Err(SketchError::DimensionMismatch { expected: 50, found: 40 })
+            Err(SketchError::DimensionMismatch {
+                expected: 50,
+                found: 40
+            })
         ));
         assert!(cs.apply_vector(&d, &[0.0; 49]).is_err());
     }
@@ -649,7 +671,10 @@ mod tests {
                 minus += 1;
             }
         }
-        assert!(plus > 300 && minus > 300, "signs unbalanced: {plus}/{minus}");
+        assert!(
+            plus > 300 && minus > 300,
+            "signs unbalanced: {plus}/{minus}"
+        );
     }
 
     #[test]

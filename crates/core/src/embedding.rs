@@ -172,7 +172,10 @@ mod tests {
         let vectors = Matrix::zeros(dim, 3);
         let cs = CountSketch::generate(&d, dim, 64, 1);
         assert_eq!(max_norm_distortion(&d, &cs, &vectors).unwrap(), 0.0);
-        assert_eq!(max_inner_product_distortion(&d, &cs, &vectors).unwrap(), 0.0);
+        assert_eq!(
+            max_inner_product_distortion(&d, &cs, &vectors).unwrap(),
+            0.0
+        );
         let eps = subspace_embedding_distortion(&d, &cs, &vectors).unwrap();
         assert_eq!(eps, 0.0);
     }

@@ -37,17 +37,15 @@ impl GaussianSketch {
         let bytes = KernelCost::f64_bytes((k * d) as u64);
         if !device.memory().would_fit(bytes) {
             // Report the same error try_reserve would produce, without reserving.
-            return Err(device.try_reserve(bytes).expect_err("would_fit said no").into());
+            return Err(device
+                .try_reserve(bytes)
+                .expect_err("would_fit said no")
+                .into());
         }
         let scale = 1.0 / (k as f64).sqrt();
         let data = fill::scaled_gaussian_vec(seed, 0, k * d, scale);
         let matrix = Matrix::from_vec(k, d, Layout::RowMajor, data);
-        let generation_cost = KernelCost::new(
-            0,
-            bytes,
-            (k * d) as u64 * FLOPS_PER_GAUSSIAN,
-            1,
-        );
+        let generation_cost = KernelCost::new(0, bytes, (k * d) as u64 * FLOPS_PER_GAUSSIAN, 1);
         device.record(generation_cost);
         Ok(Self {
             matrix,
@@ -92,7 +90,15 @@ impl SketchOperator for GaussianSketch {
     fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
         self.check_input_dim(x.len())?;
         let _res_s = device.try_reserve(self.size_bytes())?;
-        Ok(blas2::gemv(device, 1.0, Op::NoTrans, &self.matrix, x, 0.0, None)?)
+        Ok(blas2::gemv(
+            device,
+            1.0,
+            Op::NoTrans,
+            &self.matrix,
+            x,
+            0.0,
+            None,
+        )?)
     }
 
     fn generation_cost(&self) -> KernelCost {

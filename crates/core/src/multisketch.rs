@@ -191,7 +191,11 @@ mod tests {
         let a = Matrix::random_gaussian(500, 6, Layout::RowMajor, 1, 0);
         let ms = MultiSketch::generate_default(&d, 500, 6, 5).unwrap();
         let z_trick = ms.apply_matrix(&d, &a).unwrap();
-        let z_naive = ms.clone().with_naive_layout_handling().apply_matrix(&d, &a).unwrap();
+        let z_naive = ms
+            .clone()
+            .with_naive_layout_handling()
+            .apply_matrix(&d, &a)
+            .unwrap();
         assert!(z_trick.max_abs_diff(&z_naive).unwrap() < 1e-9);
         assert_eq!(z_trick.nrows(), 12);
         assert_eq!(z_trick.ncols(), 6);

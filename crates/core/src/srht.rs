@@ -208,7 +208,7 @@ mod tests {
             let mut acc = 0.0;
             for (j, &vj) in v.iter().enumerate() {
                 // Hadamard entry (-1)^{popcount(i & j)}.
-                let sign = if ((i & j) as u64).count_ones() % 2 == 0 {
+                let sign = if ((i & j) as u64).count_ones().is_multiple_of(2) {
                     1.0
                 } else {
                     -1.0

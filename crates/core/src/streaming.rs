@@ -1,7 +1,7 @@
 //! The original streaming CountSketch of Charikar, Chen and Farach-Colton.
 //!
 //! The paper's CountSketch is named after the frequent-items data structure of
-//! reference [7]; Section 8 points out that a hash-based, on-the-fly formulation would
+//! reference \[7\]; Section 8 points out that a hash-based, on-the-fly formulation would
 //! make the GPU kernel "more amenable to streaming applications".  This module provides
 //! that streaming application — approximate frequency estimation over a stream of item
 //! identifiers — both as a faithful nod to the original algorithm and as the workload
@@ -87,7 +87,9 @@ impl FrequencyCountSketch {
     /// Estimate the total weight of `item` seen so far (median over the rows).
     pub fn estimate(&self, item: u64) -> f64 {
         let mut votes: Vec<f64> = (0..self.depth)
-            .map(|row| self.sign(row, item) * self.counters[row * self.width + self.bucket(row, item)])
+            .map(|row| {
+                self.sign(row, item) * self.counters[row * self.width + self.bucket(row, item)]
+            })
             .collect();
         votes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN counters"));
         let mid = self.depth / 2;

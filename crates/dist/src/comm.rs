@@ -1,0 +1,83 @@
+//! Communication volume model for the allreduce of sketched partials.
+
+/// Modelled cost of allreduce-summing one `k x n` partial result across `P`
+/// processes with a bandwidth-optimal ring (reduce-scatter + allgather).
+///
+/// Each process sends and receives `2 (P-1)/P · k·n` words; summed over the
+/// ring's links the total traffic is `2 (P-1) · k·n` words.  With `P = 1` the
+/// allreduce degenerates to a no-op and every volume is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommCost {
+    /// Number of participating processes.
+    pub processes: usize,
+    /// Elements of the reduced matrix (`k · n`).
+    pub reduced_words: u64,
+}
+
+impl CommCost {
+    /// Model an allreduce of a `k x n` matrix across `processes` ranks.
+    ///
+    /// # Panics
+    /// Panics if `processes` is zero — a reduction needs at least one rank.
+    pub fn allreduce(processes: usize, k: usize, n: usize) -> Self {
+        assert!(processes > 0, "allreduce needs at least one process");
+        Self {
+            processes,
+            reduced_words: (k * n) as u64,
+        }
+    }
+
+    /// Total words crossing the network, summed over all links.
+    pub fn total_words(&self) -> u64 {
+        2 * (self.processes as u64).saturating_sub(1) * self.reduced_words
+    }
+
+    /// Words each process sends (= receives) in the ring allreduce.
+    pub fn words_per_process(&self) -> u64 {
+        if self.processes == 0 {
+            return 0;
+        }
+        self.total_words() / self.processes as u64
+    }
+
+    /// Total bytes crossing the network (`f64` payload).
+    pub fn total_bytes(&self) -> u64 {
+        8 * self.total_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_needs_no_communication() {
+        let c = CommCost::allreduce(1, 64, 32);
+        assert_eq!(c.total_words(), 0);
+        assert_eq!(c.words_per_process(), 0);
+    }
+
+    #[test]
+    fn volume_grows_linearly_in_processes_minus_one() {
+        let k = 64;
+        let n = 32;
+        let base = CommCost::allreduce(2, k, n).total_words();
+        assert_eq!(base, 2 * (k * n) as u64);
+        for p in [4usize, 8, 16] {
+            let c = CommCost::allreduce(p, k, n);
+            assert_eq!(c.total_words(), (p as u64 - 1) * base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_is_rejected() {
+        CommCost::allreduce(0, 16, 8);
+    }
+
+    #[test]
+    fn bytes_are_eight_times_words() {
+        let c = CommCost::allreduce(4, 16, 8);
+        assert_eq!(c.total_bytes(), 8 * c.total_words());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the distributed sketching drivers.
+
+use sketch_core::SketchError;
+use sketch_la::LaError;
+use std::fmt;
+
+/// Errors produced by the distributed drivers.
+#[derive(Debug)]
+pub enum DistError {
+    /// The sketch's input dimension does not match the distributed matrix.
+    DimensionMismatch {
+        /// Rows the sketch expects.
+        expected: usize,
+        /// Global rows the distributed matrix actually has.
+        found: usize,
+    },
+    /// A rank's local sketch application failed.
+    Sketch(SketchError),
+    /// A dense kernel invoked by a rank failed.
+    La(LaError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::DimensionMismatch { expected, found } => write!(
+                f,
+                "sketch expects {expected} global rows but the distributed matrix has {found}"
+            ),
+            DistError::Sketch(e) => write!(f, "local sketch application failed: {e}"),
+            DistError::La(e) => write!(f, "local dense kernel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Sketch(e) => Some(e),
+            DistError::La(e) => Some(e),
+            DistError::DimensionMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<SketchError> for DistError {
+    fn from(e: SketchError) -> Self {
+        DistError::Sketch(e)
+    }
+}
+
+impl From<LaError> for DistError {
+    fn from(e: LaError) -> Self {
+        DistError::La(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DistError::DimensionMismatch {
+            expected: 10,
+            found: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('9'));
+    }
+}

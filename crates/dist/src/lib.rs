@@ -1,0 +1,54 @@
+//! # sketch-dist
+//!
+//! Block-row distributed sketching simulation (Section 7 of the paper).
+//!
+//! The paper closes by arguing that the Count-Gauss multisketch "will almost
+//! certainly outperform the Gaussian in a distributed setting": both reduce the
+//! same tiny `2n x n` matrix across processes, but the multisketch's local work
+//! is CountSketch-shaped rather than a fat GEMM.  This crate reproduces that
+//! argument quantitatively:
+//!
+//! * [`BlockRowMatrix`] — a tall matrix partitioned into `P` contiguous row
+//!   blocks, one per simulated rank;
+//! * [`distributed_countsketch`] / [`distributed_gaussian`] /
+//!   [`distributed_multisketch`] — apply one *global* sketch to the distributed
+//!   matrix: every rank sketches its local block with its slice of the
+//!   operator, then the partial results are allreduce-summed;
+//! * [`DistributedRun`] — the reduced result plus per-process
+//!   [`KernelCost`](sketch_gpu_sim::KernelCost)s and the modelled [`CommCost`]
+//!   of the allreduce.
+//!
+//! The distributed CountSketch folds contributions in global row order, so as
+//! long as the single-device kernel is deterministic and uses that same order
+//! (true under the workspace's sequential rayon shim) the two results are
+//! **bit-for-bit identical**; with a genuinely parallel rayon the guarantee
+//! weakens to equality up to floating-point reassociation.
+//!
+//! ```
+//! use sketch_core::CountSketch;
+//! use sketch_dist::{distributed_countsketch, BlockRowMatrix};
+//! use sketch_gpu_sim::Device;
+//! use sketch_la::{Layout, Matrix};
+//!
+//! let device = Device::unlimited();
+//! let a = Matrix::random_gaussian(1 << 10, 8, Layout::RowMajor, 1, 0);
+//! let sketch = CountSketch::generate(&device, 1 << 10, 128, 2);
+//! let dist = BlockRowMatrix::split(&a, 4);
+//! let run = distributed_countsketch(&device, &dist, &sketch).unwrap();
+//! let single = sketch.apply_matrix(&device, &a).unwrap();
+//! assert_eq!(run.result.max_abs_diff(&single).unwrap(), 0.0);
+//! assert_eq!(run.per_process_cost.len(), 4);
+//! assert!(run.comm.total_words() > 0);
+//! ```
+
+pub mod block;
+pub mod comm;
+pub mod drivers;
+pub mod error;
+
+pub use block::BlockRowMatrix;
+pub use comm::CommCost;
+pub use drivers::{
+    distributed_countsketch, distributed_gaussian, distributed_multisketch, DistributedRun,
+};
+pub use error::DistError;

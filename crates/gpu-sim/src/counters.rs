@@ -118,7 +118,8 @@ impl CostTracker {
     /// Add one kernel's cost.
     #[inline]
     pub fn record(&self, cost: KernelCost) {
-        self.bytes_read.fetch_add(cost.bytes_read, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(cost.bytes_read, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(cost.bytes_written, Ordering::Relaxed);
         self.flops.fetch_add(cost.flops, Ordering::Relaxed);

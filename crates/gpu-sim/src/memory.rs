@@ -81,7 +81,7 @@ impl MemoryTracker {
     /// Try to reserve `bytes`; the reservation is released when the returned guard drops.
     pub fn try_reserve(&self, bytes: u64) -> Result<Reservation<'_>, MemoryError> {
         let mut state = self.state.lock();
-        let new_in_use = state.in_use.checked_add(bytes).unwrap_or(u64::MAX);
+        let new_in_use = state.in_use.saturating_add(bytes);
         if new_in_use > self.capacity {
             return Err(MemoryError {
                 requested: bytes,

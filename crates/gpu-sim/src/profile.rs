@@ -219,11 +219,15 @@ mod tests {
     fn extend_concatenates_breakdowns() {
         let device = Device::h100();
         let mut p1 = Profiler::new(&device);
-        p1.phase(Phase::SketchGen, || device.record(KernelCost::new(8, 8, 1, 1)));
+        p1.phase(Phase::SketchGen, || {
+            device.record(KernelCost::new(8, 8, 1, 1))
+        });
         let mut b1 = p1.finish();
 
         let mut p2 = Profiler::new(&device);
-        p2.phase(Phase::MatrixSketch, || device.record(KernelCost::new(8, 8, 1, 1)));
+        p2.phase(Phase::MatrixSketch, || {
+            device.record(KernelCost::new(8, 8, 1, 1))
+        });
         let b2 = p2.finish();
 
         b1.extend(b2);

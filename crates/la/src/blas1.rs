@@ -9,12 +9,7 @@ use sketch_gpu_sim::{Device, KernelCost};
 pub fn dot(device: &Device, x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     let n = x.len() as u64;
-    device.record(KernelCost::new(
-        KernelCost::f64_bytes(2 * n),
-        0,
-        2 * n,
-        1,
-    ));
+    device.record(KernelCost::new(KernelCost::f64_bytes(2 * n), 0, 2 * n, 1));
     dot_unrecorded(x, y)
 }
 

@@ -23,11 +23,13 @@ fn pack_rows(a: &Matrix, op: Op) -> Vec<f64> {
             out.copy_from_slice(a.as_slice());
         }
         _ => {
-            out.par_chunks_mut(k.max(1)).enumerate().for_each(|(i, row)| {
-                for (j, slot) in row.iter_mut().enumerate() {
-                    *slot = op.get(a, i, j);
-                }
-            });
+            out.par_chunks_mut(k.max(1))
+                .enumerate()
+                .for_each(|(i, row)| {
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = op.get(a, i, j);
+                    }
+                });
         }
     }
     out
@@ -43,11 +45,13 @@ fn pack_cols(b: &Matrix, op: Op) -> Vec<f64> {
             out.copy_from_slice(b.as_slice());
         }
         _ => {
-            out.par_chunks_mut(k.max(1)).enumerate().for_each(|(j, col)| {
-                for (i, slot) in col.iter_mut().enumerate() {
-                    *slot = op.get(b, i, j);
-                }
-            });
+            out.par_chunks_mut(k.max(1))
+                .enumerate()
+                .for_each(|(j, col)| {
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        *slot = op.get(b, i, j);
+                    }
+                });
         }
     }
     out
@@ -57,6 +61,8 @@ fn pack_cols(b: &Matrix, op: Op) -> Vec<f64> {
 ///
 /// The result is returned as a new column-major matrix; `c` supplies the `beta`-scaled
 /// initial value when provided.
+// The argument list deliberately mirrors BLAS DGEMM's parameter order.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_op(
     device: &Device,
     alpha: f64,
@@ -92,23 +98,29 @@ pub fn gemm_op(
     let mut out = Matrix::zeros(m, n);
     {
         let data = out.as_mut_slice();
-        data.par_chunks_mut(m.max(1)).enumerate().for_each(|(j, col)| {
-            let bcol = &packed_b[j * k..(j + 1) * k];
-            for (i, slot) in col.iter_mut().enumerate() {
-                let arow = &packed_a[i * k..(i + 1) * k];
-                let mut value = alpha * dot_unrecorded(arow, bcol);
-                if beta != 0.0 {
-                    if let Some(c0) = c {
-                        value += beta * c0.get(i, j);
+        data.par_chunks_mut(m.max(1))
+            .enumerate()
+            .for_each(|(j, col)| {
+                let bcol = &packed_b[j * k..(j + 1) * k];
+                for (i, slot) in col.iter_mut().enumerate() {
+                    let arow = &packed_a[i * k..(i + 1) * k];
+                    let mut value = alpha * dot_unrecorded(arow, bcol);
+                    if beta != 0.0 {
+                        if let Some(c0) = c {
+                            value += beta * c0.get(i, j);
+                        }
                     }
+                    *slot = value;
                 }
-                *slot = value;
-            }
-        });
+            });
     }
 
     let (m64, n64, k64) = (m as u64, n as u64, k as u64);
-    let read_c = if beta != 0.0 && c.is_some() { m64 * n64 } else { 0 };
+    let read_c = if beta != 0.0 && c.is_some() {
+        m64 * n64
+    } else {
+        0
+    };
     device.record(KernelCost::new(
         KernelCost::f64_bytes(m64 * k64 + k64 * n64 + read_c),
         KernelCost::f64_bytes(m64 * n64),
@@ -144,13 +156,15 @@ pub fn syrk_gram(device: &Device, a: &Matrix) -> Matrix {
     let mut g = Matrix::zeros(n, n);
     {
         let data = g.as_mut_slice();
-        data.par_chunks_mut(n.max(1)).enumerate().for_each(|(j, col)| {
-            let cj = &packed[j * d..(j + 1) * d];
-            for (i, slot) in col.iter_mut().enumerate().take(j + 1) {
-                let ci = &packed[i * d..(i + 1) * d];
-                *slot = dot_unrecorded(ci, cj);
-            }
-        });
+        data.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(j, col)| {
+                let cj = &packed[j * d..(j + 1) * d];
+                for (i, slot) in col.iter_mut().enumerate().take(j + 1) {
+                    let ci = &packed[i * d..(i + 1) * d];
+                    *slot = dot_unrecorded(ci, cj);
+                }
+            });
     }
     // Mirror the strictly-upper part (stored in columns j, rows i<j) to the lower part.
     for j in 0..n {
@@ -211,31 +225,33 @@ pub fn trsm(
     let mut x = Matrix::zeros(n, nrhs);
     {
         let data = x.as_mut_slice();
-        data.par_chunks_mut(n.max(1)).enumerate().for_each(|(col_idx, col)| {
-            for i in 0..n {
-                col[i] = b.get(i, col_idx);
-            }
-            match effective {
-                Triangle::Upper => {
-                    for i in (0..n).rev() {
-                        let mut acc = col[i];
-                        for j in i + 1..n {
-                            acc -= op_t.get(t, i, j) * col[j];
+        data.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(col_idx, col)| {
+                for i in 0..n {
+                    col[i] = b.get(i, col_idx);
+                }
+                match effective {
+                    Triangle::Upper => {
+                        for i in (0..n).rev() {
+                            let mut acc = col[i];
+                            for j in i + 1..n {
+                                acc -= op_t.get(t, i, j) * col[j];
+                            }
+                            col[i] = acc / op_t.get(t, i, i);
                         }
-                        col[i] = acc / op_t.get(t, i, i);
+                    }
+                    Triangle::Lower => {
+                        for i in 0..n {
+                            let mut acc = col[i];
+                            for j in 0..i {
+                                acc -= op_t.get(t, i, j) * col[j];
+                            }
+                            col[i] = acc / op_t.get(t, i, i);
+                        }
                     }
                 }
-                Triangle::Lower => {
-                    for i in 0..n {
-                        let mut acc = col[i];
-                        for j in 0..i {
-                            acc -= op_t.get(t, i, j) * col[j];
-                        }
-                        col[i] = acc / op_t.get(t, i, i);
-                    }
-                }
-            }
-        });
+            });
     }
 
     let (n64, r64) = (n as u64, nrhs as u64);
@@ -506,6 +522,13 @@ mod tests {
         assert!(trsm(&d, Triangle::Upper, Op::NoTrans, &t, &Matrix::zeros(2, 2)).is_err());
         assert!(trsm_right(&d, Triangle::Upper, Op::NoTrans, &t, &Matrix::zeros(2, 2)).is_err());
         let rect = Matrix::zeros(2, 3);
-        assert!(trsm(&d, Triangle::Upper, Op::NoTrans, &rect, &Matrix::zeros(2, 2)).is_err());
+        assert!(trsm(
+            &d,
+            Triangle::Upper,
+            Op::NoTrans,
+            &rect,
+            &Matrix::zeros(2, 2)
+        )
+        .is_err());
     }
 }

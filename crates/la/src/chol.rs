@@ -19,7 +19,10 @@ use sketch_gpu_sim::{Device, KernelCost};
 pub fn potrf_upper(device: &Device, g: &Matrix) -> Result<Matrix, LaError> {
     let n = g.nrows();
     if g.ncols() != n {
-        return Err(dim_err("potrf", format!("G is {}x{}", g.nrows(), g.ncols())));
+        return Err(dim_err(
+            "potrf",
+            format!("G is {}x{}", g.nrows(), g.ncols()),
+        ));
     }
 
     let mut r = Matrix::zeros_with_layout(n, n, Layout::ColMajor);
@@ -143,7 +146,10 @@ mod tests {
     fn zero_matrix_is_rejected_at_first_column() {
         let d = device();
         let err = potrf_upper(&d, &Matrix::zeros(3, 3)).unwrap_err();
-        assert!(matches!(err, LaError::NotPositiveDefinite { column: 0, .. }));
+        assert!(matches!(
+            err,
+            LaError::NotPositiveDefinite { column: 0, .. }
+        ));
     }
 
     #[test]

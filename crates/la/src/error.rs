@@ -48,10 +48,9 @@ impl fmt::Display for LaError {
             LaError::SingularTriangular { index } => {
                 write!(f, "triangular matrix is singular at diagonal index {index}")
             }
-            LaError::NotOverdetermined { rows, cols } => write!(
-                f,
-                "routine requires rows >= cols, got {rows} x {cols}"
-            ),
+            LaError::NotOverdetermined { rows, cols } => {
+                write!(f, "routine requires rows >= cols, got {rows} x {cols}")
+            }
         }
     }
 }

@@ -129,7 +129,12 @@ impl Matrix {
     }
 
     /// Build a matrix by evaluating `f(i, j)`.
-    pub fn from_fn(nrows: usize, ncols: usize, layout: Layout, f: impl Fn(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        nrows: usize,
+        ncols: usize,
+        layout: Layout,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> Self {
         let mut m = Self::zeros_with_layout(nrows, ncols, layout);
         for i in 0..nrows {
             for j in 0..ncols {
@@ -150,7 +155,13 @@ impl Matrix {
 
     /// A matrix with i.i.d. standard Gaussian entries, generated deterministically from
     /// `(seed, stream)` with the Philox generator (cuRAND substitute).
-    pub fn random_gaussian(nrows: usize, ncols: usize, layout: Layout, seed: u64, stream: u64) -> Self {
+    pub fn random_gaussian(
+        nrows: usize,
+        ncols: usize,
+        layout: Layout,
+        seed: u64,
+        stream: u64,
+    ) -> Self {
         let data = fill::gaussian_vec(seed, stream, nrows * ncols);
         Self::from_vec(nrows, ncols, layout, data)
     }
@@ -340,7 +351,9 @@ impl Matrix {
                 ),
             ));
         }
-        Ok(Matrix::from_fn(rows, cols, self.layout, |i, j| self.get(i, j)))
+        Ok(Matrix::from_fn(rows, cols, self.layout, |i, j| {
+            self.get(i, j)
+        }))
     }
 
     /// Maximum absolute difference with another matrix of the same shape.

@@ -27,7 +27,9 @@ impl fmt::Display for LsqError {
         match self {
             LsqError::La(e) => write!(f, "linear algebra failure: {e}"),
             LsqError::Sketch(e) => write!(f, "sketching failure: {e}"),
-            LsqError::BadProblem { detail } => write!(f, "unusable least squares problem: {detail}"),
+            LsqError::BadProblem { detail } => {
+                write!(f, "unusable least squares problem: {detail}")
+            }
         }
     }
 }

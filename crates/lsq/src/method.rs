@@ -136,7 +136,15 @@ mod tests {
         let labels: Vec<&str> = Method::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(
             labels,
-            vec!["Normal Eq", "Gauss", "Count", "Multi", "SRHT", "rand_cholQR", "QR"]
+            vec![
+                "Normal Eq",
+                "Gauss",
+                "Count",
+                "Multi",
+                "SRHT",
+                "rand_cholQR",
+                "QR"
+            ]
         );
         assert_eq!(Method::FIGURE5.len(), 6);
         assert!(!Method::FIGURE5.contains(&Method::Qr));
@@ -162,7 +170,11 @@ mod tests {
             // With the paper's k = 2n convention and this deliberately tiny n, the
             // subspace-embedding ε is large, so allow the full sketch-and-solve
             // distortion envelope for the distorted methods.
-            let slack = if method.has_distortion() { 2.8 } else { 1.0 + 1e-6 };
+            let slack = if method.has_distortion() {
+                2.8
+            } else {
+                1.0 + 1e-6
+            };
             assert!(
                 res <= slack * best + 1e-12,
                 "{}: residual {res} vs best {best}",
@@ -205,7 +217,10 @@ mod tests {
             Err(e) => e.is_gram_breakdown(),
             Ok(sol) => sol.relative_residual(&dev, &p).unwrap() > 1e-4,
         };
-        assert!(ne_failed_or_inaccurate, "normal equations should struggle at kappa=1e12");
+        assert!(
+            ne_failed_or_inaccurate,
+            "normal equations should struggle at kappa=1e12"
+        );
 
         let multi = solve(&dev, &p, Method::MultiSketch, 1).unwrap();
         let res = multi.relative_residual(&dev, &p).unwrap();

@@ -65,7 +65,9 @@ pub fn rand_cholqr_least_squares<S: SketchOperator + ?Sized>(
     prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
 
     // Step 1: sketch the coefficient matrix.
-    let y = prof.phase(Phase::MatrixSketch, || sketch.apply_matrix(device, &problem.a))?;
+    let y = prof.phase(Phase::MatrixSketch, || {
+        sketch.apply_matrix(device, &problem.a)
+    })?;
     let y_cm = y.to_layout(device, Layout::ColMajor);
 
     // Step 2: economy QR of the sketched matrix (only R₀ is needed).
@@ -166,7 +168,10 @@ mod tests {
         let cs = CountSketch::generate(&dev, p.nrows(), 8 * 16, 8);
         let rc = rand_cholqr_least_squares(&dev, &p, &cs).unwrap();
         let res = rc.relative_residual(&dev, &p).unwrap();
-        assert!((res - best).abs() / best < 1e-6, "rand_cholQR {res} vs QR {best}");
+        assert!(
+            (res - best).abs() / best < 1e-6,
+            "rand_cholQR {res} vs QR {best}"
+        );
     }
 
     #[test]

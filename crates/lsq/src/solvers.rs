@@ -78,7 +78,9 @@ pub fn sketch_and_solve<S: SketchOperator + ?Sized>(
     // Charge the (already incurred) generation cost as its own phase.
     prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
 
-    let w = prof.phase(Phase::MatrixSketch, || sketch.apply_matrix(device, &problem.a))?;
+    let w = prof.phase(Phase::MatrixSketch, || {
+        sketch.apply_matrix(device, &problem.a)
+    })?;
     let z = prof.phase(Phase::VectorSketch, || {
         sketch.apply_vector(device, &problem.b)
     })?;
@@ -223,8 +225,9 @@ mod tests {
         let dev = device();
         let p = problem(4096, 6, 6);
         let best = best_residual(&dev, &p).unwrap();
-        let ms = MultiSketch::generate(&dev, p.nrows(), 8 * p.ncols() * p.ncols(), 8 * p.ncols(), 9)
-            .unwrap();
+        let ms =
+            MultiSketch::generate(&dev, p.nrows(), 8 * p.ncols() * p.ncols(), 8 * p.ncols(), 9)
+                .unwrap();
         let sol = sketch_and_solve(&dev, &p, &ms).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res < 1.6 * best, "multisketch {res} vs best {best}");

@@ -149,9 +149,7 @@ mod tests {
     fn rademacher_is_balanced() {
         let mut rng = PhiloxRng::seed_from(7);
         let n = 100_000;
-        let plus = (0..n)
-            .filter(|_| Rademacher::sample_bool(&mut rng))
-            .count();
+        let plus = (0..n).filter(|_| Rademacher::sample_bool(&mut rng)).count();
         let frac = plus as f64 / n as f64;
         assert!((frac - 0.5).abs() < 1e-2, "frac = {frac}");
     }

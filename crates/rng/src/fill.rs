@@ -31,14 +31,16 @@ pub fn gaussian_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
 /// Fill an existing slice with standard normal variates (parallel, deterministic).
 pub fn gaussian_fill(seed: u64, stream: u64, out: &mut [f64]) {
     let factory = StreamFactory::new(seed);
-    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
-        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
-        let mut rng = factory.stream_at(stream, block);
-        let mut bm = BoxMuller::new();
-        for x in chunk.iter_mut() {
-            *x = bm.sample(&mut rng);
-        }
-    });
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+            let mut rng = factory.stream_at(stream, block);
+            let mut bm = BoxMuller::new();
+            for x in chunk.iter_mut() {
+                *x = bm.sample(&mut rng);
+            }
+        });
 }
 
 /// Fill a new vector with scaled normal variates `N(0, scale^2)`.
@@ -61,13 +63,15 @@ pub fn rademacher_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
 pub fn rademacher_bool_vec(seed: u64, stream: u64, len: usize) -> Vec<bool> {
     let factory = StreamFactory::new(seed);
     let mut out = vec![false; len];
-    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
-        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
-        let mut rng = factory.stream_at(stream, block);
-        for b in chunk.iter_mut() {
-            *b = Rademacher::sample_bool(&mut rng);
-        }
-    });
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+            let mut rng = factory.stream_at(stream, block);
+            for b in chunk.iter_mut() {
+                *b = Rademacher::sample_bool(&mut rng);
+            }
+        });
     out
 }
 
@@ -77,13 +81,15 @@ pub fn uniform_index_vec(seed: u64, stream: u64, len: usize, bound: usize) -> Ve
     let factory = StreamFactory::new(seed);
     let sampler = UniformIndex::new(bound);
     let mut out = vec![0usize; len];
-    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
-        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
-        let mut rng = factory.stream_at(stream, block);
-        for r in chunk.iter_mut() {
-            *r = sampler.sample(&mut rng);
-        }
-    });
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+            let mut rng = factory.stream_at(stream, block);
+            for r in chunk.iter_mut() {
+                *r = sampler.sample(&mut rng);
+            }
+        });
     out
 }
 
@@ -91,13 +97,15 @@ pub fn uniform_index_vec(seed: u64, stream: u64, len: usize, bound: usize) -> Ve
 pub fn uniform_vec(seed: u64, stream: u64, len: usize) -> Vec<f64> {
     let factory = StreamFactory::new(seed);
     let mut out = vec![0.0; len];
-    out.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
-        let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
-        let mut rng = factory.stream_at(stream, block);
-        for x in chunk.iter_mut() {
-            *x = rng.next_f64();
-        }
-    });
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let block = (ci as u64) * (CHUNK as u64) * BLOCKS_PER_ELEMENT;
+            let mut rng = factory.stream_at(stream, block);
+            for x in chunk.iter_mut() {
+                *x = rng.next_f64();
+            }
+        });
     out
 }
 
@@ -165,7 +173,7 @@ mod tests {
         let v = uniform_index_vec(4, 0, 100_000, 37);
         assert!(v.iter().all(|&r| r < 37));
         // All buckets should be hit for this many samples.
-        let mut seen = vec![false; 37];
+        let mut seen = [false; 37];
         for &r in &v {
             seen[r] = true;
         }

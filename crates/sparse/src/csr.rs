@@ -25,11 +25,29 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows + 1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx / values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), values.len(), "row_ptr must end at nnz");
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be monotone");
-        assert!(col_idx.iter().all(|&j| j < ncols), "column index out of bounds");
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "row_ptr must have nrows + 1 entries"
+        );
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx / values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            values.len(),
+            "row_ptr must end at nnz"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be monotone"
+        );
+        assert!(
+            col_idx.iter().all(|&j| j < ncols),
+            "column index out of bounds"
+        );
         Self {
             nrows,
             ncols,
@@ -179,7 +197,10 @@ mod tests {
     #[test]
     fn from_raw_validates_structure() {
         let csr = CsrMatrix::from_raw(2, 3, vec![0, 1, 2], vec![0, 2], vec![1.0, 2.0]);
-        assert_eq!(csr.to_dense(), vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 2.0]]);
+        assert_eq!(
+            csr.to_dense(),
+            vec![vec![1.0, 0.0, 0.0], vec![0.0, 0.0, 2.0]]
+        );
         assert!(csr.size_bytes() > 0);
     }
 

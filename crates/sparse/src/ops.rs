@@ -54,12 +54,7 @@ pub fn spmv(device: &Device, s: &CsrMatrix, x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `a.nrows() != s.ncols()`.
 pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
-    assert_eq!(
-        a.nrows(),
-        s.ncols(),
-        "spmm: A must have {} rows",
-        s.ncols()
-    );
+    assert_eq!(a.nrows(), s.ncols(), "spmm: A must have {} rows", s.ncols());
     let n = a.ncols();
     let k = s.nrows();
 
@@ -68,13 +63,15 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
     let mut y = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
     {
         let data = y.as_mut_slice();
-        data.par_chunks_mut(n.max(1)).enumerate().for_each(|(i, out_row)| {
-            for (j, v) in s.row(i) {
-                for (c, slot) in out_row.iter_mut().enumerate() {
-                    *slot += v * a.get(j, c);
+        data.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for (j, v) in s.row(i) {
+                    for (c, slot) in out_row.iter_mut().enumerate() {
+                        *slot += v * a.get(j, c);
+                    }
                 }
-            }
-        });
+            });
     }
 
     let nnz = s.nnz() as u64;
@@ -85,7 +82,8 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
     // written once (and re-read for accumulation when rows collide, which the penalty
     // term absorbs).
     device.record(KernelCost::new(
-        KernelCost::f64_bytes(nnz) + idx_bytes
+        KernelCost::f64_bytes(nnz)
+            + idx_bytes
             + KernelCost::f64_bytes(nnz * n64) * SPMM_GATHER_PENALTY,
         KernelCost::f64_bytes(k64 * n64),
         2 * nnz * n64,

@@ -18,7 +18,9 @@ fn main() {
     let gauss = GaussianSketch::generate(&device, d, 2 * n, 2).expect("fits in memory");
     let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).expect("fits in memory");
 
-    let single = count.apply_matrix(&device, &a).expect("single-device reference");
+    let single = count
+        .apply_matrix(&device, &a)
+        .expect("single-device reference");
     let out_count = distributed_countsketch(&device, &dist, &count).expect("dims match");
     let out_gauss = distributed_gaussian(&device, &dist, &gauss).expect("dims match");
     let out_multi = distributed_multisketch(&device, &dist, &multi).expect("dims match");
@@ -37,7 +39,12 @@ fn main() {
         ("CountSketch", &out_count),
         ("MultiSketch", &out_multi),
     ] {
-        let max_flops = run.per_process_cost.iter().map(|c| c.flops).max().unwrap_or(0);
+        let max_flops = run
+            .per_process_cost
+            .iter()
+            .map(|c| c.flops)
+            .max()
+            .unwrap_or(0);
         println!(
             "{:<14} {:>12} {:>18} {:>22}",
             label,

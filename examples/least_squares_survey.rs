@@ -10,9 +10,7 @@ fn main() {
     let n = 32;
     let device = Device::h100();
     let problem = LsqProblem::easy(&device, d, n, 42).expect("valid problem size");
-    println!(
-        "Overdetermined least squares: A is {d} x {n}, b = A*ones + noise, cond(A) = 1e2\n"
-    );
+    println!("Overdetermined least squares: A is {d} x {n}, b = A*ones + noise, cond(A) = 1e2\n");
     println!(
         "{:<14} {:>14} {:>16} {:>24}",
         "method", "model ms", "residual", "dominant phase"

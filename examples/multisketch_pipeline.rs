@@ -4,15 +4,19 @@
 //! Run with: `cargo run --release --example multisketch_pipeline`
 
 use gpu_countsketch::la::cond::orthonormal_columns;
-use gpu_countsketch::sketch::embedding::subspace_embedding_distortion;
 use gpu_countsketch::prelude::*;
+use gpu_countsketch::sketch::embedding::subspace_embedding_distortion;
 
 fn main() {
     let d = 1 << 14;
     let n = 16;
     let device = Device::h100();
 
-    println!("MultiSketch pipeline on a {d} x {n} operand (k1 = 2n^2 = {}, k2 = 2n = {})\n", 2 * n * n, 2 * n);
+    println!(
+        "MultiSketch pipeline on a {d} x {n} operand (k1 = 2n^2 = {}, k2 = 2n = {})\n",
+        2 * n * n,
+        2 * n
+    );
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
     let multi = MultiSketch::generate_default(&device, d, n, 3).expect("fits in device memory");
 

@@ -16,7 +16,9 @@ fn main() {
     // CountSketch with the paper's embedding dimension k = 2n^2, applied via Algorithm 2.
     let device = Device::h100();
     let sketch = CountSketch::generate(&device, d, 2 * n * n, 7);
-    let y = sketch.apply_matrix(&device, &a).expect("fits on the device");
+    let y = sketch
+        .apply_matrix(&device, &a)
+        .expect("fits on the device");
     let count_cost = device.tracker().snapshot();
     println!(
         "CountSketch (Alg 2): {} x {} -> {} x {}   modelled H100 time {:.3} ms",

@@ -47,5 +47,8 @@ fn main() {
         y_hash.ncols(),
         y_hash.max_abs_diff(&y_explicit).expect("same shape")
     );
-    println!("  generation cost: {:?} (zero — suitable for streaming)", hash_sketch.generation_cost());
+    println!(
+        "  generation cost: {:?} (zero — suitable for streaming)",
+        hash_sketch.generation_cost()
+    );
 }

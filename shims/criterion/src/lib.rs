@@ -1,0 +1,165 @@
+//! Single-shot timing shim for the subset of `criterion` this workspace uses.
+//!
+//! Each `bench_function` runs its routine once to warm up and twice timed,
+//! printing the mean wall-clock time.  That is enough for the CI smoke pass
+//! (`cargo bench -- --test` semantics: every bench executes, no statistics)
+//! and for eyeballing relative kernel costs locally.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Number of timed executions per benchmark (after one warm-up run).
+const TIMED_ITERS: u32 = 2;
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+#[derive(Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `routine` once for warm-up and `TIMED_ITERS` times timed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / TIMED_ITERS as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs a fixed iteration
+    /// count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its mean time.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        println!(
+            "bench {:<50} {:>12.1} ns/iter",
+            format!("{}/{}", self.name, id),
+            bencher.nanos_per_iter
+        );
+        self
+    }
+
+    /// End the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevent the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` passes flags the shim does not need to
+            // interpret: every bench always runs exactly once per timing loop.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut b = Bencher::default();
+        let mut count = 0u32;
+        b.iter(|| {
+            count += 1;
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        assert_eq!(count, 1 + TIMED_ITERS);
+        assert!(b.nanos_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        let mut ran = false;
+        group
+            .sample_size(10)
+            .bench_function(BenchmarkId::new("f", "p"), |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic shim for the subset of `proptest` this workspace uses.
+//!
+//! The workspace's property tests all draw their inputs from integer-range
+//! strategies (`lo..hi`).  This shim keeps the `proptest! { fn f(x in 0..10) }`
+//! syntax compiling and runs each property over a deterministic case schedule:
+//! case 0 pins every argument to the range start, case 1 to the range end, and
+//! the remaining cases draw from a splitmix64 stream salted per argument so
+//! different arguments decorrelate.  There is no shrinking — a failing case
+//! panics with the argument values baked into the assertion message.
+
+use std::ops::Range;
+
+/// Subset of proptest's run configuration: just the case count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each property is executed with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub const fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; the shim's sampler is cheap but
+        // the bodies under test are not, so keep the default modest.
+        Self { cases: 16 }
+    }
+}
+
+/// splitmix64 — the standard 64-bit mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A value source for one property argument.
+///
+/// `case` is the property iteration index; `salt` distinguishes the arguments
+/// of one property from each other so they do not draw identical values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Produce the value for (`case`, `salt`).
+    fn sample_case(&self, case: u32, salt: u64) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_case(&self, case: u32, salt: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                match case {
+                    0 => self.start,
+                    1 => (hi - 1) as $t,
+                    _ => {
+                        let span = (hi - lo) as u128;
+                        let draw = splitmix64((case as u64) ^ salt) as u128 % span;
+                        (lo + draw as i128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Reject the current case when its inputs don't satisfy a precondition.
+///
+/// Inside the shim each case body runs in its own closure, so rejecting is an
+/// early `return` from that closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in 0usize..10) { .. } }`.
+///
+/// An optional leading `#![proptest_config(..)]` sets the case count for every
+/// property in the block.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = ($cfg).cases.max(2);
+                for __case in 0..__cases {
+                    let mut __salt: u64 = 0;
+                    $(
+                        __salt = __salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let $arg = $crate::Strategy::sample_case(&($strat), __case, __salt);
+                    )+
+                    // One closure per case so `prop_assume!` can reject the
+                    // case with an early return, even from nested scopes.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $body
+                    })();
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@body ($cfg) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@body ($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_pins_endpoints_then_samples_inside() {
+        let s = 3usize..10;
+        assert_eq!(s.sample_case(0, 1), 3);
+        assert_eq!(s.sample_case(1, 1), 9);
+        for case in 2..100 {
+            let v = s.sample_case(case, 1);
+            assert!((3..10).contains(&v), "case {case} produced {v}");
+        }
+    }
+
+    #[test]
+    fn salts_decorrelate_arguments() {
+        let s = 0u64..1_000_000;
+        let same = (2..50)
+            .filter(|&c| s.sample_case(c, 1) == s.sample_case(c, 2))
+            .count();
+        assert!(same < 5, "{same} of 48 cases collided across salts");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn the_macro_itself_works(a in 1usize..20, b in 0u64..100) {
+            prop_assert!((1..20).contains(&a));
+            prop_assert!(b < 100);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a + 1, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_is_used_without_inner_attribute(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Sequential, API-compatible shim for the subset of `rayon` this workspace uses.
+//!
+//! The build container has no crates.io access, so the real `rayon` cannot be
+//! fetched.  This shim keeps the call sites (`into_par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`) compiling unchanged by handing back ordinary sequential
+//! iterators, which already provide `enumerate`, `map`, `for_each`, `collect`,
+//! and friends.  Execution is sequential and therefore deterministic; the
+//! simulated-device cost model this workspace measures is unaffected.
+
+/// The rayon prelude: parallel-iterator entry points as extension traits.
+pub mod prelude {
+    /// `self.into_par_iter()` — sequential stand-in for rayon's consuming
+    /// parallel iterator; yields the type's ordinary iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Indexed-iterator methods rayon puts on `IndexedParallelIterator`.
+    pub trait IndexedParallelIterator: Iterator + Sized {
+        /// Collect into an existing vector, replacing its contents.
+        fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+            target.clear();
+            target.extend(self);
+        }
+    }
+
+    impl<I: Iterator + Sized> IndexedParallelIterator for I {}
+
+    /// `slice.par_iter_mut()` / `slice.par_chunks_mut(n)` — sequential
+    /// stand-ins for rayon's borrowing parallel slice iterators.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable element iterator (sequential).
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Mutable chunk iterator (sequential).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `slice.par_iter()` — sequential stand-in for the shared-slice variant.
+    pub trait ParallelSlice<T> {
+        /// Shared element iterator (sequential).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Shared chunk iterator (sequential).
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+}
+
+/// Number of "worker threads" — always 1 in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_in_order() {
+        let mut data = [0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for slot in chunk {
+                *slot = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_behaves_like_iter() {
+        let sum: usize = (0..10usize).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 90);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

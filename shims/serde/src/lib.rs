@@ -1,0 +1,14 @@
+//! Shim for the subset of `serde` this workspace uses: the two trait names and
+//! their no-op derive macros.
+//!
+//! Nothing in the offline container serializes data, so the traits carry no
+//! methods; they exist so `use serde::{Serialize, Deserialize}` and trait
+//! bounds keep compiling against the same paths as the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` shim.
+//!
+//! The workspace derives serde traits on a few config/report structs but never
+//! actually serializes them in this offline container, so the derives can
+//! expand to nothing.  `attributes(serde)` keeps `#[serde(skip)]`-style field
+//! attributes accepted.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and expands
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -65,6 +65,9 @@ mod tests {
         let problem = LsqProblem::easy(&device, 1024, 4, 1).unwrap();
         let sol = solve(&device, &problem, Method::MultiSketch, 2).unwrap();
         assert_eq!(sol.x.len(), 4);
-        assert!(sol.relative_residual(&device, &problem).unwrap().is_finite());
+        assert!(sol
+            .relative_residual(&device, &problem)
+            .unwrap()
+            .is_finite());
     }
 }

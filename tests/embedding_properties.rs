@@ -3,8 +3,8 @@
 
 use gpu_countsketch::la::cond::orthonormal_columns;
 use gpu_countsketch::la::norms::vec_norm2;
-use gpu_countsketch::sketch::embedding::subspace_embedding_distortion;
 use gpu_countsketch::prelude::*;
+use gpu_countsketch::sketch::embedding::subspace_embedding_distortion;
 use proptest::prelude::*;
 
 proptest! {
