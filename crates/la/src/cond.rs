@@ -36,6 +36,23 @@ pub fn geometric_singular_values(n: usize, kappa: f64) -> Vec<f64> {
     (0..n).map(|i| ratio.powi(i as i32)).collect()
 }
 
+/// An `m x n` matrix of exact rank `k`, with singular values `k, k−1, …, 1` followed
+/// by zeros — the canonical test input for the low-rank approximation routines.
+pub fn rank_k_matrix(
+    device: &Device,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Result<Matrix, LaError> {
+    assert!(k <= n, "rank {k} exceeds the column count {n}");
+    let mut sigma = vec![0.0; n];
+    for (i, s) in sigma.iter_mut().take(k).enumerate() {
+        *s = (k - i) as f64;
+    }
+    matrix_with_singular_values(device, m, n, &sigma, seed)
+}
+
 /// Build an `m x n` matrix with exactly the given singular values (up to roundoff):
 /// `A = Q₁ diag(σ) Q₂ᵀ`.
 pub fn matrix_with_singular_values(

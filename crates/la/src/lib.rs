@@ -12,6 +12,8 @@
 //! * [`qr`] — Householder QR (GEQRF), application of the reflectors (ORMQR) and
 //!   economy-QR helpers,
 //! * [`chol`] — Cholesky factorisation (POTRF),
+//! * [`svd`] — small dense SVD via one-sided Jacobi (GeSVDJ substitute), the
+//!   factorisation the randomized low-rank pipeline reduces to,
 //! * [`cond`] — construction of test matrices with a prescribed condition number
 //!   (Figure 8) and randomized condition estimation,
 //! * [`norms`] — vector/matrix norms and residual helpers.
@@ -40,7 +42,9 @@ pub mod error;
 pub mod matrix;
 pub mod norms;
 pub mod qr;
+pub mod svd;
 
 pub use error::LaError;
 pub use matrix::{Layout, Matrix, Op};
 pub use qr::QrFactors;
+pub use svd::{jacobi_svd, SmallSvd};

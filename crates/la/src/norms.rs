@@ -50,6 +50,24 @@ pub fn relative_residual(
     Ok(nrm2_unrecorded(&r) / nb)
 }
 
+/// Relative Frobenius distance `‖A − B‖_F / ‖A‖_F` (absolute when `‖A‖_F = 0`).
+///
+/// The standard accuracy metric of the low-rank benchmarks and tests.
+pub fn frobenius_rel_diff(device: &Device, a: &Matrix, b: &Matrix) -> Result<f64, LaError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(crate::error::dim_err(
+            "frobenius_rel_diff",
+            format!("{}x{} vs {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols()),
+        ));
+    }
+    let diff = Matrix::from_fn(a.nrows(), a.ncols(), a.layout(), |i, j| {
+        a.get(i, j) - b.get(i, j)
+    });
+    let na = frobenius(device, a);
+    let nd = frobenius(device, &diff);
+    Ok(if na == 0.0 { nd } else { nd / na })
+}
+
 /// Maximum absolute entry of a vector difference (used by accuracy comparisons).
 pub fn max_abs_diff_vec(x: &[f64], y: &[f64]) -> f64 {
     x.iter()
@@ -114,6 +132,18 @@ mod tests {
         let d = device();
         let a = Matrix::identity(3);
         assert!(relative_residual(&d, &a, &[1.0, 2.0], &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn frobenius_rel_diff_measures_relative_distance() {
+        let d = device();
+        let a = Matrix::identity(3);
+        assert_eq!(frobenius_rel_diff(&d, &a, &a).unwrap(), 0.0);
+        let b = Matrix::zeros(3, 3);
+        assert!((frobenius_rel_diff(&d, &a, &b).unwrap() - 1.0).abs() < 1e-15);
+        // Zero reference falls back to the absolute norm.
+        assert!((frobenius_rel_diff(&d, &b, &a).unwrap() - 3f64.sqrt()).abs() < 1e-15);
+        assert!(frobenius_rel_diff(&d, &a, &Matrix::zeros(2, 3)).is_err());
     }
 
     #[test]

@@ -386,6 +386,34 @@ mod tests {
         }
 
         #[test]
+        fn prop_solve_ls_matches_normal_equations(
+            m in 24usize..60,
+            n in 1usize..7,
+            seed in 0u64..300,
+        ) {
+            // Tall i.i.d. Gaussian matrices with m >= 3n are well conditioned with
+            // overwhelming probability, so the normal equations are trustworthy here.
+            prop_assume!(m >= 3 * n);
+            let d = device();
+            let a = Matrix::random_gaussian(m, n, Layout::ColMajor, seed, 0);
+            let b: Vec<f64> = (0..m).map(|i| (i as f64 * 0.61).sin()).collect();
+
+            let x_qr = geqrf(&d, &a).unwrap().solve_ls(&d, &b).unwrap();
+
+            // Normal equations: AᵀA x = Aᵀb via Cholesky (Rᵀ R x = Aᵀ b).
+            let gram = crate::blas3::gram_gemm(&d, &a).unwrap();
+            let r = crate::chol::potrf_upper(&d, &gram).unwrap();
+            let atb = crate::blas2::gemv(&d, 1.0, Op::Trans, &a, &b, 0.0, None).unwrap();
+            let z = trsv(&d, Triangle::Upper, Op::Trans, &r, &atb).unwrap();
+            let x_ne = trsv(&d, Triangle::Upper, Op::NoTrans, &r, &z).unwrap();
+
+            let scale = x_ne.iter().fold(1.0f64, |acc, x| acc.max(x.abs()));
+            for (q, ne) in x_qr.iter().zip(&x_ne) {
+                prop_assert!((q - ne).abs() < 1e-8 * scale, "{q} vs {ne}");
+            }
+        }
+
+        #[test]
         fn prop_q_orthonormal(m in 4usize..40, n in 1usize..8, seed in 0u64..500) {
             prop_assume!(m >= n);
             let d = device();

@@ -1,0 +1,273 @@
+//! Small dense singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The randomized low-rank pipeline in `sketch-lowrank` reduces every SVD to a *small*
+//! dense factorisation: after the rangefinder has compressed `A ∈ R^{m x n}` to
+//! `B = AᵀQ ∈ R^{n x ℓ}` with `ℓ = k + p ≪ m`, the remaining work is an SVD of a thin
+//! matrix.  cuSOLVER would use `GeSVDJ` (its Jacobi SVD) for exactly this shape; this
+//! module is the stand-in.
+//!
+//! One-sided Jacobi (Hestenes) applies plane rotations from the right until the columns
+//! of `W = A·J₁·J₂·…` are mutually orthogonal; then `σ_j = ‖w_j‖₂`, `U = W·diag(1/σ)`
+//! and `V` is the accumulated product of rotations, giving `A = U Σ Vᵀ`.  It is simple,
+//! backward stable, and computes small singular values to high relative accuracy —
+//! which matters because the low-rank tests pin `σ_{k+1}`-sized error bounds.
+
+use crate::blas1::{dot_unrecorded, nrm2_unrecorded};
+use crate::error::{dim_err, LaError};
+use crate::matrix::{Layout, Matrix};
+use sketch_gpu_sim::{Device, KernelCost};
+
+/// The thin SVD `A = U Σ Vᵀ` of an `m x n` matrix with `m >= n`.
+///
+/// `u` is `m x n` with orthonormal columns (columns belonging to zero singular values
+/// are zero), `s` holds the `n` singular values in descending order, and `vt` is the
+/// `n x n` orthogonal factor, stored transposed.
+#[derive(Debug, Clone)]
+pub struct SmallSvd {
+    /// Left singular vectors (`m x n`, orthonormal columns for nonzero `s`).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors, transposed (`n x n`).
+    pub vt: Matrix,
+}
+
+impl SmallSvd {
+    /// Rebuild `U Σ Vᵀ` (used by tests and reconstruction helpers).
+    pub fn reconstruct(&self, device: &Device) -> Result<Matrix, LaError> {
+        let mut us = self.u.clone();
+        for (j, &sj) in self.s.iter().enumerate() {
+            for v in us.col_mut(j).expect("col-major").iter_mut() {
+                *v *= sj;
+            }
+        }
+        crate::blas3::gemm(device, 1.0, &us, &self.vt, 0.0, None)
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up; convergence is typically reached
+/// in 5–10 sweeps for the well-scaled matrices the low-rank pipeline produces.
+const MAX_SWEEPS: usize = 60;
+
+/// Relative off-diagonal threshold below which a column pair counts as orthogonal.
+const JACOBI_TOL: f64 = 1e-14;
+
+/// Compute the thin SVD of `a` (`m x n`, `m >= n`) with one-sided Jacobi rotations.
+///
+/// Returns [`LaError::NotOverdetermined`] when `m < n`; callers with wide matrices
+/// factor the transpose and swap the roles of `U` and `V` (see `sketch-lowrank`).
+pub fn jacobi_svd(device: &Device, a: &Matrix) -> Result<SmallSvd, LaError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(LaError::NotOverdetermined { rows: m, cols: n });
+    }
+    if n == 0 {
+        return Err(dim_err("jacobi_svd", "matrix has zero columns"));
+    }
+
+    let mut w = a.to_layout(device, Layout::ColMajor);
+    let mut v = Matrix::identity(n);
+    let mut sweeps_run = 0;
+
+    for _ in 0..MAX_SWEEPS {
+        sweeps_run += 1;
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                let (alpha, beta, gamma) = {
+                    let wp = w.col(p).expect("col-major");
+                    let wq = w.col(q).expect("col-major");
+                    (
+                        dot_unrecorded(wp, wp),
+                        dot_unrecorded(wq, wq),
+                        dot_unrecorded(wp, wq),
+                    )
+                };
+                if gamma == 0.0 || gamma.abs() <= JACOBI_TOL * (alpha * beta).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Rotation annihilating wpᵀwq (Rutishauser's stable formulas).
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_columns(&mut w, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and sort them (with their vectors) in descending order.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| nrm2_unrecorded(w.col(j).expect("col-major")))
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vt = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        let sigma = norms[src];
+        s.push(sigma);
+        if sigma > 0.0 {
+            let col = w.col(src).expect("col-major");
+            let ucol = u.col_mut(dst).expect("col-major");
+            for (ui, &wi) in ucol.iter_mut().zip(col.iter()) {
+                *ui = wi / sigma;
+            }
+        }
+        for i in 0..n {
+            vt.set(dst, i, v.get(i, src));
+        }
+    }
+
+    // Cost model: every sweep streams the n(n-1)/2 column pairs (two columns read,
+    // two written, ~6m flops per rotation plus the 6m-flop Gram update).
+    let (m64, n64, sw) = (m as u64, n as u64, sweeps_run as u64);
+    let pair_cols = n64 * (n64.saturating_sub(1));
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(sw * pair_cols * m64),
+        KernelCost::f64_bytes(sw * pair_cols * m64),
+        sw * pair_cols * 6 * m64,
+        sw,
+    ));
+
+    Ok(SmallSvd { u, s, vt })
+}
+
+/// Apply the rotation `[c -s; s c]` to columns `p` and `q` of `m` (right-multiply).
+fn rotate_columns(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let nrows = m.nrows();
+    for i in 0..nrows {
+        let a = m.get(i, p);
+        let b = m.get(i, q);
+        m.set(i, p, c * a - s * b);
+        m.set(i, q, s * a + c * b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_op;
+    use crate::cond::{geometric_singular_values, matrix_with_singular_values};
+    use crate::matrix::Op;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn assert_orthonormal_columns(a: &Matrix, tol: f64) {
+        let d = device();
+        let gram = gemm_op(&d, 1.0, Op::Trans, a, Op::NoTrans, a, 0.0, None).unwrap();
+        assert!(
+            gram.max_abs_diff(&Matrix::identity(a.ncols())).unwrap() < tol,
+            "columns not orthonormal"
+        );
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrix() {
+        let d = device();
+        let a = Matrix::random_gaussian(30, 8, Layout::ColMajor, 1, 0);
+        let svd = jacobi_svd(&d, &a).unwrap();
+        let back = svd.reconstruct(&d).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-10);
+        assert_orthonormal_columns(&svd.u, 1e-10);
+        assert_orthonormal_columns(&svd.vt, 1e-10);
+    }
+
+    #[test]
+    fn singular_values_are_descending_and_match_prescribed_spectrum() {
+        let d = device();
+        let sigma = geometric_singular_values(6, 1e4);
+        let a = matrix_with_singular_values(&d, 40, 6, &sigma, 3).unwrap();
+        let svd = jacobi_svd(&d, &a).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        for (computed, expected) in svd.s.iter().zip(sigma.iter()) {
+            assert!(
+                (computed - expected).abs() < 1e-8 * expected.max(1.0),
+                "{computed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_gets_zero_singular_values() {
+        let d = device();
+        // Two identical columns -> rank 2 out of 3.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0],
+            &[2.0, 2.0, 1.0],
+            &[0.0, 0.0, 3.0],
+            &[1.0, 1.0, -1.0],
+        ]);
+        let svd = jacobi_svd(&d, &a).unwrap();
+        assert!(svd.s[2] < 1e-12, "smallest singular value {}", svd.s[2]);
+        let back = svd.reconstruct(&d).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let d = device();
+        let svd = jacobi_svd(&d, &Matrix::identity(5)).unwrap();
+        for s in &svd.s {
+            assert!((s - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_yields_all_zero_singular_values() {
+        let d = device();
+        let svd = jacobi_svd(&d, &Matrix::zeros(6, 3)).unwrap();
+        assert_eq!(svd.s, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn wide_matrices_are_rejected() {
+        let d = device();
+        assert!(matches!(
+            jacobi_svd(&d, &Matrix::zeros(2, 5)),
+            Err(LaError::NotOverdetermined { rows: 2, cols: 5 })
+        ));
+    }
+
+    #[test]
+    fn svd_records_device_cost() {
+        let d = device();
+        let a = Matrix::random_gaussian(20, 4, Layout::ColMajor, 9, 0);
+        let _ = jacobi_svd(&d, &a).unwrap();
+        assert!(d.tracker().snapshot().flops > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_svd_reconstruction_and_orthogonality(
+            m in 4usize..30,
+            n in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(m >= n);
+            let d = device();
+            let a = Matrix::random_gaussian(m, n, Layout::ColMajor, seed, 0);
+            let svd = jacobi_svd(&d, &a).unwrap();
+            let back = svd.reconstruct(&d).unwrap();
+            prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-9);
+            for w in svd.s.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+}

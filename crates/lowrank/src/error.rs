@@ -1,0 +1,99 @@
+//! Error type for the low-rank approximation pipeline.
+
+use sketch_core::SketchError;
+use sketch_la::LaError;
+use std::fmt;
+
+/// Errors returned by the randomized low-rank approximation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowRankError {
+    /// Operand dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Name of the routine that rejected the operands.
+        op: &'static str,
+        /// Human readable description of the mismatch.
+        detail: String,
+    },
+    /// A routine was configured with an invalid parameter (e.g. a target rank of
+    /// zero, or one exceeding the smaller matrix dimension).
+    InvalidParameter {
+        /// Description of the offending parameter.
+        detail: String,
+    },
+    /// An underlying dense linear algebra routine failed.  For the Nyström path this
+    /// includes [`LaError::NotPositiveDefinite`] when the input is not numerically
+    /// PSD.
+    La(LaError),
+    /// Generating or applying a `sketch-core` test matrix failed.
+    Sketch(SketchError),
+}
+
+impl fmt::Display for LowRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowRankError::DimensionMismatch { op, detail } => {
+                write!(f, "{op}: dimension mismatch ({detail})")
+            }
+            LowRankError::InvalidParameter { detail } => {
+                write!(f, "invalid low-rank parameter: {detail}")
+            }
+            LowRankError::La(e) => write!(f, "linear algebra failure in low-rank path: {e}"),
+            LowRankError::Sketch(e) => write!(f, "sketch failure in low-rank path: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowRankError {}
+
+impl From<LaError> for LowRankError {
+    fn from(e: LaError) -> Self {
+        LowRankError::La(e)
+    }
+}
+
+impl From<SketchError> for LowRankError {
+    fn from(e: SketchError) -> Self {
+        LowRankError::Sketch(e)
+    }
+}
+
+/// Convenience constructor for dimension mismatch errors.
+pub(crate) fn dim_err(op: &'static str, detail: impl Into<String>) -> LowRankError {
+    LowRankError::DimensionMismatch {
+        op,
+        detail: detail.into(),
+    }
+}
+
+/// Convenience constructor for invalid-parameter errors.
+pub(crate) fn param_err(detail: impl Into<String>) -> LowRankError {
+    LowRankError::InvalidParameter {
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(dim_err("rsvd", "A is 2x3").to_string().contains("rsvd"));
+        assert!(param_err("k must be positive")
+            .to_string()
+            .contains("k must be positive"));
+        let la: LowRankError = LaError::SingularTriangular { index: 0 }.into();
+        assert!(la.to_string().contains("singular"));
+        let sk: LowRankError = SketchError::InvalidParameter {
+            detail: "zero".into(),
+        }
+        .into();
+        assert!(sk.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(param_err("x"), param_err("x"));
+        assert_ne!(param_err("x"), param_err("y"));
+    }
+}

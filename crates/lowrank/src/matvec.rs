@@ -1,0 +1,255 @@
+//! The [`MatVecLike`] abstraction: one operand interface for dense and sparse inputs.
+//!
+//! The entire low-rank pipeline only ever touches the input matrix through two
+//! products — `A·B` (sketching the range) and `Aᵀ·B` (projecting back / power
+//! iteration) — so that is the whole trait.  Dense [`Matrix`] operands route through
+//! `sketch-la` GEMM; [`CsrMatrix`] operands route through `sketch-sparse` SpMM, with
+//! the transposed product served by [`CsrMatrix::transpose`].
+
+use crate::error::{dim_err, LowRankError};
+use sketch_gpu_sim::Device;
+use sketch_la::{blas3, Matrix, Op};
+use sketch_sparse::{spmm, CsrMatrix};
+use std::cell::OnceCell;
+
+/// An operand the low-rank routines can multiply by a thin dense matrix from the
+/// right, both as itself and transposed.
+pub trait MatVecLike {
+    /// Number of rows of the operand.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operand.
+    fn ncols(&self) -> usize;
+
+    /// Compute `A · B` with `B` dense `ncols x p`; the result is `nrows x p`.
+    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError>;
+
+    /// Compute `Aᵀ · B` with `B` dense `nrows x p`; the result is `ncols x p`.
+    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError>;
+}
+
+impl MatVecLike for Matrix {
+    fn nrows(&self) -> usize {
+        Matrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Matrix::ncols(self)
+    }
+
+    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        Ok(blas3::gemm(device, 1.0, self, b, 0.0, None)?)
+    }
+
+    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        Ok(blas3::gemm_op(
+            device,
+            1.0,
+            Op::Trans,
+            self,
+            Op::NoTrans,
+            b,
+            0.0,
+            None,
+        )?)
+    }
+}
+
+impl MatVecLike for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        if b.nrows() != self.ncols() {
+            return Err(dim_err(
+                "spmm",
+                format!(
+                    "A is {}x{} but B has {} rows",
+                    self.nrows(),
+                    self.ncols(),
+                    b.nrows()
+                ),
+            ));
+        }
+        Ok(spmm(device, self, b))
+    }
+
+    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        if b.nrows() != self.nrows() {
+            return Err(dim_err(
+                "spmm_t",
+                format!(
+                    "Aᵀ is {}x{} but B has {} rows",
+                    self.ncols(),
+                    self.nrows(),
+                    b.nrows()
+                ),
+            ));
+        }
+        // CSR→CSR transpose (counting sort) then the generic SpMM.  This recomputes
+        // the transpose on every call — fine for the plain RSVD pipeline's single
+        // AᵀQ step; power-iteration users should wrap the matrix in
+        // [`SparseOperand`], which caches the transpose across calls.
+        Ok(spmm(device, &self.transpose(), b))
+    }
+}
+
+/// A [`CsrMatrix`] operand that lazily computes and caches its transpose, so the
+/// repeated `Aᵀ·B` products of power iteration pay the CSR→CSR counting sort once
+/// instead of once per iteration.
+#[derive(Debug)]
+pub struct SparseOperand {
+    csr: CsrMatrix,
+    transposed: OnceCell<CsrMatrix>,
+}
+
+impl SparseOperand {
+    /// Wrap a CSR matrix; the transpose is computed on first use.
+    pub fn new(csr: CsrMatrix) -> Self {
+        Self {
+            csr,
+            transposed: OnceCell::new(),
+        }
+    }
+
+    /// The wrapped matrix.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    fn transposed(&self) -> &CsrMatrix {
+        self.transposed.get_or_init(|| self.csr.transpose())
+    }
+}
+
+impl From<CsrMatrix> for SparseOperand {
+    fn from(csr: CsrMatrix) -> Self {
+        Self::new(csr)
+    }
+}
+
+impl MatVecLike for SparseOperand {
+    fn nrows(&self) -> usize {
+        self.csr.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.csr.ncols()
+    }
+
+    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        self.csr.mul_right(device, b)
+    }
+
+    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        if b.nrows() != self.csr.nrows() {
+            return Err(dim_err(
+                "spmm_t",
+                format!(
+                    "Aᵀ is {}x{} but B has {} rows",
+                    self.csr.ncols(),
+                    self.csr.nrows(),
+                    b.nrows()
+                ),
+            ));
+        }
+        Ok(spmm(device, self.transposed(), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::Layout;
+    use sketch_sparse::CooMatrix;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, -1.0);
+        coo.push(3, 1, 0.5);
+        coo.push(3, 2, 4.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn dense_of(csr: &CsrMatrix) -> Matrix {
+        let rows = csr.to_dense();
+        Matrix::from_fn(csr.nrows(), csr.ncols(), Layout::ColMajor, |i, j| {
+            rows[i][j]
+        })
+    }
+
+    #[test]
+    fn sparse_products_match_dense_products() {
+        let d = device();
+        let s = sample_csr();
+        let a = dense_of(&s);
+        let b = Matrix::random_gaussian(3, 2, Layout::ColMajor, 1, 0);
+        let bt = Matrix::random_gaussian(4, 2, Layout::ColMajor, 1, 1);
+
+        let sparse = MatVecLike::mul_right(&s, &d, &b).unwrap();
+        let dense = MatVecLike::mul_right(&a, &d, &b).unwrap();
+        assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-14);
+
+        let sparse_t = s.mul_transpose_right(&d, &bt).unwrap();
+        let dense_t = a.mul_transpose_right(&d, &bt).unwrap();
+        assert!(sparse_t.max_abs_diff(&dense_t).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_errors_not_panics() {
+        let d = device();
+        let s = sample_csr();
+        let wrong = Matrix::zeros(5, 2);
+        assert!(MatVecLike::mul_right(&s, &d, &wrong).is_err());
+        assert!(s.mul_transpose_right(&d, &wrong).is_err());
+        let a = Matrix::zeros(4, 3);
+        assert!(MatVecLike::mul_right(&a, &d, &wrong).is_err());
+    }
+
+    #[test]
+    fn sparse_operand_matches_plain_csr_and_caches_the_transpose() {
+        let d = device();
+        let s = sample_csr();
+        let wrapped = SparseOperand::from(s.clone());
+        let b = Matrix::random_gaussian(3, 2, Layout::ColMajor, 2, 0);
+        let bt = Matrix::random_gaussian(4, 2, Layout::ColMajor, 2, 1);
+
+        let direct = MatVecLike::mul_right(&s, &d, &b).unwrap();
+        let via_wrap = wrapped.mul_right(&d, &b).unwrap();
+        assert_eq!(direct.as_slice(), via_wrap.as_slice());
+
+        let direct_t = s.mul_transpose_right(&d, &bt).unwrap();
+        let via_wrap_t = wrapped.mul_transpose_right(&d, &bt).unwrap();
+        assert_eq!(direct_t.as_slice(), via_wrap_t.as_slice());
+
+        // Second transposed product reuses the cached transpose (same pointer).
+        let first: *const CsrMatrix = wrapped.transposed();
+        let _ = wrapped.mul_transpose_right(&d, &bt).unwrap();
+        let second: *const CsrMatrix = wrapped.transposed();
+        assert_eq!(first, second);
+        assert_eq!(wrapped.csr(), &s);
+        assert!(wrapped
+            .mul_transpose_right(&d, &Matrix::zeros(5, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn trait_reports_dimensions() {
+        let s = sample_csr();
+        assert_eq!(MatVecLike::nrows(&s), 4);
+        assert_eq!(MatVecLike::ncols(&s), 3);
+        let a = Matrix::zeros(7, 2);
+        assert_eq!(MatVecLike::nrows(&a), 7);
+        assert_eq!(MatVecLike::ncols(&a), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Nyström approximation for symmetric positive semidefinite matrices.
+//!
+//! For PSD `A`, the single-sketch Nyström approximation
+//! `A ≈ (AΩ) (ΩᵀAΩ)⁻¹ (AΩ)ᵀ` is cheaper and more accurate than a general RSVD of the
+//! same sketch size.  This module implements the numerically stable shifted variant
+//! (Tropp–Yurtsever–Udell–Cevher): add `ν·I` before factoring so the small core
+//! `ΩᵀY_ν` stays positive definite in floating point, Cholesky it with
+//! `sketch-la::chol::potrf_upper`, and recover the eigenvalues from the singular
+//! values of `B = Y_ν C⁻¹` (`λ_i = max(σ_i² − ν, 0)`).
+
+use crate::error::{dim_err, LowRankError};
+use crate::matvec::MatVecLike;
+use crate::rangefinder::LowRankParams;
+use sketch_gpu_sim::Device;
+use sketch_la::blas2::Triangle;
+use sketch_la::chol::potrf_upper;
+use sketch_la::norms::frobenius;
+use sketch_la::{blas3, jacobi_svd, Layout, Matrix, Op};
+
+/// A truncated eigendecomposition `A ≈ U diag(λ) Uᵀ` of a PSD matrix.
+#[derive(Debug, Clone)]
+pub struct NystromResult {
+    /// Eigenvectors, `n x k` with orthonormal columns.
+    pub u: Matrix,
+    /// Eigenvalue estimates, descending and clamped to `>= 0`.
+    pub eigs: Vec<f64>,
+}
+
+impl NystromResult {
+    /// The truncation rank `k`.
+    pub fn rank(&self) -> usize {
+        self.eigs.len()
+    }
+
+    /// Materialise the rank-`k` PSD approximation `U diag(λ) Uᵀ`.
+    pub fn reconstruct(&self, device: &Device) -> Result<Matrix, LowRankError> {
+        let mut ul = self.u.clone();
+        for (j, &lj) in self.eigs.iter().enumerate() {
+            for v in ul
+                .col_mut(j)
+                .expect("NystromResult U is always column-major")
+                .iter_mut()
+            {
+                *v *= lj;
+            }
+        }
+        Ok(blas3::gemm_op(
+            device,
+            1.0,
+            Op::NoTrans,
+            &ul,
+            Op::Trans,
+            &self.u,
+            0.0,
+            None,
+        )?)
+    }
+}
+
+/// Rank-`k` Nyström approximation of a symmetric PSD operand.
+///
+/// The operand must be square; symmetry and positive semidefiniteness are the
+/// caller's contract (a decisively indefinite input surfaces as
+/// [`LowRankError::La`] with a `NotPositiveDefinite` payload from the Cholesky of
+/// the shifted core matrix).  `params.power_iters` is ignored: the single-sketch
+/// Nyström scheme touches `A` exactly once by construction (use [`crate::rsvd()`]
+/// with power iteration when the PSD spectrum decays too slowly for one pass).
+pub fn nystrom<M: MatVecLike + ?Sized>(
+    device: &Device,
+    a: &M,
+    params: &LowRankParams,
+) -> Result<NystromResult, LowRankError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(dim_err(
+            "nystrom",
+            format!("PSD operand must be square, got {}x{}", n, a.ncols()),
+        ));
+    }
+    let l = params.sketch_dim(n, n)?;
+    let omega = params
+        .sketch
+        .test_matrix(device, n, l, params.seed, params.stream)?;
+    let y = a.mul_right(device, &omega)?;
+
+    // Shift by ν ~ √n·u·‖Y‖_F so the core factorisation survives roundoff; the shift
+    // is subtracted from the eigenvalues at the end.
+    let nu = (n as f64).sqrt() * f64::EPSILON * frobenius(device, &y).max(f64::MIN_POSITIVE);
+    let y_nu = Matrix::from_fn(n, l, Layout::ColMajor, |i, j| {
+        y.get(i, j) + nu * omega.get(i, j)
+    });
+
+    // Core matrix Ωᵀ Y_ν, symmetrised before Cholesky.
+    let g = blas3::gemm_op(
+        device,
+        1.0,
+        Op::Trans,
+        &omega,
+        Op::NoTrans,
+        &y_nu,
+        0.0,
+        None,
+    )?;
+    let core = Matrix::from_fn(l, l, Layout::ColMajor, |i, j| {
+        0.5 * (g.get(i, j) + g.get(j, i))
+    });
+    let c = potrf_upper(device, &core)?;
+
+    // B = Y_ν C⁻¹; then B = U Σ Vᵀ gives eigenvectors U and eigenvalues σ² − ν.
+    let b = blas3::trsm_right(device, Triangle::Upper, Op::NoTrans, &c, &y_nu)?;
+    let svd = jacobi_svd(device, &b)?;
+    let k = params.k.min(svd.s.len());
+    let u = svd.u.submatrix(n, k)?;
+    let eigs = svd.s[..k].iter().map(|s| (s * s - nu).max(0.0)).collect();
+    Ok(NystromResult { u, eigs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsvd::rsvd;
+    use sketch_la::cond::{geometric_singular_values, matrix_with_singular_values};
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    /// A PSD Gram matrix whose eigenvalues are the squared singular values of the
+    /// generating factor.
+    fn gram_with_spectrum(n: usize, sigma: &[f64], seed: u64) -> Matrix {
+        let d = device();
+        let a = matrix_with_singular_values(&d, 2 * n, n, sigma, seed).unwrap();
+        blas3::gram_gemm(&d, &a).unwrap()
+    }
+
+    #[test]
+    fn nystrom_recovers_the_leading_eigenvalues() {
+        let d = device();
+        let sigma = geometric_singular_values(14, 1e3);
+        let g = gram_with_spectrum(14, &sigma, 3);
+        let res = nystrom(&d, &g, &LowRankParams::new(5).with_power_iters(0)).unwrap();
+        assert_eq!(res.rank(), 5);
+        for (computed, s) in res.eigs.iter().zip(sigma.iter()) {
+            let expected = s * s;
+            // Without power iteration the spectral tail perturbs each estimate at
+            // (a small fraction of) the λ_{k+1} level, so the bound has both a
+            // relative and a tail-sized absolute component.
+            let tail = sigma[5] * sigma[5];
+            assert!(
+                (computed - expected).abs() < 1e-3 * expected + 1e-2 * tail,
+                "{computed} vs {expected}"
+            );
+        }
+        for w in res.eigs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let d = device();
+        let sigma = geometric_singular_values(10, 1e2);
+        let g = gram_with_spectrum(10, &sigma, 5);
+        let res = nystrom(&d, &g, &LowRankParams::new(4)).unwrap();
+        let utu =
+            blas3::gemm_op(&d, 1.0, Op::Trans, &res.u, Op::NoTrans, &res.u, 0.0, None).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn exact_low_rank_psd_matrix_is_reconstructed() {
+        let d = device();
+        let mut sigma = vec![0.0; 12];
+        sigma[0] = 2.0;
+        sigma[1] = 1.0;
+        sigma[2] = 0.5;
+        let g = gram_with_spectrum(12, &sigma, 7);
+        let res = nystrom(&d, &g, &LowRankParams::new(3).with_seed(11, 0)).unwrap();
+        let back = res.reconstruct(&d).unwrap();
+        assert!(back.max_abs_diff(&g).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn nystrom_is_competitive_with_rsvd_on_psd_input() {
+        let d = device();
+        let sigma = geometric_singular_values(16, 1e4);
+        let g = gram_with_spectrum(16, &sigma, 9);
+        let params = LowRankParams::new(6).with_seed(2, 0);
+        let nys = nystrom(&d, &g, &params).unwrap();
+        let svd = rsvd(&d, &g, &params).unwrap();
+        let nys_back = nys.reconstruct(&d).unwrap();
+        let svd_back = svd.reconstruct(&d).unwrap();
+        let nys_err = nys_back.max_abs_diff(&g).unwrap();
+        let svd_err = svd_back.max_abs_diff(&g).unwrap();
+        // The PSD-specialised path should be in the same accuracy class as RSVD.
+        assert!(
+            nys_err <= 10.0 * svd_err + 1e-10,
+            "nystrom {nys_err} vs rsvd {svd_err}"
+        );
+    }
+
+    #[test]
+    fn non_square_operand_is_rejected() {
+        let d = device();
+        let a = Matrix::zeros(4, 5);
+        assert!(matches!(
+            nystrom(&d, &a, &LowRankParams::new(2)),
+            Err(LowRankError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decisively_indefinite_input_surfaces_a_cholesky_error() {
+        let d = device();
+        // -I is symmetric but negative definite.
+        let neg = Matrix::from_fn(
+            8,
+            8,
+            Layout::ColMajor,
+            |i, j| {
+                if i == j {
+                    -1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let err = nystrom(&d, &neg, &LowRankParams::new(2)).unwrap_err();
+        assert!(matches!(err, LowRankError::La(_)));
+    }
+}

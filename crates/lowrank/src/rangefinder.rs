@@ -1,0 +1,380 @@
+//! The randomized rangefinder (HMT Algorithm 4.1/4.4) and its posterior error
+//! estimator (HMT Algorithm 4.3).
+//!
+//! `range_finder` draws a test matrix `Ω ∈ R^{n x ℓ}` with `ℓ = k + p`, forms
+//! `Y = AΩ`, and orthonormalises it with Householder QR (`sketch-la::qr::geqrf`).
+//! Optional power iteration replaces `Y` by `(AAᵀ)^q AΩ`, re-orthonormalising after
+//! every application of `A` or `Aᵀ` so rounding does not collapse the small singular
+//! directions.
+//!
+//! The test matrix is selected by [`RangeSketch`]: i.i.d. Gaussian columns, a
+//! CountSketch, or an SRHT — the latter two materialised through the `sketch-core`
+//! [`SketchOperator`] trait objects so the rangefinder exercises exactly the operators
+//! the rest of the workspace benchmarks.
+
+use crate::error::{dim_err, param_err, LowRankError};
+use crate::matvec::MatVecLike;
+use sketch_core::{CountSketch, SketchOperator, Srht};
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::norms::vec_norm2;
+use sketch_la::qr::geqrf;
+use sketch_la::{blas3, Layout, Matrix, Op};
+
+/// Seed salt for the posterior estimator's probe vectors, so that reusing the
+/// rangefinder's own `(seed, stream)` — the natural call — cannot alias the probes
+/// with the columns of the test matrix `Ω` (aliased probes would lie inside
+/// `span(Q)` by construction and certify any basis as perfect).
+const PROBE_SEED_SALT: u64 = 0x50B3_57E1_0A7E_D00D;
+
+/// Which random test matrix the rangefinder draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeSketch {
+    /// Dense i.i.d. `N(0, 1)` test matrix — the HMT default, strongest guarantees.
+    Gaussian,
+    /// CountSketch test matrix (one `±1` per row of `Ω`), materialised via
+    /// `sketch-core`'s Algorithm 2 operator — cheapest to generate and apply.
+    CountSketch,
+    /// Subsampled randomized Hadamard transform test matrix (Section 5 operator).
+    Srht,
+}
+
+impl RangeSketch {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RangeSketch::Gaussian => "Gaussian",
+            RangeSketch::CountSketch => "CountSketch",
+            RangeSketch::Srht => "SRHT",
+        }
+    }
+
+    /// Materialise the `n x l` test matrix `Ω` for `(seed, stream)`.
+    ///
+    /// Gaussian columns are filled directly with the Philox generator.  CountSketch
+    /// and SRHT build the corresponding `sketch-core` operator `S ∈ R^{l x n}` and
+    /// materialise `Ω = Sᵀ` by applying the trait object to the identity, so the
+    /// rangefinder reuses the exact kernels (and cost accounting) of the sketching
+    /// layer.
+    pub fn test_matrix(
+        &self,
+        device: &Device,
+        n: usize,
+        l: usize,
+        seed: u64,
+        stream: u64,
+    ) -> Result<Matrix, LowRankError> {
+        if n == 0 || l == 0 {
+            return Err(param_err("test matrix dimensions must be positive"));
+        }
+        // The sketch-core constructors take a single seed; fold the stream in with a
+        // golden-ratio mix so (seed, stream) pairs stay distinct.
+        let mixed = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            RangeSketch::Gaussian => Ok(Matrix::random_gaussian(
+                n,
+                l,
+                Layout::ColMajor,
+                seed,
+                stream,
+            )),
+            RangeSketch::CountSketch => {
+                // Ω = Sᵀ has exactly one ±1 per row, so scatter it directly from the
+                // operator's row map instead of applying S to a dense n x n identity.
+                let cs = CountSketch::generate(device, n, l, mixed);
+                let mut omega = Matrix::zeros(n, l);
+                for (j, (&row, &sign)) in cs.rows().iter().zip(cs.signs().iter()).enumerate() {
+                    omega.set(j, row, if sign { 1.0 } else { -1.0 });
+                }
+                device.record(KernelCost::new(
+                    (n as u64) * 5,
+                    KernelCost::f64_bytes((n * l) as u64),
+                    0,
+                    1,
+                ));
+                Ok(omega)
+            }
+            RangeSketch::Srht => {
+                let op: Box<dyn SketchOperator> = Box::new(Srht::generate(device, n, l, mixed)?);
+                let st = op.apply_matrix(device, &Matrix::identity(n))?;
+                Ok(st.transpose(device))
+            }
+        }
+    }
+}
+
+/// Parameters shared by every routine in the crate.
+///
+/// The defaults follow HMT's practical recommendations: oversampling `p = 8` and no
+/// power iteration (add 1–2 iterations for slowly decaying spectra).  Seeds and
+/// streams feed the Philox generator directly, so equal parameters produce
+/// bit-identical factorisations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowRankParams {
+    /// Target rank `k` of the approximation.
+    pub k: usize,
+    /// Oversampling `p`; the sketch dimension is `ℓ = k + p` (clamped to `min(m, n)`).
+    pub oversample: usize,
+    /// Number of power (subspace) iterations `q`.
+    pub power_iters: usize,
+    /// Which test matrix to draw.
+    pub sketch: RangeSketch,
+    /// Philox seed.
+    pub seed: u64,
+    /// Philox stream.
+    pub stream: u64,
+}
+
+impl LowRankParams {
+    /// Parameters for target rank `k` with the HMT defaults.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            oversample: 8,
+            power_iters: 0,
+            sketch: RangeSketch::Gaussian,
+            seed: 0x5EED,
+            stream: 0,
+        }
+    }
+
+    /// Set the oversampling parameter `p`.
+    pub fn with_oversample(mut self, p: usize) -> Self {
+        self.oversample = p;
+        self
+    }
+
+    /// Set the number of power iterations `q`.
+    pub fn with_power_iters(mut self, q: usize) -> Self {
+        self.power_iters = q;
+        self
+    }
+
+    /// Select the test matrix family.
+    pub fn with_sketch(mut self, sketch: RangeSketch) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
+    /// Set the Philox seed and stream.
+    pub fn with_seed(mut self, seed: u64, stream: u64) -> Self {
+        self.seed = seed;
+        self.stream = stream;
+        self
+    }
+
+    /// The sketch dimension `ℓ = min(k + p, m, n)`, validated against the operand.
+    pub(crate) fn sketch_dim(&self, m: usize, n: usize) -> Result<usize, LowRankError> {
+        if self.k == 0 {
+            return Err(param_err("target rank k must be positive"));
+        }
+        if self.k > m.min(n) {
+            return Err(param_err(format!(
+                "target rank {} exceeds min dimension of a {m}x{n} operand",
+                self.k
+            )));
+        }
+        Ok((self.k + self.oversample).min(m.min(n)))
+    }
+}
+
+/// Orthonormalise the columns of `y` via Householder QR, returning the thin `Q`.
+pub(crate) fn orthonormalize(device: &Device, y: &Matrix) -> Result<Matrix, LowRankError> {
+    Ok(geqrf(device, y)?.q_thin(device))
+}
+
+/// Randomized rangefinder: an `m x ℓ` matrix `Q` with orthonormal columns such that
+/// `A ≈ Q Qᵀ A`.
+///
+/// With a Gaussian test matrix, HMT Theorem 10.6 bounds the expected error by
+/// `E‖A − QQᵀA‖ ≤ (1 + 4√(k+p)·√(min(m,n))/(p−1))·σ_{k+1}`, and each power iteration
+/// drives the constant towards 1 like `(σ_{k+1}/σ_k)^{2q}`.
+pub fn range_finder<M: MatVecLike + ?Sized>(
+    device: &Device,
+    a: &M,
+    params: &LowRankParams,
+) -> Result<Matrix, LowRankError> {
+    let (m, n) = (a.nrows(), a.ncols());
+    let l = params.sketch_dim(m, n)?;
+    let omega = params
+        .sketch
+        .test_matrix(device, n, l, params.seed, params.stream)?;
+    let y = a.mul_right(device, &omega)?;
+    let mut q = orthonormalize(device, &y)?;
+    for _ in 0..params.power_iters {
+        // Subspace iteration with re-orthonormalisation after every product, the
+        // numerically stable form of (A Aᵀ)^q A Ω.
+        let z = orthonormalize(device, &a.mul_transpose_right(device, &q)?)?;
+        q = orthonormalize(device, &a.mul_right(device, &z)?)?;
+    }
+    Ok(q)
+}
+
+/// Posterior error estimate for a computed range `Q` (HMT Algorithm 4.3).
+///
+/// Draws `probes` Gaussian probe vectors `ω_i` and returns
+/// `10·√(2/π)·max_i ‖(I − QQᵀ) A ω_i‖₂`, which upper-bounds `‖A − QQᵀA‖₂` with
+/// probability at least `1 − 10^{-probes}`.  Callers grow `k` adaptively by checking
+/// this estimate against their tolerance and re-running the rangefinder with a larger
+/// sketch when it is too big.
+///
+/// The probe stream is salted internally, so passing the same `(seed, stream)` that
+/// produced the rangefinder's test matrix is safe: the probes are always independent
+/// of `Ω`.
+pub fn estimate_range_error<M: MatVecLike + ?Sized>(
+    device: &Device,
+    a: &M,
+    q: &Matrix,
+    probes: usize,
+    seed: u64,
+    stream: u64,
+) -> Result<f64, LowRankError> {
+    if probes == 0 {
+        return Err(param_err("need at least one probe vector"));
+    }
+    if q.nrows() != a.nrows() {
+        return Err(dim_err(
+            "estimate_range_error",
+            format!("A has {} rows but Q has {}", a.nrows(), q.nrows()),
+        ));
+    }
+    let omega = Matrix::random_gaussian(
+        a.ncols(),
+        probes,
+        Layout::ColMajor,
+        seed ^ PROBE_SEED_SALT,
+        stream,
+    );
+    let y = a.mul_right(device, &omega)?;
+    let qty = blas3::gemm_op(device, 1.0, Op::Trans, q, Op::NoTrans, &y, 0.0, None)?;
+    // resid = Y - Q (Qᵀ Y).
+    let resid = blas3::gemm(device, -1.0, q, &qty, 1.0, Some(&y))?;
+    let max_norm = (0..probes)
+        .map(|j| vec_norm2(&resid.col_to_vec(j)))
+        .fold(0.0, f64::max);
+    Ok(10.0 * std::f64::consts::FRAC_2_PI.sqrt() * max_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::cond::{geometric_singular_values, matrix_with_singular_values};
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns_for_every_sketch() {
+        let d = device();
+        let a = Matrix::random_gaussian(60, 20, Layout::ColMajor, 3, 0);
+        for sketch in [
+            RangeSketch::Gaussian,
+            RangeSketch::CountSketch,
+            RangeSketch::Srht,
+        ] {
+            let params = LowRankParams::new(5).with_sketch(sketch).with_seed(7, 1);
+            let q = range_finder(&d, &a, &params).unwrap();
+            assert_eq!(q.nrows(), 60);
+            assert_eq!(q.ncols(), 13);
+            let gram = blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
+            assert!(
+                gram.max_abs_diff(&Matrix::identity(13)).unwrap() < 1e-10,
+                "{} Q not orthonormal",
+                sketch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_rank_k_matrix_is_captured_exactly() {
+        let d = device();
+        let a = sketch_la::cond::rank_k_matrix(&d, 50, 16, 4, 11).unwrap();
+        let params = LowRankParams::new(4).with_oversample(4);
+        let q = range_finder(&d, &a, &params).unwrap();
+        // ‖A − QQᵀA‖ should be at roundoff.
+        let est = estimate_range_error(&d, &a, &q, 5, 99, 0).unwrap();
+        assert!(est < 1e-10, "estimate {est}");
+    }
+
+    #[test]
+    fn power_iteration_improves_a_noisy_spectrum() {
+        let d = device();
+        let sigma = geometric_singular_values(20, 1e3);
+        let a = matrix_with_singular_values(&d, 80, 20, &sigma, 5).unwrap();
+        let base = LowRankParams::new(6).with_oversample(2).with_seed(1, 0);
+        let q0 = range_finder(&d, &a, &base).unwrap();
+        let q2 = range_finder(&d, &a, &base.with_power_iters(2)).unwrap();
+        let e0 = estimate_range_error(&d, &a, &q0, 6, 42, 0).unwrap();
+        let e2 = estimate_range_error(&d, &a, &q2, 6, 42, 0).unwrap();
+        assert!(
+            e2 <= e0 * 1.5,
+            "power iteration should not make things notably worse: {e2} vs {e0}"
+        );
+    }
+
+    #[test]
+    fn estimator_upper_bounds_the_true_residual() {
+        let d = device();
+        let sigma = geometric_singular_values(12, 1e2);
+        let a = matrix_with_singular_values(&d, 40, 12, &sigma, 8).unwrap();
+        let params = LowRankParams::new(3).with_oversample(3);
+        let q = range_finder(&d, &a, &params).unwrap();
+        // True spectral residual via the dense SVD of A − QQᵀA.
+        let qta = a.mul_transpose_right(&d, &q).unwrap(); // n x l = (QᵀA)ᵀ
+        let qqta = blas3::gemm_op(&d, 1.0, Op::NoTrans, &q, Op::Trans, &qta, 0.0, None).unwrap();
+        let resid = blas3::gemm(&d, -1.0, &qqta, &Matrix::identity(12), 1.0, Some(&a)).unwrap();
+        let true_norm = sketch_la::jacobi_svd(&d, &resid).unwrap().s[0];
+        let est = estimate_range_error(&d, &a, &q, 8, 123, 0).unwrap();
+        assert!(
+            est >= true_norm * 0.9,
+            "estimate {est} vs true residual {true_norm}"
+        );
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let d = device();
+        let a = Matrix::zeros(10, 5);
+        assert!(range_finder(&d, &a, &LowRankParams::new(0)).is_err());
+        assert!(range_finder(&d, &a, &LowRankParams::new(6)).is_err());
+        let q = Matrix::identity(10).submatrix(10, 2).unwrap();
+        assert!(estimate_range_error(&d, &a, &q, 0, 1, 0).is_err());
+        let q_bad = Matrix::zeros(9, 2);
+        assert!(estimate_range_error(&d, &a, &q_bad, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn estimator_is_not_fooled_by_reusing_the_rangefinder_seed() {
+        // Regression: with an unsalted probe stream, probes drawn from the same
+        // (seed, stream) as the Gaussian test matrix alias its leading columns and
+        // certify ANY basis as perfect.  A deliberately too-small basis must still
+        // produce a large estimate when the caller reuses the params seed.
+        let d = device();
+        let sigma = geometric_singular_values(16, 1e1);
+        let a = matrix_with_singular_values(&d, 50, 16, &sigma, 4).unwrap();
+        let params = LowRankParams::new(2).with_oversample(0).with_seed(77, 5);
+        let q = range_finder(&d, &a, &params).unwrap();
+        let est = estimate_range_error(&d, &a, &q, 2, params.seed, params.stream).unwrap();
+        assert!(
+            est > 0.5 * sigma[2],
+            "estimate {est} is vacuously small (σ_3 = {})",
+            sigma[2]
+        );
+    }
+
+    #[test]
+    fn test_matrices_are_seed_deterministic() {
+        let d = device();
+        for sketch in [
+            RangeSketch::Gaussian,
+            RangeSketch::CountSketch,
+            RangeSketch::Srht,
+        ] {
+            let a = sketch.test_matrix(&d, 32, 6, 9, 2).unwrap();
+            let b = sketch.test_matrix(&d, 32, 6, 9, 2).unwrap();
+            let c = sketch.test_matrix(&d, 32, 6, 9, 3).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{}", sketch.name());
+            assert_ne!(a.as_slice(), c.as_slice(), "{}", sketch.name());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Randomized SVD (HMT Algorithm 5.1) and the deterministic truncated-QR baseline.
+//!
+//! Both factorisations funnel into the same small dense SVD: the rangefinder (or the
+//! economy QR for the deterministic path) compresses `A` to a thin matrix, and
+//! `sketch-la::svd::jacobi_svd` finishes the job.  For `B = AᵀQ ∈ R^{n x ℓ}` with
+//! `B = U_B Σ V_Bᵀ` we have `QᵀA = Bᵀ = V_B Σ U_Bᵀ`, hence `A ≈ (Q V_B) Σ U_Bᵀ`.
+
+use crate::error::{dim_err, LowRankError};
+use crate::matvec::MatVecLike;
+use crate::rangefinder::{range_finder, LowRankParams};
+use sketch_gpu_sim::Device;
+use sketch_la::qr::economy_qr;
+use sketch_la::{blas3, jacobi_svd, Layout, Matrix, Op};
+
+/// A truncated singular value decomposition `A ≈ U Σ Vᵀ` of rank (at most) `k`.
+#[derive(Debug, Clone)]
+pub struct SvdResult {
+    /// Left singular vectors, `m x k` with orthonormal columns.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors transposed, `k x n`.
+    pub vt: Matrix,
+}
+
+impl SvdResult {
+    /// The truncation rank `k`.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Materialise the rank-`k` approximation `U Σ Vᵀ`.
+    pub fn reconstruct(&self, device: &Device) -> Result<Matrix, LowRankError> {
+        let mut us = self.u.clone();
+        for (j, &sj) in self.s.iter().enumerate() {
+            for v in us
+                .col_mut(j)
+                .expect("SvdResult U is always column-major")
+                .iter_mut()
+            {
+                *v *= sj;
+            }
+        }
+        Ok(blas3::gemm(device, 1.0, &us, &self.vt, 0.0, None)?)
+    }
+}
+
+/// Given an orthonormal range basis `Q`, compute the truncated SVD factors of
+/// `Q Qᵀ A` (the shared tail of `rsvd` and the streaming path).
+pub(crate) fn svd_from_range<M: MatVecLike + ?Sized>(
+    device: &Device,
+    a: &M,
+    q: &Matrix,
+    k: usize,
+) -> Result<SvdResult, LowRankError> {
+    if q.nrows() != a.nrows() {
+        return Err(dim_err(
+            "svd_from_range",
+            format!("A has {} rows but Q has {}", a.nrows(), q.nrows()),
+        ));
+    }
+    let b = a.mul_transpose_right(device, q)?; // n x l, B = AᵀQ
+    let svd = jacobi_svd(device, &b)?; // B = U_B Σ V_Bᵀ
+    finish_truncation(device, q, &svd.vt, &svd.s, &svd.u, k, a.ncols())
+}
+
+/// Assemble `U = basis · rotᵀ` (truncated to `k` columns), `s[..k]`, and
+/// `Vᵀ = right_colsᵀ[..k]` — the common final step of every SVD route in the crate.
+fn finish_truncation(
+    device: &Device,
+    basis: &Matrix,
+    rot_t: &Matrix,
+    s: &[f64],
+    right_cols: &Matrix,
+    k: usize,
+    n: usize,
+) -> Result<SvdResult, LowRankError> {
+    let u_full = blas3::gemm_op(device, 1.0, Op::NoTrans, basis, Op::Trans, rot_t, 0.0, None)?;
+    let k = k.min(s.len());
+    let u = u_full.submatrix(u_full.nrows(), k)?;
+    let s = s[..k].to_vec();
+    let vt = Matrix::from_fn(k, n, Layout::ColMajor, |i, j| right_cols.get(j, i));
+    Ok(SvdResult { u, s, vt })
+}
+
+/// Randomized truncated SVD: rangefinder + small dense SVD.
+///
+/// Works for dense [`Matrix`] and sparse `CsrMatrix` operands alike (anything
+/// implementing [`MatVecLike`]).  With the same [`LowRankParams`] (seed, stream,
+/// sketch, dimensions) the result is bit-for-bit reproducible.
+pub fn rsvd<M: MatVecLike + ?Sized>(
+    device: &Device,
+    a: &M,
+    params: &LowRankParams,
+) -> Result<SvdResult, LowRankError> {
+    let q = range_finder(device, a, params)?;
+    svd_from_range(device, a, &q, params.k)
+}
+
+/// Deterministic truncated SVD via economy QR: `A = Q R`, small Jacobi SVD of `R`,
+/// truncate to rank `k`.  Requires `m >= n`.
+///
+/// This is the dense baseline the `fig_lowrank` bench compares the randomized path
+/// against: same answer as a full SVD truncated to `k`, but `O(mn² + n³)` work and a
+/// full pass over `A` per Householder panel instead of the sketch's single pass.
+pub fn deterministic_svd(device: &Device, a: &Matrix, k: usize) -> Result<SvdResult, LowRankError> {
+    let (q, r) = economy_qr(device, a)?;
+    let svd = jacobi_svd(device, &r)?; // R = U_R Σ Vᵀ ⇒ A = (Q U_R) Σ Vᵀ
+    let u_full = blas3::gemm(device, 1.0, &q, &svd.u, 0.0, None)?;
+    let k = k.min(svd.s.len());
+    let u = u_full.submatrix(u_full.nrows(), k)?;
+    let s = svd.s[..k].to_vec();
+    let vt = svd.vt.submatrix(k, a.ncols())?;
+    Ok(SvdResult { u, s, vt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rangefinder::RangeSketch;
+    use sketch_la::cond::{geometric_singular_values, matrix_with_singular_values};
+    use sketch_la::norms::frobenius_rel_diff;
+    use sketch_sparse::{CooMatrix, CsrMatrix};
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn rank_k_matrix(m: usize, n: usize, k: usize, seed: u64) -> Matrix {
+        sketch_la::cond::rank_k_matrix(&device(), m, n, k, seed).unwrap()
+    }
+
+    fn frob_rel_err(a: &Matrix, approx: &Matrix) -> f64 {
+        frobenius_rel_diff(&device(), a, approx).unwrap()
+    }
+
+    #[test]
+    fn rsvd_recovers_exact_rank_k_matrices() {
+        let d = device();
+        let a = rank_k_matrix(60, 20, 5, 1);
+        for sketch in [
+            RangeSketch::Gaussian,
+            RangeSketch::CountSketch,
+            RangeSketch::Srht,
+        ] {
+            let params = LowRankParams::new(5).with_sketch(sketch).with_seed(3, 0);
+            let svd = rsvd(&d, &a, &params).unwrap();
+            assert_eq!(svd.rank(), 5);
+            let back = svd.reconstruct(&d).unwrap();
+            let err = frob_rel_err(&a, &back);
+            assert!(err < 1e-10, "{}: relative error {err}", sketch.name());
+        }
+    }
+
+    #[test]
+    fn rsvd_singular_values_match_the_spectrum() {
+        let d = device();
+        let sigma = geometric_singular_values(16, 1e6);
+        let a = matrix_with_singular_values(&d, 64, 16, &sigma, 2).unwrap();
+        let params = LowRankParams::new(6).with_power_iters(2);
+        let svd = rsvd(&d, &a, &params).unwrap();
+        for (computed, expected) in svd.s.iter().zip(sigma.iter()) {
+            assert!(
+                (computed - expected).abs() < 1e-6 * expected,
+                "{computed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rsvd_factors_are_orthonormal() {
+        let d = device();
+        let a = Matrix::random_gaussian(40, 15, Layout::ColMajor, 4, 0);
+        let svd = rsvd(&d, &a, &LowRankParams::new(6)).unwrap();
+        let utu =
+            blas3::gemm_op(&d, 1.0, Op::Trans, &svd.u, Op::NoTrans, &svd.u, 0.0, None).unwrap();
+        assert!(utu.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-10);
+        let vvt =
+            blas3::gemm_op(&d, 1.0, Op::NoTrans, &svd.vt, Op::Trans, &svd.vt, 0.0, None).unwrap();
+        assert!(vvt.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_input_matches_its_dense_twin() {
+        let d = device();
+        // A sparse rank-deficient-ish band matrix.
+        let mut coo = CooMatrix::new(50, 18);
+        for i in 0..50 {
+            coo.push(i, i % 18, 1.0 + (i as f64) * 0.1);
+            coo.push(i, (i + 3) % 18, -0.5);
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let rows = csr.to_dense();
+        let dense = Matrix::from_fn(50, 18, Layout::ColMajor, |i, j| rows[i][j]);
+        let params = LowRankParams::new(8).with_seed(5, 1);
+        let s_sparse = rsvd(&d, &csr, &params).unwrap();
+        let s_dense = rsvd(&d, &dense, &params).unwrap();
+        for (a, b) in s_sparse.s.iter().zip(s_dense.s.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_svd_is_the_truncated_exact_svd() {
+        let d = device();
+        let sigma = geometric_singular_values(10, 1e4);
+        let a = matrix_with_singular_values(&d, 30, 10, &sigma, 7).unwrap();
+        let k = 4;
+        let det = deterministic_svd(&d, &a, k).unwrap();
+        assert_eq!(det.rank(), k);
+        for (computed, expected) in det.s.iter().zip(sigma.iter()) {
+            assert!((computed - expected).abs() < 1e-8 * expected.max(1.0));
+        }
+        // The rank-k truncation error is exactly the tail of the spectrum.
+        let back = det.reconstruct(&d).unwrap();
+        let err = frob_rel_err(&a, &back);
+        let tail: f64 = sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        let total: f64 = sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((err - tail / total).abs() < 1e-8, "err {err}");
+    }
+
+    #[test]
+    fn rank_requests_beyond_l_are_clamped() {
+        let d = device();
+        let a = rank_k_matrix(20, 6, 2, 9);
+        // k = 6 == n, oversample clamps l to 6; result still has rank 6 entries.
+        let svd = rsvd(&d, &a, &LowRankParams::new(6)).unwrap();
+        assert_eq!(svd.rank(), 6);
+        assert!(svd.s[2] < 1e-10, "rank-2 input has tiny trailing values");
+    }
+}

@@ -132,6 +132,45 @@ impl CsrMatrix {
             .zip(self.values[start..end].iter().copied())
     }
 
+    /// Transpose the matrix, producing a new CSR matrix (CSR→CSR via counting sort).
+    ///
+    /// Row `i` of the result holds the entries of column `i` of `self`, ordered by
+    /// their original row index — the standard two-pass histogram/scatter used by
+    /// cuSPARSE's `csr2csc`.  Cost is `O(nnz + ncols)` and the output is a fully
+    /// canonical CSR (sorted column indices within each row, no duplicates beyond
+    /// those already present).
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        // Pass 1: histogram of entries per output row (= input column).
+        let mut row_ptr = vec![0usize; self.ncols + 1];
+        for &j in &self.col_idx {
+            row_ptr[j + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            row_ptr[j + 1] += row_ptr[j];
+        }
+        // Pass 2: scatter, walking the input in row order so each output row ends up
+        // sorted by the original row index.
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i) {
+                let slot = next[j];
+                col_idx[slot] = i;
+                values[slot] = v;
+                next[j] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Bytes occupied by the index + value arrays (used by traffic modelling).
     pub fn size_bytes(&self) -> u64 {
         (self.row_ptr.len() * std::mem::size_of::<usize>()
@@ -214,6 +253,55 @@ mod tests {
     #[should_panic(expected = "column index out of bounds")]
     fn from_raw_rejects_bad_column() {
         CsrMatrix::from_raw(1, 1, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let t = csr.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.nnz(), csr.nnz());
+        let dense = csr.to_dense();
+        let dense_t = t.to_dense();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(dense[i][j], dense_t[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_canonical_and_involutive() {
+        let mut coo = CooMatrix::new(5, 3);
+        coo.push(4, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 2, -1.0);
+        coo.push(1, 1, 0.5);
+        let csr = CsrMatrix::from_coo(&coo);
+        let t = csr.transpose();
+        // Column indices inside every row of the transpose must be sorted.
+        for i in 0..t.nrows() {
+            let cols: Vec<usize> = t.row(i).map(|(j, _)| j).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+        assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_of_empty_and_empty_rows() {
+        let empty = CsrMatrix::from_coo(&CooMatrix::new(3, 7));
+        let t = empty.transpose();
+        assert_eq!(t.nrows(), 7);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.nnz(), 0);
+
+        let mut coo = CooMatrix::new(4, 2);
+        coo.push(3, 1, 7.0);
+        let t = CsrMatrix::from_coo(&coo).transpose();
+        assert_eq!(t.row_ptr(), &[0, 0, 1]);
+        assert_eq!(t.row(1).collect::<Vec<_>>(), vec![(3, 7.0)]);
     }
 
     #[test]

@@ -58,8 +58,30 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
     let n = a.ncols();
     let k = s.nrows();
 
+    // Pack the dense operand so its rows are contiguous (the same packing `blas3`
+    // applies before its dot-product loops): every non-zero then pulls one contiguous
+    // slice instead of `n` strided loads when `A` arrives column-major.
+    let packed_storage;
+    let packed: &[f64] = match a.layout() {
+        Layout::RowMajor => a.as_slice(),
+        Layout::ColMajor => {
+            let mut buf = vec![0.0; a.nrows() * n];
+            buf.par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(i, row)| {
+                    for (c, slot) in row.iter_mut().enumerate() {
+                        *slot = a.get(i, c);
+                    }
+                });
+            packed_storage = buf;
+            &packed_storage
+        }
+    };
+
     // Row-parallel SpMM producing a row-major result (each task owns one output row),
-    // mirroring the natural CUDA mapping of one warp per output row.
+    // mirroring the natural CUDA mapping of one warp per output row.  The accumulation
+    // order per output row (non-zeros outer, columns inner) is identical to the
+    // sequential reference, so results are bit-for-bit reproducible.
     let mut y = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
     {
         let data = y.as_mut_slice();
@@ -67,8 +89,9 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
             .enumerate()
             .for_each(|(i, out_row)| {
                 for (j, v) in s.row(i) {
-                    for (c, slot) in out_row.iter_mut().enumerate() {
-                        *slot += v * a.get(j, c);
+                    let arow = &packed[j * n..j * n + n];
+                    for (slot, aj) in out_row.iter_mut().zip(arow.iter()) {
+                        *slot += v * aj;
                     }
                 }
             });
@@ -171,6 +194,45 @@ mod tests {
         let nnz = s.nnz() as u64;
         assert!(cost.bytes_read >= 8 * nnz * 3 * SPMM_GATHER_PENALTY);
         assert_eq!(cost.flops, 2 * nnz * 3);
+    }
+
+    #[test]
+    fn spmm_is_bit_identical_to_sequential_reference_in_both_layouts() {
+        let d = device();
+        let mut coo = CooMatrix::new(6, 5);
+        // A denser pattern with repeated target rows exercises the accumulation order.
+        for (i, j, v) in [
+            (0, 0, 0.3),
+            (0, 4, -1.2),
+            (1, 2, 2.0),
+            (2, 1, 0.7),
+            (2, 3, 1e-3),
+            (2, 4, -7.5),
+            (4, 0, 1.1),
+            (4, 1, 0.9),
+            (5, 3, 4.0),
+        ] {
+            coo.push(i, j, v);
+        }
+        let s = CsrMatrix::from_coo(&coo);
+        let a_rm = Matrix::from_fn(5, 3, Layout::RowMajor, |i, j| ((i * 7 + j) as f64).sin());
+        let a_cm = a_rm.to_layout(&d, Layout::ColMajor);
+
+        // Sequential reference with the documented accumulation order.
+        let mut reference = Matrix::zeros_with_layout(6, 3, Layout::RowMajor);
+        for i in 0..6 {
+            for (j, v) in s.row(i) {
+                for c in 0..3 {
+                    let acc = reference.get(i, c) + v * a_rm.get(j, c);
+                    reference.set(i, c, acc);
+                }
+            }
+        }
+
+        let y_rm = spmm(&d, &s, &a_rm);
+        let y_cm = spmm(&d, &s, &a_cm);
+        assert_eq!(y_rm.as_slice(), reference.as_slice());
+        assert_eq!(y_cm.as_slice(), reference.as_slice());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`sketch`] — the sketch operators (CountSketch, Gaussian, SRHT, multisketch),
 //! * [`lsq`] — the least squares solvers (normal equations, sketch-and-solve,
 //!   rand_cholQR, QR),
+//! * [`lowrank`] — randomized low-rank approximation (rangefinder, RSVD,
+//!   single-pass streaming SVD, Nyström),
 //! * [`la`] — the dense linear algebra substrate,
 //! * [`sparse`] — the sparse (SpMM) substrate,
 //! * [`gpu`] — the simulated device, cost counters and roofline model,
@@ -36,6 +38,7 @@ pub use sketch_core as sketch;
 pub use sketch_dist as dist;
 pub use sketch_gpu_sim as gpu;
 pub use sketch_la as la;
+pub use sketch_lowrank as lowrank;
 pub use sketch_lsq as lsq;
 pub use sketch_rng as rng;
 pub use sketch_sparse as sparse;
@@ -51,6 +54,10 @@ pub mod prelude {
     };
     pub use sketch_gpu_sim::{Device, DeviceSpec, KernelCost, Phase, Profiler, RunBreakdown};
     pub use sketch_la::{Layout, Matrix, Op};
+    pub use sketch_lowrank::{
+        estimate_range_error, nystrom, range_finder, rsvd, streaming_svd, CountingBlockSource,
+        LowRankParams, MatVecLike, NystromResult, RangeSketch, SvdResult,
+    };
     pub use sketch_lsq::{solve, LsqProblem, LsqSolution, Method};
     pub use sketch_rng::{PhiloxRng, StreamFactory};
 }
