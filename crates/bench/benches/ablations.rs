@@ -2,7 +2,7 @@
 //! multisketch (the design choices DESIGN.md calls out).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sketch_core::{CountSketch, MultiSketch, SketchOperator};
+use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
 use sketch_gpu_sim::Device;
 use sketch_la::{Layout, Matrix};
 
@@ -12,8 +12,13 @@ fn bench_ablations(c: &mut Criterion) {
     let n = 16;
     let a_rm = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
     let a_cm = a_rm.to_layout(&device, Layout::ColMajor);
-    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
-    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 2).unwrap();
+    let count = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 1)
+        .resolve(n)
+        .build_countsketch(&device)
+        .unwrap();
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 2)
+        .build_multisketch(&device, n)
+        .unwrap();
     let multi_naive = multi.clone().with_naive_layout_handling();
 
     let mut group = c.benchmark_group("ablations_d16k_n16");

@@ -391,10 +391,36 @@ fn sketch_vector_cost(sketch: SketchMethod, d: u64, n: u64) -> KernelCost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sketch_core::{CountSketch, GaussianSketch, MultiSketch, SketchOperator, Srht};
+    use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
     use sketch_gpu_sim::Device;
     use sketch_la::blas3::gram_gemm;
     use sketch_la::{Layout, Matrix};
+
+    /// The paper-convention spec for one sketch method (None for the Gram baseline).
+    fn pipeline_of(method: SketchMethod, d: usize, seed: u64) -> Option<Pipeline> {
+        match method {
+            SketchMethod::Gram => None,
+            SketchMethod::Gaussian => Some(Pipeline::single(SketchSpec::gaussian(
+                d,
+                EmbeddingDim::Ratio(2),
+                seed,
+            ))),
+            SketchMethod::CountAlg2 | SketchMethod::CountSpmm => Some(Pipeline::single(
+                SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed),
+            )),
+            SketchMethod::MultiSketch => Some(Pipeline::count_gauss(
+                d,
+                EmbeddingDim::Square(2),
+                EmbeddingDim::Ratio(2),
+                seed,
+            )),
+            SketchMethod::Srht => Some(Pipeline::single(SketchSpec::srht(
+                d,
+                EmbeddingDim::Ratio(2),
+                seed,
+            ))),
+        }
+    }
 
     /// The guarantee behind the paper-scale projections: the analytic formulas must
     /// match the costs the real kernels record, byte for byte and flop for flop.
@@ -410,28 +436,19 @@ mod tests {
                 SketchMethod::Gram => {
                     let _ = gram_gemm(&device, &a).unwrap();
                 }
-                SketchMethod::Gaussian => {
-                    let s = GaussianSketch::generate(&device, d, 2 * n, 3).unwrap();
-                    device.tracker().reset();
-                    let _ = s.apply_matrix(&device, &a).unwrap();
-                }
-                SketchMethod::CountAlg2 => {
-                    let s = CountSketch::generate(&device, d, 2 * n * n, 3);
-                    device.tracker().reset();
-                    let _ = s.apply_matrix(&device, &a).unwrap();
-                }
                 SketchMethod::CountSpmm => {
-                    let s = CountSketch::generate(&device, d, 2 * n * n, 3);
+                    let s = pipeline_of(method, d, 3).unwrap().stages[0]
+                        .resolve(n)
+                        .build_countsketch(&device)
+                        .unwrap();
                     device.tracker().reset();
                     let _ = s.apply_matrix_spmm(&device, &a).unwrap();
                 }
-                SketchMethod::MultiSketch => {
-                    let s = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).unwrap();
-                    device.tracker().reset();
-                    let _ = s.apply_matrix(&device, &a).unwrap();
-                }
-                SketchMethod::Srht => {
-                    let s = Srht::generate(&device, d, 2 * n, 3).unwrap();
+                _ => {
+                    let s = pipeline_of(method, d, 3)
+                        .unwrap()
+                        .build_for(&device, n)
+                        .unwrap();
                     device.tracker().reset();
                     let _ = s.apply_matrix(&device, &a).unwrap();
                 }
@@ -458,21 +475,10 @@ mod tests {
             SketchMethod::Srht,
         ] {
             let device = Device::unlimited();
-            match method {
-                SketchMethod::Gaussian => {
-                    let _ = GaussianSketch::generate(&device, d, 2 * n, 3).unwrap();
-                }
-                SketchMethod::CountAlg2 => {
-                    let _ = CountSketch::generate(&device, d, 2 * n * n, 3);
-                }
-                SketchMethod::MultiSketch => {
-                    let _ = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).unwrap();
-                }
-                SketchMethod::Srht => {
-                    let _ = Srht::generate(&device, d, 2 * n, 3).unwrap();
-                }
-                _ => unreachable!(),
-            }
+            let _ = pipeline_of(method, d, 3)
+                .unwrap()
+                .build_for(&device, n)
+                .unwrap();
             assert_eq!(
                 device.tracker().snapshot(),
                 method.generation_cost(d, n),

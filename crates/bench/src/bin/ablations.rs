@@ -4,7 +4,7 @@
 
 use sketch_bench::report::{ms, Table};
 use sketch_core::fwht::{fwht_in_place, fwht_radix2_in_place};
-use sketch_core::{CountSketch, MultiSketch, SketchOperator};
+use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
 use sketch_gpu_sim::Device;
 use sketch_la::blas3::{gram_gemm, syrk_gram};
 use sketch_la::{Layout, Matrix};
@@ -29,14 +29,15 @@ fn main() {
     );
 
     // 1. Atomic (Algorithm 2) vs gather vs SpMM CountSketch.
-    let cs = CountSketch::generate(&device, d, 2 * n * n, 7);
+    let count_spec = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7).resolve(n);
+    let cs = count_spec.build_countsketch(&device).expect("valid spec");
     for (label, run) in [
         ("atomic (Alg 2)", 0usize),
         ("gather (no atomics)", 1),
         ("SpMM baseline", 2),
     ] {
         let dev = Device::h100();
-        let csl = CountSketch::generate(&dev, d, 2 * n * n, 7);
+        let csl = count_spec.build_countsketch(&dev).expect("valid spec");
         dev.tracker().reset();
         let (_, wall) = time_wall(|| match run {
             0 => csl.apply_matrix(&dev, &a_rm).unwrap(),
@@ -66,7 +67,9 @@ fn main() {
     }
 
     // 3. Multisketch transpose trick vs naive conversion.
-    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 9).unwrap();
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 9)
+        .build_multisketch(&device, n)
+        .expect("fits on the device");
     for (label, naive) in [("transpose trick", false), ("naive conversion", true)] {
         let dev = Device::h100();
         let op = if naive {

@@ -1,9 +1,10 @@
 //! Section 7: distributed sketching — per-process compute and communication volumes.
 
 use sketch_bench::report::{sci, Table};
-use sketch_core::{CountSketch, GaussianSketch, MultiSketch};
+use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
 use sketch_dist::{
     distributed_countsketch, distributed_gaussian, distributed_multisketch, BlockRowMatrix,
+    DistributedRun,
 };
 use sketch_gpu_sim::Device;
 use sketch_la::{Layout, Matrix};
@@ -14,9 +15,20 @@ fn main() {
     let n = 32;
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
 
-    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
-    let gauss = GaussianSketch::generate(&device, d, 2 * n, 2).unwrap();
-    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).unwrap();
+    // The three Section 7 sketches, declared as specs and built once; the typed
+    // drivers then reuse each global sketch across every process count (the
+    // spec-driven `distributed_sketch` entry point would rebuild per call).
+    let gauss = SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), 2)
+        .resolve(n)
+        .build_gaussian(&device)
+        .expect("fits in memory");
+    let count = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 1)
+        .resolve(n)
+        .build_countsketch(&device)
+        .expect("valid spec");
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 3)
+        .build_multisketch(&device, n)
+        .expect("fits in memory");
 
     let mut table = Table::new(
         "Section 7 — distributed sketching (d = 2^14, n = 32)",
@@ -24,7 +36,7 @@ fn main() {
     );
     for p in [2usize, 4, 8, 16] {
         let dist = BlockRowMatrix::split(&a, p);
-        let runs = [
+        let runs: [(&str, DistributedRun); 3] = [
             (
                 "Gaussian",
                 distributed_gaussian(&device, &dist, &gauss).unwrap(),

@@ -2,7 +2,7 @@
 
 use crate::analytic::SketchMethod;
 use crate::config::{ExperimentScale, SweepPoint};
-use sketch_core::{CountSketch, GaussianSketch, MultiSketch, SketchOperator, Srht};
+use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
 use sketch_gpu_sim::{Device, KernelCost};
 use sketch_la::blas3::gram_gemm;
 use sketch_la::{Layout, Matrix};
@@ -78,16 +78,22 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
             let (_, apply) = device.tracker().measure(|| gram_gemm(&device, &a).unwrap());
             (KernelCost::zero(), apply, false)
         }
-        SketchMethod::Gaussian => match GaussianSketch::generate(&device, d, 2 * n, seed) {
-            Ok(s) => {
-                let gen = device.tracker().snapshot();
-                let (res, apply) = device.tracker().measure(|| s.apply_matrix(&device, &a));
-                (gen, apply, res.is_err())
+        SketchMethod::Gaussian => {
+            let spec = SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), seed);
+            match spec.resolve(n).build_gaussian(&device) {
+                Ok(s) => {
+                    let gen = device.tracker().snapshot();
+                    let (res, apply) = device.tracker().measure(|| s.apply_matrix(&device, &a));
+                    (gen, apply, res.is_err())
+                }
+                Err(_) => (KernelCost::zero(), KernelCost::zero(), true),
             }
-            Err(_) => (KernelCost::zero(), KernelCost::zero(), true),
-        },
+        }
         SketchMethod::CountAlg2 => {
-            let s = CountSketch::generate(&device, d, 2 * n * n, seed);
+            let s = SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed)
+                .resolve(n)
+                .build_countsketch(&device)
+                .expect("CountSketch spec is always buildable");
             let gen = device.tracker().snapshot();
             device.tracker().reset();
             let (_, apply) = device
@@ -96,7 +102,10 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
             (gen, apply, false)
         }
         SketchMethod::CountSpmm => {
-            let s = CountSketch::generate(&device, d, 2 * n * n, seed);
+            let s = SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed)
+                .resolve(n)
+                .build_countsketch(&device)
+                .expect("CountSketch spec is always buildable");
             let gen = device.tracker().snapshot();
             device.tracker().reset();
             let (_, apply) = device
@@ -105,7 +114,9 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
             (gen, apply, false)
         }
         SketchMethod::MultiSketch => {
-            let s = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, seed).unwrap();
+            let s = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), seed)
+                .build_multisketch(&device, n)
+                .unwrap();
             let gen = device.tracker().snapshot();
             device.tracker().reset();
             let (_, apply) = device
@@ -114,7 +125,10 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
             (gen, apply, false)
         }
         SketchMethod::Srht => {
-            let s = Srht::generate(&device, d, 2 * n, seed).unwrap();
+            let s = SketchSpec::srht(d, EmbeddingDim::Ratio(2), seed)
+                .resolve(n)
+                .build_srht(&device)
+                .unwrap();
             let gen = device.tracker().snapshot();
             device.tracker().reset();
             let (_, apply) = device

@@ -13,7 +13,9 @@
 //!
 //! Three ways of applying the same operator are provided:
 //!
-//! * [`CountSketch::apply_matrix`] — the paper's dedicated kernel (Algorithm 2),
+//! * [`SketchOperator::apply_into`] / [`SketchOperator::apply_matrix`] — the paper's
+//!   dedicated kernel (Algorithm 2), operand-generic (dense or CSR) and, through
+//!   `apply_into`, allocation-free,
 //! * [`CountSketch::apply_matrix_gather`] — an atomics-free ablation that first inverts
 //!   the row map and then lets every *output* row gather its inputs,
 //! * [`CountSketch::apply_matrix_spmm`] — the naive baseline: materialise `S` as a CSR
@@ -23,10 +25,11 @@
 //! `r_j` and `s_j` are recomputed from a hash of `j` instead of being stored, trading a
 //! little arithmetic for zero generation time and zero index storage.
 
-use crate::error::SketchError;
+use crate::error::Error;
+use crate::operand::Operand;
 use crate::traits::SketchOperator;
 use sketch_gpu_sim::{parallel_for_chunks, AtomicF64View, Device, KernelCost};
-use sketch_la::{Layout, Matrix};
+use sketch_la::{Layout, Matrix, MatrixViewMut};
 use sketch_rng::fill;
 use sketch_sparse::{spmm, CooMatrix, CsrMatrix};
 
@@ -118,60 +121,25 @@ impl CountSketch {
         )
     }
 
+    /// Modelled cost of scattering a CSR operand with `nnz` non-zeros through an
+    /// Algorithm-2 style kernel into a `k x n` output.
+    pub fn apply_cost_csr(d_rows: usize, k: usize, ncols: usize, nnz: usize) -> KernelCost {
+        let d = d_rows as u64;
+        let n = ncols as u64;
+        let k = k as u64;
+        let nnz = nnz as u64;
+        let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + d + 1);
+        KernelCost::new(
+            KernelCost::f64_bytes(nnz) + idx_bytes + d * 5,
+            KernelCost::f64_bytes(nnz) + KernelCost::f64_bytes(k * n),
+            nnz,
+            2,
+        )
+    }
+
     /// Record the cost of one Algorithm-2 style application to a `d x n` operand.
     fn record_apply_cost(&self, device: &Device, ncols: usize, col_major_input: bool) {
         device.record(Self::apply_cost(self.d, self.k, ncols, col_major_input));
-    }
-
-    /// Apply via **Algorithm 2**: one parallel task per input row, atomic adds into `Y`.
-    ///
-    /// `A` should be row-major for coalesced reads (Section 6.1); a column-major operand
-    /// is accepted but charged the uncoalesced-read penalty.  The result is row-major,
-    /// exactly as the paper produces it (and later converts or reinterprets).
-    pub fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        self.check_input_dim(a.nrows())?;
-        let n = a.ncols();
-        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
-
-        let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
-        {
-            let view = AtomicF64View::new(y.as_mut_slice());
-            let rows = &self.rows;
-            let signs = &self.signs;
-            match a.layout() {
-                Layout::RowMajor => {
-                    let data = a.as_slice();
-                    parallel_for_chunks(self.d, 2048, |start, end| {
-                        for j in start..end {
-                            let target = rows[j] * n;
-                            let row = &data[j * n..(j + 1) * n];
-                            if signs[j] {
-                                for (c, &v) in row.iter().enumerate() {
-                                    view.add(target + c, v);
-                                }
-                            } else {
-                                for (c, &v) in row.iter().enumerate() {
-                                    view.add(target + c, -v);
-                                }
-                            }
-                        }
-                    });
-                }
-                Layout::ColMajor => {
-                    parallel_for_chunks(self.d, 2048, |start, end| {
-                        for j in start..end {
-                            let target = rows[j] * n;
-                            let sign = if signs[j] { 1.0 } else { -1.0 };
-                            for c in 0..n {
-                                view.add(target + c, sign * a.get(j, c));
-                            }
-                        }
-                    });
-                }
-            }
-        }
-        self.record_apply_cost(device, n, a.layout() == Layout::ColMajor);
-        Ok(y)
     }
 
     /// Atomics-free ablation: invert the row map once, then let each *output* row gather
@@ -179,7 +147,7 @@ impl CountSketch {
     ///
     /// This trades the atomic RMW traffic for an extra index pass and a less balanced
     /// work distribution; the `ablations` bench compares it against Algorithm 2.
-    pub fn apply_matrix_gather(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+    pub fn apply_matrix_gather(&self, device: &Device, a: &Matrix) -> Result<Matrix, Error> {
         self.check_input_dim(a.nrows())?;
         let n = a.ncols();
         let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
@@ -227,37 +195,12 @@ impl CountSketch {
     }
 
     /// The naive baseline: materialise `S` as CSR and multiply with the generic SpMM.
-    pub fn apply_matrix_spmm(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
+    pub fn apply_matrix_spmm(&self, device: &Device, a: &Matrix) -> Result<Matrix, Error> {
         self.check_input_dim(a.nrows())?;
         let _reservation =
             device.try_reserve(KernelCost::f64_bytes((self.k * a.ncols()) as u64))?;
         let s = self.to_sparse();
         Ok(spmm(device, &s, a))
-    }
-
-    /// Apply to a single vector (the right-hand side sketch of Algorithm 1).
-    pub fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
-        self.check_input_dim(x.len())?;
-        let mut y = vec![0.0; self.k];
-        {
-            let view = AtomicF64View::new(&mut y);
-            let rows = &self.rows;
-            let signs = &self.signs;
-            parallel_for_chunks(self.d, 8192, |start, end| {
-                for j in start..end {
-                    let v = if signs[j] { x[j] } else { -x[j] };
-                    view.add(rows[j], v);
-                }
-            });
-        }
-        let d = self.d as u64;
-        device.record(KernelCost::new(
-            KernelCost::f64_bytes(2 * d) + d * 5,
-            KernelCost::f64_bytes(d + self.k as u64),
-            d,
-            2,
-        ));
-        Ok(y)
     }
 
     /// Materialise the operator as a `k x d` CSR matrix with one `±1` per column.
@@ -285,6 +228,71 @@ impl ParChunksOuter for [f64] {
     }
 }
 
+/// Shared Algorithm-2 scatter used by both the explicit and the hash-based operator:
+/// zero `out`, then add `sign(j) * A[j, :]` into row `row_of(j)` of `out`.
+///
+/// The row-major fast path uses the atomic view exactly like the CUDA kernel; other
+/// output layouts fall back to element-indexed accumulation with the identical
+/// per-element order, so the results are bit-for-bit equal under the deterministic
+/// (sequential-shim) execution the workspace tests rely on.
+fn scatter_rows_into(
+    d: usize,
+    out: &mut MatrixViewMut<'_>,
+    a: Operand<'_>,
+    target_of: impl Fn(usize) -> (usize, f64) + Sync,
+) {
+    let n = a.ncols();
+    out.fill(0.0);
+    match a {
+        Operand::Dense(m) => {
+            if out.layout() == Layout::RowMajor {
+                let view = AtomicF64View::new(out.as_mut_slice());
+                match m.layout() {
+                    Layout::RowMajor => {
+                        let data = m.as_slice();
+                        parallel_for_chunks(d, 2048, |start, end| {
+                            for j in start..end {
+                                let (row_idx, sign) = target_of(j);
+                                let target = row_idx * n;
+                                let row = &data[j * n..(j + 1) * n];
+                                for (c, &v) in row.iter().enumerate() {
+                                    view.add(target + c, sign * v);
+                                }
+                            }
+                        });
+                    }
+                    Layout::ColMajor => {
+                        parallel_for_chunks(d, 2048, |start, end| {
+                            for j in start..end {
+                                let (row_idx, sign) = target_of(j);
+                                let target = row_idx * n;
+                                for c in 0..n {
+                                    view.add(target + c, sign * m.get(j, c));
+                                }
+                            }
+                        });
+                    }
+                }
+            } else {
+                for j in 0..d {
+                    let (target, sign) = target_of(j);
+                    for c in 0..n {
+                        out.add_to(target, c, sign * m.get(j, c));
+                    }
+                }
+            }
+        }
+        Operand::Csr(s) => {
+            for j in 0..d {
+                let (target, sign) = target_of(j);
+                for (c, v) in s.row(j) {
+                    out.add_to(target, c, sign * v);
+                }
+            }
+        }
+    }
+}
+
 impl SketchOperator for CountSketch {
     fn input_dim(&self) -> usize {
         self.d
@@ -298,12 +306,59 @@ impl SketchOperator for CountSketch {
         "CountSketch (Alg 2)"
     }
 
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        CountSketch::apply_matrix(self, device, a)
+    /// Apply via **Algorithm 2**: one parallel task per input row, atomic adds into
+    /// the caller-owned output.
+    ///
+    /// Dense `A` should be row-major for coalesced reads (Section 6.1); a column-major
+    /// operand is accepted but charged the uncoalesced-read penalty.  CSR operands are
+    /// scattered non-zero by non-zero.  No intermediate matrix is allocated.
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error> {
+        self.check_operand(&a)?;
+        self.check_output(out, a.ncols())?;
+        let rows = &self.rows;
+        let signs = &self.signs;
+        scatter_rows_into(self.d, out, a, |j| {
+            (rows[j], if signs[j] { 1.0 } else { -1.0 })
+        });
+        match a {
+            Operand::Dense(m) => {
+                self.record_apply_cost(device, m.ncols(), m.layout() == Layout::ColMajor);
+            }
+            Operand::Csr(s) => {
+                device.record(Self::apply_cost_csr(self.d, self.k, s.ncols(), s.nnz()));
+            }
+        }
+        Ok(())
     }
 
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
-        CountSketch::apply_vector(self, device, x)
+    /// Apply to a single vector (the right-hand side sketch of Algorithm 1).
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
+        self.check_input_dim(x.len())?;
+        let mut y = vec![0.0; self.k];
+        {
+            let view = AtomicF64View::new(&mut y);
+            let rows = &self.rows;
+            let signs = &self.signs;
+            parallel_for_chunks(self.d, 8192, |start, end| {
+                for j in start..end {
+                    let v = if signs[j] { x[j] } else { -x[j] };
+                    view.add(rows[j], v);
+                }
+            });
+        }
+        let d = self.d as u64;
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(2 * d) + d * 5,
+            KernelCost::f64_bytes(d + self.k as u64),
+            d,
+            2,
+        ));
+        Ok(y)
     }
 
     fn generation_cost(&self) -> KernelCost {
@@ -378,47 +433,44 @@ impl SketchOperator for HashCountSketch {
         "CountSketch (hash/streaming)"
     }
 
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        if a.nrows() != self.d {
-            return Err(SketchError::DimensionMismatch {
-                expected: self.d,
-                found: a.nrows(),
-            });
-        }
-        let n = a.ncols();
-        let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
-        let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
-        {
-            let view = AtomicF64View::new(y.as_mut_slice());
-            parallel_for_chunks(self.d, 2048, |start, end| {
-                for j in start..end {
-                    let (r, sign) = self.hash(j);
-                    let target = r * n;
-                    for c in 0..n {
-                        view.add(target + c, sign * a.get(j, c));
-                    }
-                }
-            });
-        }
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error> {
+        self.check_operand(&a)?;
+        self.check_output(out, a.ncols())?;
+        scatter_rows_into(self.d, out, a, |j| self.hash(j));
         let d = self.d as u64;
-        let n64 = n as u64;
         let k = self.k as u64;
-        device.record(KernelCost::new(
-            KernelCost::f64_bytes(2 * d * n64),
-            KernelCost::f64_bytes(d * n64) + KernelCost::f64_bytes(k * n64),
-            d * n64 + 6 * d,
-            2,
-        ));
-        Ok(y)
+        match a {
+            Operand::Dense(m) => {
+                let n64 = m.ncols() as u64;
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(2 * d * n64),
+                    KernelCost::f64_bytes(d * n64) + KernelCost::f64_bytes(k * n64),
+                    d * n64 + 6 * d,
+                    2,
+                ));
+            }
+            Operand::Csr(s) => {
+                let nnz = s.nnz() as u64;
+                let n64 = s.ncols() as u64;
+                let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + d + 1);
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(nnz) + idx_bytes,
+                    KernelCost::f64_bytes(nnz) + KernelCost::f64_bytes(k * n64),
+                    nnz + 6 * d,
+                    2,
+                ));
+            }
+        }
+        Ok(())
     }
 
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
-        if x.len() != self.d {
-            return Err(SketchError::DimensionMismatch {
-                expected: self.d,
-                found: x.len(),
-            });
-        }
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
+        self.check_input_dim(x.len())?;
         let mut y = vec![0.0; self.k];
         {
             let view = AtomicF64View::new(&mut y);
@@ -477,6 +529,20 @@ mod tests {
         y
     }
 
+    /// CSR copy of a dense matrix (every entry stored explicitly).
+    fn csr_of(a: &Matrix) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nrows() * a.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                let v = a.get(i, j);
+                if v != 0.0 {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
     #[test]
     fn algorithm2_matches_dense_reference() {
         let d = device();
@@ -496,6 +562,49 @@ mod tests {
         let y1 = cs.apply_matrix(&d, &a_rm).unwrap();
         let y2 = cs.apply_matrix(&d, &a_cm).unwrap();
         assert!(y1.max_abs_diff(&y2).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn apply_into_reused_buffer_is_bit_identical_to_apply_matrix() {
+        let d = device();
+        let a = Matrix::random_gaussian(250, 6, Layout::RowMajor, 4, 0);
+        let cs = CountSketch::generate(&d, 250, 40, 5);
+        let y = cs.apply_matrix(&d, &a).unwrap();
+        // Dirty buffer: apply_into must overwrite every element.
+        let mut out = Matrix::from_fn(40, 6, Layout::RowMajor, |_, _| f64::NAN);
+        cs.apply_into(&d, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(out.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn csr_operand_matches_dense_operand() {
+        let d = device();
+        let a = Matrix::random_gaussian(120, 4, Layout::RowMajor, 6, 0);
+        let sparse = csr_of(&a);
+        let cs = CountSketch::generate(&d, 120, 24, 7);
+        let y_dense = cs.apply_matrix(&d, &a).unwrap();
+        let y_sparse = cs.apply_operand(&d, Operand::Csr(&sparse)).unwrap();
+        assert!(y_dense.max_abs_diff(&y_sparse).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn apply_into_performs_zero_device_allocations() {
+        let d = device();
+        let a = Matrix::random_gaussian(200, 4, Layout::RowMajor, 3, 0);
+        let cs = CountSketch::generate(&d, 200, 16, 1);
+        let mut out = Matrix::zeros_with_layout(16, 4, Layout::RowMajor);
+        let before = d.memory().allocations();
+        cs.apply_into(&d, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(
+            d.memory().allocations(),
+            before,
+            "apply_into must not reserve device memory"
+        );
+        // The allocating wrapper reserves the output buffer.
+        let _ = cs.apply_matrix(&d, &a).unwrap();
+        assert!(d.memory().allocations() > before);
     }
 
     #[test]
@@ -576,17 +685,27 @@ mod tests {
     }
 
     #[test]
-    fn dimension_mismatch_is_rejected() {
+    fn dimension_mismatch_is_rejected_with_context() {
         let d = device();
         let cs = CountSketch::generate(&d, 50, 8, 1);
         let a = Matrix::zeros_with_layout(40, 2, Layout::RowMajor);
-        assert!(matches!(
-            cs.apply_matrix(&d, &a),
-            Err(SketchError::DimensionMismatch {
-                expected: 50,
-                found: 40
-            })
-        ));
+        let err = cs.apply_matrix(&d, &a).unwrap_err();
+        match &err {
+            Error::DimensionMismatch {
+                op,
+                expected,
+                found,
+                operand,
+            } => {
+                assert_eq!(op, "CountSketch (Alg 2)");
+                assert_eq!((*expected, *found), (50, 40));
+                assert!(operand.contains("dense 40x2"), "operand was {operand}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The rendered message names the operator and the operand shape.
+        let msg = err.to_string();
+        assert!(msg.contains("CountSketch (Alg 2)") && msg.contains("dense 40x2"));
         assert!(cs.apply_vector(&d, &[0.0; 49]).is_err());
     }
 
@@ -600,7 +719,7 @@ mod tests {
         let a = Matrix::zeros_with_layout(64, 8, Layout::RowMajor);
         assert!(matches!(
             cs.apply_matrix(&d, &a),
-            Err(SketchError::WouldExceedMemory(_))
+            Err(Error::WouldExceedMemory(_))
         ));
     }
 
@@ -646,6 +765,10 @@ mod tests {
         let y_hash = h.apply_matrix(&d, &a).unwrap();
         let y_explicit = explicit.apply_matrix(&d, &a).unwrap();
         assert!(y_hash.max_abs_diff(&y_explicit).unwrap() < 1e-12);
+
+        let sparse = csr_of(&a);
+        let y_hash_csr = h.apply_operand(&d, Operand::Csr(&sparse)).unwrap();
+        assert!(y_hash_csr.max_abs_diff(&y_explicit).unwrap() < 1e-12);
 
         let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
         let v_hash = h.apply_vector(&d, &x).unwrap();

@@ -1,59 +1,147 @@
-//! Error type shared by the sketch operators.
+//! The one workspace error type.
+//!
+//! Every layer built on the sketching substrate — the operators themselves, the least
+//! squares solvers (`sketch-lsq`), the low-rank pipeline (`sketch-lowrank`) and the
+//! distributed drivers (`sketch-dist`) — used to carry its own error enum with its own
+//! copy of the dimension-mismatch variant.  They now all re-export this [`Error`]:
+//! one `?` works across the whole workspace, and a dimension mismatch always says
+//! *which* operator rejected *what* operand.
 
 use sketch_gpu_sim::MemoryError;
 use sketch_la::LaError;
 use std::fmt;
 
-/// Errors returned when generating or applying a sketch.
+/// Backwards-compatible name used throughout the sketching layer.
+pub type SketchError = Error;
+
+/// The workspace-wide error type.
 #[derive(Debug, Clone, PartialEq)]
-pub enum SketchError {
-    /// The operand's leading dimension does not match the sketch's input dimension.
+pub enum Error {
+    /// The operand's dimensions do not match what the operator or routine expects.
     DimensionMismatch {
-        /// Input dimension the sketch expects.
+        /// The operator ([`SketchOperator::name`](crate::SketchOperator::name)) or
+        /// routine that rejected the operand.
+        op: String,
+        /// Input dimension the operator expects.
         expected: usize,
-        /// Leading dimension of the operand that was supplied.
+        /// Leading dimension the operand actually has.
         found: usize,
+        /// Shape description of the rejected operand (e.g. `"dense 4096x8"`).
+        operand: String,
     },
-    /// The sketch (or its intermediate product) would not fit in modelled device memory.
+    /// The operation would not fit in modelled device memory.
     ///
     /// This is the typed equivalent of the blank Gaussian bars in Figures 2 and 5
     /// ("the GPU ran out of memory").
     WouldExceedMemory(MemoryError),
     /// An underlying dense linear algebra routine failed.
+    ///
+    /// The most important instance: the Cholesky factorisation of the Gram matrix
+    /// failing for ill-conditioned problems, which is how the normal equations break
+    /// down in Figure 8.
     La(LaError),
-    /// The operator was configured with an invalid parameter (e.g. zero output
-    /// dimension).
+    /// A routine was configured with an invalid parameter (e.g. zero output
+    /// dimension, a malformed [`SketchSpec`](crate::SketchSpec), or an unparsable
+    /// spec document).
     InvalidParameter {
         /// Description of the offending parameter.
         detail: String,
     },
+    /// A least squares problem's dimensions are unusable (e.g. fewer rows than
+    /// columns).
+    BadProblem {
+        /// Description of what is wrong.
+        detail: String,
+    },
 }
 
-impl fmt::Display for SketchError {
+impl Error {
+    /// Construct a dimension mismatch carrying the offending operator's name and the
+    /// operand's shape, so a failing pipeline says which sketch rejected what.
+    pub fn dimension_mismatch(
+        op: impl Into<String>,
+        expected: usize,
+        found: usize,
+        operand: impl Into<String>,
+    ) -> Self {
+        Error::DimensionMismatch {
+            op: op.into(),
+            expected,
+            found,
+            operand: operand.into(),
+        }
+    }
+
+    /// Construct an invalid-parameter error.
+    pub fn invalid_param(detail: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            detail: detail.into(),
+        }
+    }
+
+    /// Construct a bad-problem error.
+    pub fn bad_problem(detail: impl Into<String>) -> Self {
+        Error::BadProblem {
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether this error is the normal-equations instability signature: the Gram
+    /// matrix lost positive definiteness.
+    pub fn is_gram_breakdown(&self) -> bool {
+        matches!(self, Error::La(LaError::NotPositiveDefinite { .. }))
+    }
+
+    /// Whether this error is a modelled device out-of-memory failure.
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, Error::WouldExceedMemory(_))
+    }
+
+    /// Whether this error is a dimension mismatch (of any operator or routine).
+    pub fn is_dimension_mismatch(&self) -> bool {
+        matches!(self, Error::DimensionMismatch { .. })
+    }
+}
+
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SketchError::DimensionMismatch { expected, found } => write!(
+            Error::DimensionMismatch {
+                op,
+                expected,
+                found,
+                operand,
+            } => write!(
                 f,
-                "sketch expects input dimension {expected} but operand has leading dimension {found}"
+                "{op}: dimension mismatch — expected {expected}, found {found} ({operand})"
             ),
-            SketchError::WouldExceedMemory(e) => write!(f, "sketch would exceed device memory: {e}"),
-            SketchError::La(e) => write!(f, "linear algebra failure while sketching: {e}"),
-            SketchError::InvalidParameter { detail } => write!(f, "invalid sketch parameter: {detail}"),
+            Error::WouldExceedMemory(e) => write!(f, "would exceed device memory: {e}"),
+            Error::La(e) => write!(f, "linear algebra failure: {e}"),
+            Error::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
+            Error::BadProblem { detail } => write!(f, "unusable problem: {detail}"),
         }
     }
 }
 
-impl std::error::Error for SketchError {}
-
-impl From<LaError> for SketchError {
-    fn from(e: LaError) -> Self {
-        SketchError::La(e)
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::WouldExceedMemory(e) => Some(e),
+            Error::La(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
-impl From<MemoryError> for SketchError {
+impl From<LaError> for Error {
+    fn from(e: LaError) -> Self {
+        Error::La(e)
+    }
+}
+
+impl From<MemoryError> for Error {
     fn from(e: MemoryError) -> Self {
-        SketchError::WouldExceedMemory(e)
+        Error::WouldExceedMemory(e)
     }
 }
 
@@ -63,26 +151,47 @@ mod tests {
 
     #[test]
     fn display_covers_all_variants() {
-        let e = SketchError::DimensionMismatch {
-            expected: 10,
-            found: 5,
-        };
-        assert!(e.to_string().contains("10"));
+        let e = Error::dimension_mismatch("CountSketch (Alg 2)", 10, 5, "dense 5x3");
+        let msg = e.to_string();
+        assert!(msg.contains("CountSketch (Alg 2)"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains("dense 5x3"));
+        assert!(e.is_dimension_mismatch());
 
-        let e: SketchError = MemoryError {
+        let e: Error = MemoryError {
             requested: 1,
             in_use: 2,
             capacity: 3,
         }
         .into();
         assert!(e.to_string().contains("device memory"));
+        assert!(e.is_out_of_memory());
 
-        let e: SketchError = LaError::SingularTriangular { index: 0 }.into();
+        let e: Error = LaError::SingularTriangular { index: 0 }.into();
         assert!(e.to_string().contains("linear algebra"));
 
-        let e = SketchError::InvalidParameter {
-            detail: "k must be positive".into(),
-        };
+        let e = Error::invalid_param("k must be positive");
         assert!(e.to_string().contains("k must be positive"));
+
+        let e = Error::bad_problem("d < n");
+        assert!(e.to_string().contains("d < n"));
+    }
+
+    #[test]
+    fn predicates_identify_the_figure8_breakdown() {
+        let e: Error = LaError::NotPositiveDefinite {
+            column: 2,
+            pivot: -1e-3,
+        }
+        .into();
+        assert!(e.is_gram_breakdown());
+        assert!(!e.is_out_of_memory());
+        assert!(!Error::invalid_param("x").is_gram_breakdown());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::invalid_param("x"), Error::invalid_param("x"));
+        assert_ne!(Error::invalid_param("x"), Error::invalid_param("y"));
     }
 }

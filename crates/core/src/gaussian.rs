@@ -8,10 +8,11 @@
 //! the 80 GB card — the blank bars of Figures 2 and 5 — which this implementation
 //! reproduces through the device memory tracker.
 
-use crate::error::SketchError;
+use crate::error::Error;
+use crate::operand::Operand;
 use crate::traits::SketchOperator;
 use sketch_gpu_sim::{Device, KernelCost};
-use sketch_la::{blas2, blas3, Layout, Matrix, Op};
+use sketch_la::{blas2, blas3, Layout, Matrix, MatrixViewMut, Op};
 use sketch_rng::fill;
 
 /// Approximate flop cost of producing one Gaussian variate with Box–Muller.
@@ -26,13 +27,13 @@ pub struct GaussianSketch {
 
 impl GaussianSketch {
     /// Generate the sketch, reserving (and then releasing) the modelled device memory it
-    /// would occupy.  Fails with [`SketchError::WouldExceedMemory`] exactly where the
+    /// would occupy.  Fails with [`Error::WouldExceedMemory`] exactly where the
     /// paper reports GPU out-of-memory failures.
-    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, SketchError> {
+    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, Error> {
         if k == 0 {
-            return Err(SketchError::InvalidParameter {
-                detail: "Gaussian sketch output dimension must be positive".into(),
-            });
+            return Err(Error::invalid_param(
+                "Gaussian sketch output dimension must be positive",
+            ));
         }
         let bytes = KernelCost::f64_bytes((k * d) as u64);
         if !device.memory().would_fit(bytes) {
@@ -77,17 +78,80 @@ impl SketchOperator for GaussianSketch {
         "Gaussian"
     }
 
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        self.check_input_dim(a.nrows())?;
+    fn output_layout(&self) -> Layout {
+        Layout::ColMajor
+    }
+
+    /// GEMM straight into the caller's buffer (dense operands), or a dense×CSR
+    /// accumulation for sparse operands.  No intermediate matrix is allocated.
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error> {
+        self.check_operand(&a)?;
+        self.check_output(out, a.ncols())?;
+        match a {
+            Operand::Dense(m) => {
+                blas3::gemm_into(
+                    device,
+                    1.0,
+                    Op::NoTrans,
+                    &self.matrix,
+                    Op::NoTrans,
+                    m,
+                    0.0,
+                    None,
+                    out,
+                )?;
+            }
+            Operand::Csr(s) => {
+                // Y[:, c] += a_jc * S[:, j] for every stored entry: the dense sketch
+                // columns are gathered per non-zero, which is exactly how cuSPARSE
+                // would drive a dense-times-sparse product from the right.
+                let k = self.output_dim();
+                out.fill(0.0);
+                for j in 0..s.nrows() {
+                    for (c, v) in s.row(j) {
+                        for i in 0..k {
+                            out.add_to(i, c, self.matrix.get(i, j) * v);
+                        }
+                    }
+                }
+                let nnz = s.nnz() as u64;
+                let n64 = s.ncols() as u64;
+                let k64 = k as u64;
+                let idx_bytes =
+                    (std::mem::size_of::<usize>() as u64) * (nnz + s.nrows() as u64 + 1);
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(nnz + k64 * nnz) + idx_bytes,
+                    KernelCost::f64_bytes(k64 * n64),
+                    2 * k64 * nnz,
+                    1,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, Error> {
+        self.apply_operand(device, Operand::Dense(a))
+    }
+
+    fn apply_operand(&self, device: &Device, a: Operand<'_>) -> Result<Matrix, Error> {
+        self.check_operand(&a)?;
         // The sketch itself plus the result must fit on the device alongside A.
         let _res_s = device.try_reserve(self.size_bytes())?;
         let _res_y = device.try_reserve(KernelCost::f64_bytes(
             (self.output_dim() * a.ncols()) as u64,
         ))?;
-        Ok(blas3::gemm(device, 1.0, &self.matrix, a, 0.0, None)?)
+        let mut y = Matrix::zeros(self.output_dim(), a.ncols());
+        self.apply_into(device, a, &mut y.view_mut())?;
+        Ok(y)
     }
 
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
         self.check_input_dim(x.len())?;
         let _res_s = device.try_reserve(self.size_bytes())?;
         Ok(blas2::gemv(
@@ -125,6 +189,7 @@ mod tests {
     use super::*;
     use sketch_gpu_sim::DeviceSpec;
     use sketch_la::norms::vec_norm2;
+    use sketch_sparse::{CooMatrix, CsrMatrix};
 
     fn device() -> Device {
         Device::unlimited()
@@ -155,6 +220,55 @@ mod tests {
     }
 
     #[test]
+    fn apply_into_reused_buffer_is_bit_identical_to_apply_matrix() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 60, 12, 5).unwrap();
+        let a = Matrix::random_gaussian(60, 4, Layout::RowMajor, 6, 0);
+        let y = g.apply_matrix(&d, &a).unwrap();
+        let mut out = Matrix::from_fn(12, 4, Layout::ColMajor, |_, _| f64::NAN);
+        g.apply_into(&d, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(out.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn csr_operand_matches_dense_operand() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 30, 8, 2).unwrap();
+        let mut coo = CooMatrix::new(30, 5);
+        for i in 0..30 {
+            coo.push(i, i % 5, (i as f64 * 0.3).cos());
+            if i % 3 == 0 {
+                coo.push(i, (i + 2) % 5, -1.5);
+            }
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let rows = csr.to_dense();
+        let dense = Matrix::from_fn(30, 5, Layout::RowMajor, |i, j| rows[i][j]);
+        let y_dense = g.apply_matrix(&d, &dense).unwrap();
+        let y_sparse = g.apply_operand(&d, Operand::Csr(&csr)).unwrap();
+        assert!(y_dense.max_abs_diff(&y_sparse).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn apply_into_performs_zero_device_allocations() {
+        let d = device();
+        let g = GaussianSketch::generate(&d, 64, 8, 9).unwrap();
+        let a = Matrix::random_gaussian(64, 4, Layout::RowMajor, 1, 0);
+        let mut out = Matrix::zeros(8, 4);
+        let before = d.memory().allocations();
+        g.apply_into(&d, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(
+            d.memory().allocations(),
+            before,
+            "apply_into must not reserve device memory"
+        );
+        let _ = g.apply_matrix(&d, &a).unwrap();
+        assert!(d.memory().allocations() > before);
+    }
+
+    #[test]
     fn norm_preservation_is_reasonable_for_k_2n() {
         // For a 1-dimensional subspace (a single vector) and k = 128 the distortion
         // should be small with overwhelming probability.
@@ -168,13 +282,35 @@ mod tests {
     }
 
     #[test]
+    fn csr_operand_path_reports_oom_like_the_dense_path() {
+        // Device that can generate the sketch but cannot hold sketch + output during
+        // an apply: both the dense and the CSR allocating paths must report OOM.
+        let mut spec = DeviceSpec::h100();
+        spec.memory_bytes = 530 * 1024;
+        let d = Device::new(spec);
+        let g = GaussianSketch::generate(&d, 1024, 64, 1).unwrap(); // 512 KiB sketch
+        let a = Matrix::zeros_with_layout(1024, 64, sketch_la::Layout::RowMajor);
+        let mut coo = CooMatrix::new(1024, 64);
+        coo.push(0, 0, 1.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert!(matches!(
+            g.apply_matrix(&d, &a),
+            Err(Error::WouldExceedMemory(_))
+        ));
+        assert!(matches!(
+            g.apply_operand(&d, Operand::Csr(&csr)),
+            Err(Error::WouldExceedMemory(_))
+        ));
+    }
+
+    #[test]
     fn oom_reproduces_the_blank_bars() {
         // 1 GiB device cannot hold a 2n x d Gaussian for d = 2^24, n = 64.
         let mut spec = DeviceSpec::h100();
         spec.memory_bytes = 1 << 30;
         let d = Device::new(spec);
         let err = GaussianSketch::generate(&d, 1 << 24, 128, 1).unwrap_err();
-        assert!(matches!(err, SketchError::WouldExceedMemory(_)));
+        assert!(matches!(err, Error::WouldExceedMemory(_)));
     }
 
     #[test]
@@ -190,7 +326,7 @@ mod tests {
         let d = device();
         assert!(matches!(
             GaussianSketch::generate(&d, 10, 0, 1),
-            Err(SketchError::InvalidParameter { .. })
+            Err(Error::InvalidParameter { .. })
         ));
         let g = GaussianSketch::generate(&d, 10, 4, 1).unwrap();
         assert!(g.apply_vector(&d, &[0.0; 9]).is_err());

@@ -21,9 +21,14 @@
 //!
 //! All operators implement [`SketchOperator`] so the least squares solvers in
 //! `sketch-lsq` and the distributed driver in `sketch-dist` are generic over the sketch.
+//! Sketches are normally constructed *declaratively*: a [`SketchSpec`] (or a
+//! multi-stage [`Pipeline`]) names the kind, dimensions (exact or as the paper's
+//! `2n` / `2n²` embedding rules), and Philox seed, serializes to JSON, and builds the
+//! live operator on a device.  The hot path is [`SketchOperator::apply_into`]:
+//! operand-generic (dense or CSR via [`Operand`]) and allocation-free.
 //!
 //! ```
-//! use sketch_core::{CountSketch, SketchOperator};
+//! use sketch_core::{EmbeddingDim, SketchSpec, SketchOperator};
 //! use sketch_gpu_sim::Device;
 //! use sketch_la::{Layout, Matrix};
 //!
@@ -31,7 +36,9 @@
 //! let d = 1024;
 //! let n = 8;
 //! let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
-//! let sketch = CountSketch::generate(&device, d, 2 * n * n, 7);
+//! // CountSketch with the paper's k = 2n² convention, built from a declarative spec.
+//! let spec = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7);
+//! let sketch = spec.build_for(&device, n).unwrap();
 //! let y = sketch.apply_matrix(&device, &a).unwrap();
 //! assert_eq!(y.nrows(), 2 * n * n);
 //! assert_eq!(y.ncols(), n);
@@ -44,14 +51,18 @@ pub mod error;
 pub mod fwht;
 pub mod gaussian;
 pub mod multisketch;
+pub mod operand;
+pub mod spec;
 pub mod srht;
 pub mod streaming;
 pub mod traits;
 
 pub use countsketch::{CountSketch, HashCountSketch};
-pub use error::SketchError;
+pub use error::{Error, SketchError};
 pub use gaussian::GaussianSketch;
 pub use multisketch::MultiSketch;
+pub use operand::Operand;
+pub use spec::{json::JsonValue, ComposedSketch, EmbeddingDim, Pipeline, SketchKind, SketchSpec};
 pub use srht::Srht;
 pub use streaming::FrequencyCountSketch;
 pub use traits::SketchOperator;

@@ -12,11 +12,17 @@
 //! as `Zᵀ = Yᵀ Gᵀ`, and only the small `k₂ x n` result is transposed back.
 
 use crate::countsketch::CountSketch;
-use crate::error::SketchError;
+use crate::error::Error;
 use crate::gaussian::GaussianSketch;
+use crate::operand::Operand;
 use crate::traits::SketchOperator;
 use sketch_gpu_sim::{Device, KernelCost};
-use sketch_la::{blas3, Matrix, Op};
+use sketch_la::{blas3, Layout, MatrixViewMut, Op};
+
+/// Seed salt applied to the Gaussian stage when a multisketch (or the equivalent
+/// Count→Gauss [`Pipeline`](crate::Pipeline)) is generated from one seed, so the two
+/// stages draw from independent Philox streams.
+pub(crate) const GAUSS_STAGE_SEED_SALT: u64 = 0xA5A5_5A5A_DEAD_BEEF;
 
 /// The Count-Gauss multisketch operator.
 #[derive(Debug, Clone)]
@@ -32,15 +38,13 @@ impl MultiSketch {
     /// Build a multisketch from its two stages.
     ///
     /// The Gaussian's input dimension must equal the CountSketch's output dimension.
-    pub fn new(count: CountSketch, gauss: GaussianSketch) -> Result<Self, SketchError> {
+    pub fn new(count: CountSketch, gauss: GaussianSketch) -> Result<Self, Error> {
         if gauss.input_dim() != count.output_dim() {
-            return Err(SketchError::InvalidParameter {
-                detail: format!(
-                    "Gaussian stage expects input dimension {}, CountSketch produces {}",
-                    gauss.input_dim(),
-                    count.output_dim()
-                ),
-            });
+            return Err(Error::invalid_param(format!(
+                "Gaussian stage expects input dimension {}, CountSketch produces {}",
+                gauss.input_dim(),
+                count.output_dim()
+            )));
         }
         Ok(Self {
             count,
@@ -51,12 +55,7 @@ impl MultiSketch {
 
     /// Generate the paper's default configuration for a `d x n` operand:
     /// CountSketch to `k₁ = 2n²`, Gaussian to `k₂ = 2n`.
-    pub fn generate_default(
-        device: &Device,
-        d: usize,
-        n: usize,
-        seed: u64,
-    ) -> Result<Self, SketchError> {
+    pub fn generate_default(device: &Device, d: usize, n: usize, seed: u64) -> Result<Self, Error> {
         let k1 = 2 * n * n;
         let k2 = 2 * n;
         Self::generate(device, d, k1, k2, seed)
@@ -70,9 +69,9 @@ impl MultiSketch {
         k1: usize,
         k2: usize,
         seed: u64,
-    ) -> Result<Self, SketchError> {
+    ) -> Result<Self, Error> {
         let count = CountSketch::generate(device, d, k1, seed);
-        let gauss = GaussianSketch::generate(device, k1, k2, seed ^ 0xA5A5_5A5A_DEAD_BEEF)?;
+        let gauss = GaussianSketch::generate(device, k1, k2, seed ^ GAUSS_STAGE_SEED_SALT)?;
         Self::new(count, gauss)
     }
 
@@ -111,10 +110,22 @@ impl SketchOperator for MultiSketch {
         "MultiSketch (Count-Gauss)"
     }
 
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        self.check_input_dim(a.nrows())?;
+    fn output_layout(&self) -> Layout {
+        Layout::ColMajor
+    }
+
+    /// The two-stage pipeline.  The `k₁ x n` CountSketch intermediate is inherent to
+    /// the composition; the final `k₂ x n` result lands in the caller's buffer.
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error> {
+        self.check_operand(&a)?;
+        self.check_output(out, a.ncols())?;
         // Stage 1: CountSketch, produced row-major (Algorithm 2).
-        let y = self.count.apply_matrix(device, a)?;
+        let y = self.count.apply_operand(device, a)?;
 
         if self.use_transpose_trick {
             // Stage 2 with the Section 6.1 trick: reinterpret the row-major Y as the
@@ -130,15 +141,19 @@ impl SketchOperator for MultiSketch {
                 0.0,
                 None,
             )?;
-            Ok(zt.transpose(device))
+            zt.transpose_into(device, out)?;
         } else {
             // Naive path: convert the large k1 x n matrix to column-major first.
-            let y_cm = y.to_layout(device, sketch_la::Layout::ColMajor);
-            Ok(self.gauss.apply_matrix(device, &y_cm)?)
+            // Stage 2 must hold the k1 x k2 Gaussian on the device (the k2 x n
+            // output is the caller's reservation, per the apply_into contract).
+            let y_cm = y.to_layout(device, Layout::ColMajor);
+            let _res_s = device.try_reserve(self.gauss.size_bytes())?;
+            self.gauss.apply_into(device, Operand::Dense(&y_cm), out)?;
         }
+        Ok(())
     }
 
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
         self.check_input_dim(x.len())?;
         let y = self.count.apply_vector(device, x)?;
         self.gauss.apply_vector(device, &y)
@@ -169,7 +184,7 @@ impl SketchOperator for MultiSketch {
 mod tests {
     use super::*;
     use sketch_la::norms::vec_norm2;
-    use sketch_la::Layout;
+    use sketch_la::Matrix;
 
     fn device() -> Device {
         Device::unlimited()
@@ -242,13 +257,33 @@ mod tests {
     }
 
     #[test]
+    fn naive_path_models_the_gaussian_stage_memory() {
+        use sketch_gpu_sim::DeviceSpec;
+        // Capacity fits the 16 KiB Gaussian stage alone, but not alongside the
+        // 1 KiB output reservation the allocating wrapper holds across the apply.
+        let mut spec = DeviceSpec::h100();
+        spec.memory_bytes = 16 * 1024 + 512;
+        let dev = Device::new(spec);
+        let ms = MultiSketch::generate(&dev, 256, 128, 16, 1).unwrap();
+        let a = Matrix::random_gaussian(256, 8, Layout::RowMajor, 2, 0);
+        // The transpose trick never materialises the Gaussian stage reservation.
+        assert!(ms.apply_matrix(&dev, &a).is_ok());
+        // The naive path must charge it — and report OOM on this device.
+        let naive = ms.clone().with_naive_layout_handling();
+        assert!(matches!(
+            naive.apply_matrix(&dev, &a),
+            Err(Error::WouldExceedMemory(_))
+        ));
+    }
+
+    #[test]
     fn mismatched_stage_dimensions_are_rejected() {
         let d = device();
         let count = CountSketch::generate(&d, 100, 32, 1);
         let gauss = GaussianSketch::generate(&d, 64, 8, 1).unwrap();
         assert!(matches!(
             MultiSketch::new(count, gauss),
-            Err(SketchError::InvalidParameter { .. })
+            Err(Error::InvalidParameter { .. })
         ));
     }
 

@@ -1,0 +1,208 @@
+//! The [`Operand`] abstraction: one borrowed view over dense and sparse inputs.
+//!
+//! Every hot path in the workspace multiplies *something* by a tall-and-skinny
+//! operand that is either a dense [`Matrix`] or a [`CsrMatrix`].  `Operand` is the
+//! shared, copyable view both sides use:
+//! [`SketchOperator::apply_into`](crate::SketchOperator::apply_into) consumes it
+//! on the sketching side, and the low-rank pipeline's `MatVecLike` resolves to it on
+//! the workload side, so the dense/CSR split is handled exactly once.
+
+use crate::error::Error;
+use sketch_gpu_sim::{Device, KernelCost};
+use sketch_la::{blas3, Matrix, Op};
+use sketch_sparse::{spmm, CsrMatrix};
+
+/// A borrowed sketching/multiplication operand: dense or CSR.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand<'a> {
+    /// A dense matrix (either layout).
+    Dense(&'a Matrix),
+    /// A sparse matrix in CSR form.
+    Csr(&'a CsrMatrix),
+}
+
+impl<'a> Operand<'a> {
+    /// Number of rows (the leading dimension a sketch checks against).
+    pub fn nrows(&self) -> usize {
+        match self {
+            Operand::Dense(a) => a.nrows(),
+            Operand::Csr(a) => a.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        match self {
+            Operand::Dense(a) => a.ncols(),
+            Operand::Csr(a) => a.ncols(),
+        }
+    }
+
+    /// Short human-readable shape description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Operand::Dense(a) => format!("dense {}x{}", a.nrows(), a.ncols()),
+            Operand::Csr(a) => format!("CSR {}x{} nnz={}", a.nrows(), a.ncols(), a.nnz()),
+        }
+    }
+
+    /// Compute `A · B` with `B` dense `ncols x p`; the result is `nrows x p`.
+    ///
+    /// Dense operands route through the GEMM kernel, CSR operands through SpMM.
+    pub fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, Error> {
+        if b.nrows() != self.ncols() {
+            return Err(Error::dimension_mismatch(
+                match self {
+                    Operand::Dense(_) => "gemm",
+                    Operand::Csr(_) => "spmm",
+                },
+                self.ncols(),
+                b.nrows(),
+                format!(
+                    "B dense {}x{} against {}",
+                    b.nrows(),
+                    b.ncols(),
+                    self.describe()
+                ),
+            ));
+        }
+        match self {
+            Operand::Dense(a) => Ok(blas3::gemm(device, 1.0, a, b, 0.0, None)?),
+            Operand::Csr(a) => Ok(spmm(device, a, b)),
+        }
+    }
+
+    /// Compute `Aᵀ · B` with `B` dense `nrows x p`; the result is `ncols x p`.
+    ///
+    /// The CSR path materialises the transpose (counting sort) on every call; callers
+    /// that repeat the product should cache the transpose themselves (as
+    /// `sketch-lowrank`'s `SparseOperand` does).
+    pub fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, Error> {
+        if b.nrows() != self.nrows() {
+            return Err(Error::dimension_mismatch(
+                match self {
+                    Operand::Dense(_) => "gemm_t",
+                    Operand::Csr(_) => "spmm_t",
+                },
+                self.nrows(),
+                b.nrows(),
+                format!(
+                    "B dense {}x{} against {}ᵀ",
+                    b.nrows(),
+                    b.ncols(),
+                    self.describe()
+                ),
+            ));
+        }
+        match self {
+            Operand::Dense(a) => Ok(blas3::gemm_op(
+                device,
+                1.0,
+                Op::Trans,
+                a,
+                Op::NoTrans,
+                b,
+                0.0,
+                None,
+            )?),
+            Operand::Csr(a) => Ok(spmm(device, &a.transpose(), b)),
+        }
+    }
+
+    /// Bytes the operand occupies on the device.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Operand::Dense(a) => a.size_bytes(),
+            Operand::Csr(a) => {
+                KernelCost::f64_bytes(a.nnz() as u64)
+                    + (std::mem::size_of::<usize>() as u64) * (a.nnz() + a.nrows() + 1) as u64
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a Matrix> for Operand<'a> {
+    fn from(a: &'a Matrix) -> Self {
+        Operand::Dense(a)
+    }
+}
+
+impl<'a> From<&'a CsrMatrix> for Operand<'a> {
+    fn from(a: &'a CsrMatrix) -> Self {
+        Operand::Csr(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_la::Layout;
+    use sketch_sparse::CooMatrix;
+
+    fn device() -> Device {
+        Device::unlimited()
+    }
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, -1.0);
+        coo.push(3, 1, 0.5);
+        coo.push(3, 2, 4.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    fn dense_of(csr: &CsrMatrix) -> Matrix {
+        let rows = csr.to_dense();
+        Matrix::from_fn(csr.nrows(), csr.ncols(), Layout::ColMajor, |i, j| {
+            rows[i][j]
+        })
+    }
+
+    #[test]
+    fn shapes_and_descriptions() {
+        let m = Matrix::zeros(7, 2);
+        let d = Operand::from(&m);
+        assert_eq!(d.nrows(), 7);
+        assert_eq!(d.ncols(), 2);
+        assert!(d.describe().contains("dense 7x2"));
+
+        let s = sample_csr();
+        let c = Operand::from(&s);
+        assert_eq!((c.nrows(), c.ncols()), (4, 3));
+        assert!(c.describe().contains("CSR 4x3"));
+        assert!(c.describe().contains("nnz=4"));
+        assert!(c.size_bytes() > 0);
+        assert_eq!(d.size_bytes(), m.size_bytes());
+    }
+
+    #[test]
+    fn sparse_products_match_dense_products() {
+        let d = device();
+        let s = sample_csr();
+        let a = dense_of(&s);
+        let b = Matrix::random_gaussian(3, 2, Layout::ColMajor, 1, 0);
+        let bt = Matrix::random_gaussian(4, 2, Layout::ColMajor, 1, 1);
+
+        let sparse = Operand::Csr(&s).mul_right(&d, &b).unwrap();
+        let dense = Operand::Dense(&a).mul_right(&d, &b).unwrap();
+        assert!(sparse.max_abs_diff(&dense).unwrap() < 1e-14);
+
+        let sparse_t = Operand::Csr(&s).mul_transpose_right(&d, &bt).unwrap();
+        let dense_t = Operand::Dense(&a).mul_transpose_right(&d, &bt).unwrap();
+        assert!(sparse_t.max_abs_diff(&dense_t).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_errors_not_panics() {
+        let d = device();
+        let s = sample_csr();
+        let a = dense_of(&s);
+        let wrong = Matrix::zeros(5, 2);
+        for op in [Operand::Csr(&s), Operand::Dense(&a)] {
+            let e = op.mul_right(&d, &wrong).unwrap_err();
+            assert!(e.is_dimension_mismatch(), "{e}");
+            assert!(op.mul_transpose_right(&d, &wrong).is_err());
+        }
+    }
+}

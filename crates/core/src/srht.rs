@@ -9,11 +9,12 @@
 //! Inputs whose row count is not a power of two are zero-padded up to the next power of
 //! two, which leaves all inner products unchanged.
 
-use crate::error::SketchError;
+use crate::error::Error;
 use crate::fwht::{fwht_matrix_columns, global_passes, DEFAULT_TILE};
+use crate::operand::Operand;
 use crate::traits::SketchOperator;
 use sketch_gpu_sim::{Device, KernelCost};
-use sketch_la::{Layout, Matrix};
+use sketch_la::{Layout, Matrix, MatrixViewMut};
 use sketch_rng::fill;
 
 /// The SRHT operator.
@@ -36,7 +37,7 @@ pub struct Srht {
 
 impl Srht {
     /// Generate an SRHT with the default shared-memory tile.
-    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, SketchError> {
+    pub fn generate(device: &Device, d: usize, k: usize, seed: u64) -> Result<Self, Error> {
         Self::generate_with_tile(device, d, k, seed, DEFAULT_TILE)
     }
 
@@ -47,16 +48,16 @@ impl Srht {
         k: usize,
         seed: u64,
         tile: usize,
-    ) -> Result<Self, SketchError> {
+    ) -> Result<Self, Error> {
         if k == 0 {
-            return Err(SketchError::InvalidParameter {
-                detail: "SRHT output dimension must be positive".into(),
-            });
+            return Err(Error::invalid_param(
+                "SRHT output dimension must be positive",
+            ));
         }
         if d == 0 {
-            return Err(SketchError::InvalidParameter {
-                detail: "SRHT input dimension must be positive".into(),
-            });
+            return Err(Error::invalid_param(
+                "SRHT input dimension must be positive",
+            ));
         }
         let d_pad = d.next_power_of_two();
         let signs = fill::rademacher_vec(seed, 0, d);
@@ -85,37 +86,57 @@ impl Srht {
         self.tile
     }
 
-    /// Build the sign-flipped, zero-padded, column-major work matrix `D A`.
-    fn build_work_matrix(&self, device: &Device, a: &Matrix) -> Matrix {
+    /// Build the sign-flipped, zero-padded, column-major work matrix `D A` from a
+    /// dense or CSR operand.
+    fn build_work_matrix(&self, device: &Device, a: &Operand<'_>) -> Matrix {
         let n = a.ncols();
         let mut work = Matrix::zeros_with_layout(self.d_pad, n, Layout::ColMajor);
-        for j in 0..n {
-            let col = work.col_mut(j).expect("col-major");
-            for i in 0..self.d {
-                col[i] = self.signs[i] * a.get(i, j);
+        match a {
+            Operand::Dense(m) => {
+                for j in 0..n {
+                    let col = work.col_mut(j).expect("col-major");
+                    for i in 0..self.d {
+                        col[i] = self.signs[i] * m.get(i, j);
+                    }
+                }
+                // Sign flip + copy: read A and the signs once, write the padded work
+                // matrix.
+                let dn = (self.d * n) as u64;
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(dn) + KernelCost::f64_bytes(self.d as u64),
+                    KernelCost::f64_bytes((self.d_pad * n) as u64),
+                    dn,
+                    1,
+                ));
+            }
+            Operand::Csr(s) => {
+                for i in 0..self.d {
+                    for (j, v) in s.row(i) {
+                        work.set(i, j, self.signs[i] * v);
+                    }
+                }
+                let nnz = s.nnz() as u64;
+                let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + self.d as u64 + 1);
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(nnz + self.d as u64) + idx_bytes,
+                    KernelCost::f64_bytes((self.d_pad * n) as u64),
+                    nnz,
+                    1,
+                ));
             }
         }
-        // Sign flip + copy: read A and the signs once, write the padded work matrix.
-        let dn = (self.d * n) as u64;
-        device.record(KernelCost::new(
-            KernelCost::f64_bytes(dn) + KernelCost::f64_bytes(self.d as u64),
-            KernelCost::f64_bytes((self.d_pad * n) as u64),
-            dn,
-            1,
-        ));
         work
     }
 
-    /// Sample and scale the transformed work matrix: `Y = (1/√k) P (H D A)`.
-    fn sample_rows(&self, device: &Device, work: &Matrix) -> Matrix {
+    /// Sample and scale the transformed work matrix into the caller's buffer:
+    /// `out = (1/√k) P (H D A)`.
+    fn sample_rows_into(&self, device: &Device, work: &Matrix, out: &mut MatrixViewMut<'_>) {
         let n = work.ncols();
         let scale = 1.0 / (self.k as f64).sqrt();
-        let mut y = Matrix::zeros(self.k, n);
         for j in 0..n {
             let src = work.col(j).expect("col-major");
-            let dst = y.col_mut(j).expect("col-major");
             for (i, &row) in self.sample.iter().enumerate() {
-                dst[i] = scale * src[row];
+                out.set(i, j, scale * src[row]);
             }
         }
         let kn = (self.k * n) as u64;
@@ -125,7 +146,6 @@ impl Srht {
             kn,
             1,
         ));
-        y
     }
 }
 
@@ -142,17 +162,30 @@ impl SketchOperator for Srht {
         "SRHT"
     }
 
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-        self.check_input_dim(a.nrows())?;
-        let n = a.ncols();
-        let _work_res = device.try_reserve(KernelCost::f64_bytes((self.d_pad * n) as u64))?;
-        let _out_res = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
-        let mut work = self.build_work_matrix(device, a);
-        fwht_matrix_columns(device, &mut work, self.tile);
-        Ok(self.sample_rows(device, &work))
+    fn output_layout(&self) -> Layout {
+        Layout::ColMajor
     }
 
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+    /// Sign-flip + FWHT + sample.  The padded FWHT work matrix is inherent to the
+    /// transform (it is the `H D A` intermediate the paper also materialises) and is
+    /// reserved on the modelled device here; only the *output* is caller-owned.
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error> {
+        self.check_operand(&a)?;
+        self.check_output(out, a.ncols())?;
+        let _work_res =
+            device.try_reserve(KernelCost::f64_bytes((self.d_pad * a.ncols()) as u64))?;
+        let mut work = self.build_work_matrix(device, &a);
+        fwht_matrix_columns(device, &mut work, self.tile);
+        self.sample_rows_into(device, &work, out);
+        Ok(())
+    }
+
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
         self.check_input_dim(x.len())?;
         let a = Matrix::from_vec(x.len(), 1, Layout::ColMajor, x.to_vec());
         let y = self.apply_matrix(device, &a)?;
@@ -285,6 +318,53 @@ mod tests {
         for i in 0..16 {
             assert!((s_combo[i] - (2.0 * sx[i] - 3.0 * sy[i])).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn apply_into_reused_buffer_is_bit_identical_to_apply_matrix() {
+        let d = device();
+        let s = Srht::generate(&d, 48, 12, 5).unwrap();
+        let a = Matrix::random_gaussian(48, 3, Layout::ColMajor, 9, 0);
+        let y = s.apply_matrix(&d, &a).unwrap();
+        let mut out = Matrix::from_fn(12, 3, Layout::ColMajor, |_, _| f64::NAN);
+        s.apply_into(&d, crate::Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(out.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn csr_operand_matches_dense_operand() {
+        use sketch_sparse::{CooMatrix, CsrMatrix};
+        let d = device();
+        let s = Srht::generate(&d, 40, 8, 3).unwrap();
+        let mut coo = CooMatrix::new(40, 4);
+        for i in 0..40 {
+            coo.push(i, i % 4, ((i + 1) as f64).ln());
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let rows = csr.to_dense();
+        let dense = Matrix::from_fn(40, 4, Layout::ColMajor, |i, j| rows[i][j]);
+        let y_dense = s.apply_matrix(&d, &dense).unwrap();
+        let y_sparse = s.apply_operand(&d, crate::Operand::Csr(&csr)).unwrap();
+        assert!(y_dense.max_abs_diff(&y_sparse).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn apply_into_models_the_work_matrix_memory() {
+        use sketch_gpu_sim::DeviceSpec;
+        // The padded FWHT work matrix (64 x 4 doubles = 2 KiB) is inherent to the
+        // transform, so even the buffer-reusing path must report OOM on a 1 KiB
+        // device.
+        let mut spec = DeviceSpec::h100();
+        spec.memory_bytes = 1024;
+        let d = Device::new(spec);
+        let s = Srht::generate(&d, 64, 8, 1).unwrap();
+        let a = Matrix::zeros_with_layout(64, 4, Layout::ColMajor);
+        let mut out = Matrix::zeros(8, 4);
+        assert!(matches!(
+            s.apply_into(&d, crate::Operand::Dense(&a), &mut out.view_mut()),
+            Err(Error::WouldExceedMemory(_))
+        ));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The [`SketchOperator`] abstraction shared by every sketch in the workspace.
 
-use crate::error::SketchError;
+use crate::error::Error;
+use crate::operand::Operand;
 use sketch_gpu_sim::{Device, KernelCost};
-use sketch_la::Matrix;
+use sketch_la::{Layout, Matrix, MatrixViewMut};
 
 /// A random linear operator `S : R^d -> R^k` that can be applied to matrices and
 /// vectors on the simulated device.
@@ -10,6 +11,12 @@ use sketch_la::Matrix;
 /// The trait deliberately mirrors how the paper's evaluation drives the sketches: a
 /// sketch is *generated* once (with a cost the paper charges as "Sketch gen time") and
 /// then *applied* to the coefficient matrix and the right-hand side.
+///
+/// The hot path is [`apply_into`](Self::apply_into): operand-generic (dense or CSR via
+/// [`Operand`]) and allocation-free — the caller owns the `k x n` output buffer and
+/// reuses it across calls.  [`apply_matrix`](Self::apply_matrix) and
+/// [`apply_vector`](Self::apply_vector) are thin allocating wrappers kept for
+/// convenience.
 pub trait SketchOperator {
     /// Input dimension `d` (number of rows the operand must have).
     fn input_dim(&self) -> usize;
@@ -20,11 +27,55 @@ pub trait SketchOperator {
     /// Short name used in reports ("CountSketch", "Gaussian", …).
     fn name(&self) -> &'static str;
 
-    /// Apply the sketch to a matrix: `Y = S A` with `A ∈ R^{d x n}`.
-    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, SketchError>;
+    /// The layout this operator naturally produces (what
+    /// [`apply_matrix`](Self::apply_matrix) allocates): row-major for the
+    /// scatter-style CountSketch kernels, column-major for the GEMM-backed sketches.
+    fn output_layout(&self) -> Layout {
+        Layout::RowMajor
+    }
+
+    /// Apply the sketch to an operand, writing `out = S A` into a caller-owned
+    /// `k x n` buffer.  Implementations overwrite every element of `out` (dirty
+    /// buffers are fine) and perform **zero** intermediate matrix allocations on the
+    /// CountSketch and Gaussian hot paths.
+    ///
+    /// Memory modelling of the *output* is the caller's job on this path: the
+    /// allocating wrappers
+    /// ([`apply_matrix`](Self::apply_matrix)/[`apply_operand`](Self::apply_operand))
+    /// reserve it on the device, while the CountSketch/Gaussian `apply_into` hot
+    /// paths touch the [`MemoryTracker`](sketch_gpu_sim::MemoryTracker) not at all.
+    /// Operators with *inherent* intermediates (the multisketch's `k₁ x n` stage,
+    /// the SRHT's padded FWHT work matrix) still reserve those inside `apply_into`.
+    fn apply_into(
+        &self,
+        device: &Device,
+        a: Operand<'_>,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), Error>;
+
+    /// Apply the sketch to a dense matrix: `Y = S A` with `A ∈ R^{d x n}`.
+    ///
+    /// Thin allocating wrapper over [`apply_into`](Self::apply_into): reserves the
+    /// output on the modelled device, allocates it in the operator's natural layout,
+    /// and delegates — so the two paths are bit-for-bit identical by construction.
+    fn apply_matrix(&self, device: &Device, a: &Matrix) -> Result<Matrix, Error> {
+        self.apply_operand(device, Operand::Dense(a))
+    }
+
+    /// Apply the sketch to any [`Operand`], allocating the output (the CSR-capable
+    /// sibling of [`apply_matrix`](Self::apply_matrix)).
+    fn apply_operand(&self, device: &Device, a: Operand<'_>) -> Result<Matrix, Error> {
+        self.check_operand(&a)?;
+        let n = a.ncols();
+        let _reservation =
+            device.try_reserve(KernelCost::f64_bytes((self.output_dim() * n) as u64))?;
+        let mut y = Matrix::zeros_with_layout(self.output_dim(), n, self.output_layout());
+        self.apply_into(device, a, &mut y.view_mut())?;
+        Ok(y)
+    }
 
     /// Apply the sketch to a vector: `y = S x` with `x ∈ R^d`.
-    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError>;
+    fn apply_vector(&self, device: &Device, x: &[f64]) -> Result<Vec<f64>, Error>;
 
     /// Cost charged for generating the sketch's random ingredients (the "Sketch gen
     /// time" component of Figures 2 and 5).
@@ -40,14 +91,57 @@ pub trait SketchOperator {
     fn algorithmic_cost(&self, ncols: usize) -> KernelCost;
 
     /// Check that an operand with `rows` leading dimension is compatible.
-    fn check_input_dim(&self, rows: usize) -> Result<(), SketchError> {
+    fn check_input_dim(&self, rows: usize) -> Result<(), Error> {
         if rows == self.input_dim() {
             Ok(())
         } else {
-            Err(SketchError::DimensionMismatch {
-                expected: self.input_dim(),
-                found: rows,
-            })
+            Err(Error::dimension_mismatch(
+                self.name(),
+                self.input_dim(),
+                rows,
+                format!("leading dimension {rows}"),
+            ))
+        }
+    }
+
+    /// Check a full operand, producing an error that names this operator and the
+    /// operand's shape.
+    fn check_operand(&self, a: &Operand<'_>) -> Result<(), Error> {
+        if a.nrows() == self.input_dim() {
+            Ok(())
+        } else {
+            Err(Error::dimension_mismatch(
+                self.name(),
+                self.input_dim(),
+                a.nrows(),
+                a.describe(),
+            ))
+        }
+    }
+
+    /// Check that a caller-provided output buffer matches `k x n` for an operand
+    /// with `ncols` columns.
+    fn check_output(&self, out: &MatrixViewMut<'_>, ncols: usize) -> Result<(), Error> {
+        if out.nrows() == self.output_dim() && out.ncols() == ncols {
+            Ok(())
+        } else {
+            // Report whichever dimension actually mismatches.
+            let (expected, found) = if out.nrows() != self.output_dim() {
+                (self.output_dim(), out.nrows())
+            } else {
+                (ncols, out.ncols())
+            };
+            Err(Error::dimension_mismatch(
+                self.name(),
+                expected,
+                found,
+                format!(
+                    "output buffer {}x{}, expected {}x{ncols}",
+                    out.nrows(),
+                    out.ncols(),
+                    self.output_dim()
+                ),
+            ))
         }
     }
 }
@@ -58,7 +152,7 @@ mod tests {
     use sketch_gpu_sim::Device;
 
     /// A trivial sketch (identity on the first k coordinates) to exercise the trait's
-    /// default method.
+    /// default methods.
     struct TakeFirst {
         d: usize,
         k: usize,
@@ -74,11 +168,35 @@ mod tests {
         fn name(&self) -> &'static str {
             "TakeFirst"
         }
-        fn apply_matrix(&self, _device: &Device, a: &Matrix) -> Result<Matrix, SketchError> {
-            self.check_input_dim(a.nrows())?;
-            a.submatrix(self.k, a.ncols()).map_err(SketchError::from)
+        fn apply_into(
+            &self,
+            device: &Device,
+            a: Operand<'_>,
+            out: &mut MatrixViewMut<'_>,
+        ) -> Result<(), Error> {
+            self.check_operand(&a)?;
+            self.check_output(out, a.ncols())?;
+            out.fill(0.0);
+            match a {
+                Operand::Dense(m) => {
+                    for i in 0..self.k {
+                        for j in 0..m.ncols() {
+                            out.set(i, j, m.get(i, j));
+                        }
+                    }
+                }
+                Operand::Csr(s) => {
+                    for i in 0..self.k {
+                        for (j, v) in s.row(i) {
+                            out.set(i, j, v);
+                        }
+                    }
+                }
+            }
+            device.record(self.algorithmic_cost(a.ncols()));
+            Ok(())
         }
-        fn apply_vector(&self, _device: &Device, x: &[f64]) -> Result<Vec<f64>, SketchError> {
+        fn apply_vector(&self, _device: &Device, x: &[f64]) -> Result<Vec<f64>, Error> {
             self.check_input_dim(x.len())?;
             Ok(x[..self.k].to_vec())
         }
@@ -96,17 +214,38 @@ mod tests {
     }
 
     #[test]
-    fn check_input_dim_accepts_and_rejects() {
+    fn check_input_dim_accepts_and_rejects_with_context() {
         let s = TakeFirst { d: 10, k: 3 };
         assert!(s.check_input_dim(10).is_ok());
         let err = s.check_input_dim(9).unwrap_err();
-        assert_eq!(
-            err,
-            SketchError::DimensionMismatch {
-                expected: 10,
-                found: 9
+        match err {
+            Error::DimensionMismatch {
+                op,
+                expected,
+                found,
+                ..
+            } => {
+                assert_eq!(op, "TakeFirst");
+                assert_eq!((expected, found), (10, 9));
             }
-        );
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_apply_matrix_wraps_apply_into() {
+        let device = Device::unlimited();
+        let s = TakeFirst { d: 4, k: 2 };
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        let y = s.apply_matrix(&device, &a).unwrap();
+        assert_eq!(y.nrows(), 2);
+        assert_eq!(y.get(1, 1), 4.0);
+
+        // The reusing path writes the same bits into a dirty buffer.
+        let mut out = Matrix::from_fn(2, 2, Layout::RowMajor, |_, _| f64::NAN);
+        s.apply_into(&device, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(out.as_slice(), y.as_slice());
     }
 
     #[test]
@@ -119,5 +258,17 @@ mod tests {
         assert_eq!(s.output_dim(), 2);
         assert_eq!(s.generation_cost(), KernelCost::zero());
         assert!(s.algorithmic_cost(3).total_bytes() > 0);
+    }
+
+    #[test]
+    fn output_buffer_shape_is_validated() {
+        let device = Device::unlimited();
+        let s = TakeFirst { d: 4, k: 2 };
+        let a = Matrix::zeros(4, 3);
+        let mut wrong = Matrix::zeros(3, 3);
+        let err = s
+            .apply_into(&device, Operand::Dense(&a), &mut wrong.view_mut())
+            .unwrap_err();
+        assert!(err.is_dimension_mismatch());
     }
 }

@@ -9,7 +9,7 @@
 use crate::block::BlockRowMatrix;
 use crate::comm::CommCost;
 use crate::error::DistError;
-use sketch_core::{CountSketch, GaussianSketch, MultiSketch, SketchOperator};
+use sketch_core::{CountSketch, GaussianSketch, MultiSketch, Pipeline, SketchKind, SketchOperator};
 use sketch_gpu_sim::{Device, KernelCost};
 use sketch_la::{blas3, Layout, Matrix};
 
@@ -29,10 +29,48 @@ fn check_dims(sketch: &dyn SketchOperator, dist: &BlockRowMatrix) -> Result<(), 
     if sketch.input_dim() == dist.nrows() {
         Ok(())
     } else {
-        Err(DistError::DimensionMismatch {
-            expected: sketch.input_dim(),
-            found: dist.nrows(),
-        })
+        Err(DistError::dimension_mismatch(
+            sketch.name(),
+            sketch.input_dim(),
+            dist.nrows(),
+            format!(
+                "block-row {}x{} over {} processes",
+                dist.nrows(),
+                dist.ncols(),
+                dist.num_processes()
+            ),
+        ))
+    }
+}
+
+/// Spec-driven entry point: build the sketch described by `plan` for the
+/// distributed operand and dispatch to the matching typed driver.
+///
+/// Supported plans: a single CountSketch stage, a single Gaussian stage, or the
+/// Count→Gauss multisketch pipeline — the three operators Section 7 compares.
+pub fn distributed_sketch(
+    device: &Device,
+    dist: &BlockRowMatrix,
+    plan: &Pipeline,
+) -> Result<DistributedRun, DistError> {
+    let ncols = dist.ncols();
+    if plan.is_count_gauss() {
+        let sketch = plan.build_multisketch(device, ncols)?;
+        return distributed_multisketch(device, dist, &sketch);
+    }
+    match plan.stages.as_slice() {
+        [spec] if spec.kind == SketchKind::CountSketch => {
+            let sketch = spec.resolve(ncols).build_countsketch(device)?;
+            distributed_countsketch(device, dist, &sketch)
+        }
+        [spec] if spec.kind == SketchKind::Gaussian => {
+            let sketch = spec.resolve(ncols).build_gaussian(device)?;
+            distributed_gaussian(device, dist, &sketch)
+        }
+        _ => Err(DistError::invalid_param(
+            "distributed_sketch supports a single count-sketch/gaussian stage or the \
+             count-gauss pipeline",
+        )),
     }
 }
 
@@ -189,9 +227,33 @@ fn allreduce_sum(partials: &[Matrix]) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sketch_core::{EmbeddingDim, SketchSpec};
 
     fn device() -> Device {
         Device::unlimited()
+    }
+
+    /// The paper's `k = 2n²` CountSketch for a `d x n` operand, via its spec.
+    fn countsketch_of(dev: &Device, d: usize, n: usize, seed: u64) -> CountSketch {
+        SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed)
+            .resolve(n)
+            .build_countsketch(dev)
+            .unwrap()
+    }
+
+    /// The paper's `k = 2n` Gaussian for a `d x n` operand, via its spec.
+    fn gaussian_of(dev: &Device, d: usize, n: usize, seed: u64) -> GaussianSketch {
+        SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), seed)
+            .resolve(n)
+            .build_gaussian(dev)
+            .unwrap()
+    }
+
+    /// The paper's Count→Gauss multisketch for a `d x n` operand, via its pipeline.
+    fn multisketch_of(dev: &Device, d: usize, n: usize, seed: u64) -> MultiSketch {
+        Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), seed)
+            .build_multisketch(dev, n)
+            .unwrap()
     }
 
     #[test]
@@ -200,7 +262,7 @@ mod tests {
         let d = 1 << 10;
         let n = 8;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 3, 0);
-        let sketch = CountSketch::generate(&dev, d, 2 * n * n, 7);
+        let sketch = countsketch_of(&dev, d, n, 7);
         let single = sketch.apply_matrix(&dev, &a).unwrap();
         for p in [1usize, 2, 3, 8] {
             let dist = BlockRowMatrix::split(&a, p);
@@ -220,7 +282,7 @@ mod tests {
         let d = 512;
         let n = 6;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 4, 0);
-        let sketch = GaussianSketch::generate(&dev, d, 2 * n, 5).unwrap();
+        let sketch = gaussian_of(&dev, d, n, 5);
         let single = sketch.apply_matrix(&dev, &a).unwrap();
         let dist = BlockRowMatrix::split(&a, 4);
         let run = distributed_gaussian(&dev, &dist, &sketch).unwrap();
@@ -233,12 +295,40 @@ mod tests {
         let d = 512;
         let n = 6;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 8, 0);
-        let sketch = MultiSketch::generate(&dev, d, 2 * n * n, 2 * n, 9).unwrap();
+        let sketch = multisketch_of(&dev, d, n, 9);
         let single = sketch.apply_matrix(&dev, &a).unwrap();
         let dist = BlockRowMatrix::split(&a, 4);
         let run = distributed_multisketch(&dev, &dist, &sketch).unwrap();
         assert!(run.result.max_abs_diff(&single).unwrap() < 1e-9);
         assert_eq!(run.result.nrows(), 2 * n);
+    }
+
+    #[test]
+    fn spec_driven_dispatch_matches_the_typed_drivers() {
+        let dev = device();
+        let d = 512;
+        let n = 6;
+        let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 2, 0);
+        let dist = BlockRowMatrix::split(&a, 3);
+
+        let count_plan = Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7));
+        let run = distributed_sketch(&dev, &dist, &count_plan).unwrap();
+        let typed = distributed_countsketch(&dev, &dist, &countsketch_of(&dev, d, n, 7)).unwrap();
+        assert_eq!(run.result.max_abs_diff(&typed.result).unwrap(), 0.0);
+
+        let gauss_plan = Pipeline::single(SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), 5));
+        let run = distributed_sketch(&dev, &dist, &gauss_plan).unwrap();
+        assert_eq!(run.result.nrows(), 2 * n);
+
+        let multi_plan =
+            Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 9);
+        let run = distributed_sketch(&dev, &dist, &multi_plan).unwrap();
+        let typed = distributed_multisketch(&dev, &dist, &multisketch_of(&dev, d, n, 9)).unwrap();
+        assert_eq!(run.result.max_abs_diff(&typed.result).unwrap(), 0.0);
+
+        // Unsupported plans are rejected, not panicked on.
+        let srht_plan = Pipeline::single(SketchSpec::srht(d, EmbeddingDim::Ratio(2), 1));
+        assert!(distributed_sketch(&dev, &dist, &srht_plan).is_err());
     }
 
     #[test]
@@ -248,9 +338,9 @@ mod tests {
         let n = 8;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
         let dist = BlockRowMatrix::split(&a, 4);
-        let count = CountSketch::generate(&dev, d, 2 * n * n, 1);
-        let gauss = GaussianSketch::generate(&dev, d, 2 * n, 2).unwrap();
-        let multi = MultiSketch::generate(&dev, d, 2 * n * n, 2 * n, 3).unwrap();
+        let count = countsketch_of(&dev, d, n, 1);
+        let gauss = gaussian_of(&dev, d, n, 2);
+        let multi = multisketch_of(&dev, d, n, 3);
 
         let run_c = distributed_countsketch(&dev, &dist, &count).unwrap();
         let run_g = distributed_gaussian(&dev, &dist, &gauss).unwrap();
@@ -274,14 +364,16 @@ mod tests {
         let dev = device();
         let a = Matrix::random_gaussian(100, 4, Layout::RowMajor, 1, 0);
         let dist = BlockRowMatrix::split(&a, 2);
-        let sketch = CountSketch::generate(&dev, 99, 32, 1);
-        assert!(matches!(
-            distributed_countsketch(&dev, &dist, &sketch),
-            Err(DistError::DimensionMismatch {
-                expected: 99,
-                found: 100
-            })
-        ));
+        let sketch = SketchSpec::countsketch(99, EmbeddingDim::Exact(32), 1)
+            .build_countsketch(&dev)
+            .unwrap();
+        let err = distributed_countsketch(&dev, &dist, &sketch).unwrap_err();
+        match err {
+            DistError::DimensionMismatch {
+                expected, found, ..
+            } => assert_eq!((expected, found), (99, 100)),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
@@ -290,7 +382,9 @@ mod tests {
         let d = 1 << 10;
         let n = 4;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 2, 0);
-        let sketch = CountSketch::generate(&dev, d, 64, 3);
+        let sketch = SketchSpec::countsketch(d, EmbeddingDim::Exact(64), 3)
+            .build_countsketch(&dev)
+            .unwrap();
         let flops_at = |p: usize| {
             let dist = BlockRowMatrix::split(&a, p);
             let run = distributed_countsketch(&dev, &dist, &sketch).unwrap();

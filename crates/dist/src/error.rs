@@ -1,59 +1,12 @@
-//! Error type for the distributed sketching drivers.
+//! Error handling for the distributed sketching drivers.
+//!
+//! The drivers share the workspace-wide [`sketch_core::Error`]: a rank's local
+//! sketch application, a dense kernel failure, and a sketch/operand dimension
+//! mismatch all surface through the one type (with the operator name and operand
+//! shape attached to dimension mismatches).
 
-use sketch_core::SketchError;
-use sketch_la::LaError;
-use std::fmt;
-
-/// Errors produced by the distributed drivers.
-#[derive(Debug)]
-pub enum DistError {
-    /// The sketch's input dimension does not match the distributed matrix.
-    DimensionMismatch {
-        /// Rows the sketch expects.
-        expected: usize,
-        /// Global rows the distributed matrix actually has.
-        found: usize,
-    },
-    /// A rank's local sketch application failed.
-    Sketch(SketchError),
-    /// A dense kernel invoked by a rank failed.
-    La(LaError),
-}
-
-impl fmt::Display for DistError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DistError::DimensionMismatch { expected, found } => write!(
-                f,
-                "sketch expects {expected} global rows but the distributed matrix has {found}"
-            ),
-            DistError::Sketch(e) => write!(f, "local sketch application failed: {e}"),
-            DistError::La(e) => write!(f, "local dense kernel failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for DistError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            DistError::Sketch(e) => Some(e),
-            DistError::La(e) => Some(e),
-            DistError::DimensionMismatch { .. } => None,
-        }
-    }
-}
-
-impl From<SketchError> for DistError {
-    fn from(e: SketchError) -> Self {
-        DistError::Sketch(e)
-    }
-}
-
-impl From<LaError> for DistError {
-    fn from(e: LaError) -> Self {
-        DistError::La(e)
-    }
-}
+/// The distributed-driver error type: an alias for the workspace-wide error.
+pub use sketch_core::Error as DistError;
 
 #[cfg(test)]
 mod tests {
@@ -61,11 +14,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DistError::DimensionMismatch {
-            expected: 10,
-            found: 9,
-        };
+        let e = DistError::dimension_mismatch("CountSketch (Alg 2)", 10, 9, "block-row 9x4");
         let msg = e.to_string();
         assert!(msg.contains("10") && msg.contains('9'));
+        assert!(msg.contains("block-row"));
     }
 }

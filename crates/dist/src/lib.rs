@@ -10,6 +10,9 @@
 //!
 //! * [`BlockRowMatrix`] — a tall matrix partitioned into `P` contiguous row
 //!   blocks, one per simulated rank;
+//! * [`distributed_sketch`] — the spec-driven entry point: build the sketch
+//!   described by a [`sketch_core::Pipeline`] and dispatch to the matching
+//!   typed driver;
 //! * [`distributed_countsketch`] / [`distributed_gaussian`] /
 //!   [`distributed_multisketch`] — apply one *global* sketch to the distributed
 //!   matrix: every rank sketches its local block with its slice of the
@@ -25,17 +28,17 @@
 //! weakens to equality up to floating-point reassociation.
 //!
 //! ```
-//! use sketch_core::CountSketch;
-//! use sketch_dist::{distributed_countsketch, BlockRowMatrix};
+//! use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
+//! use sketch_dist::{distributed_sketch, BlockRowMatrix};
 //! use sketch_gpu_sim::Device;
 //! use sketch_la::{Layout, Matrix};
 //!
 //! let device = Device::unlimited();
 //! let a = Matrix::random_gaussian(1 << 10, 8, Layout::RowMajor, 1, 0);
-//! let sketch = CountSketch::generate(&device, 1 << 10, 128, 2);
+//! let spec = SketchSpec::countsketch(1 << 10, EmbeddingDim::Exact(128), 2);
 //! let dist = BlockRowMatrix::split(&a, 4);
-//! let run = distributed_countsketch(&device, &dist, &sketch).unwrap();
-//! let single = sketch.apply_matrix(&device, &a).unwrap();
+//! let run = distributed_sketch(&device, &dist, &Pipeline::single(spec.clone())).unwrap();
+//! let single = spec.build(&device).unwrap().apply_matrix(&device, &a).unwrap();
 //! assert_eq!(run.result.max_abs_diff(&single).unwrap(), 0.0);
 //! assert_eq!(run.per_process_cost.len(), 4);
 //! assert!(run.comm.total_words() > 0);
@@ -49,6 +52,7 @@ pub mod error;
 pub use block::BlockRowMatrix;
 pub use comm::CommCost;
 pub use drivers::{
-    distributed_countsketch, distributed_gaussian, distributed_multisketch, DistributedRun,
+    distributed_countsketch, distributed_gaussian, distributed_multisketch, distributed_sketch,
+    DistributedRun,
 };
 pub use error::DistError;

@@ -45,6 +45,7 @@ pub struct MemoryTracker {
 struct MemoryState {
     in_use: u64,
     peak: u64,
+    allocations: u64,
 }
 
 impl Default for MemoryTracker {
@@ -78,6 +79,13 @@ impl MemoryTracker {
         self.state.lock().peak
     }
 
+    /// Number of successful reservations made so far (the modelled `cudaMalloc`
+    /// count).  Buffer-reusing kernels such as `SketchOperator::apply_into` are
+    /// certified allocation-free by checking this counter does not move.
+    pub fn allocations(&self) -> u64 {
+        self.state.lock().allocations
+    }
+
     /// Try to reserve `bytes`; the reservation is released when the returned guard drops.
     pub fn try_reserve(&self, bytes: u64) -> Result<Reservation<'_>, MemoryError> {
         let mut state = self.state.lock();
@@ -91,6 +99,7 @@ impl MemoryTracker {
         }
         state.in_use = new_in_use;
         state.peak = state.peak.max(new_in_use);
+        state.allocations += 1;
         Ok(Reservation {
             tracker: self,
             bytes,
@@ -169,6 +178,21 @@ mod tests {
         assert!(t.try_reserve(200).is_err());
         assert_eq!(t.in_use(), 0);
         assert!(t.try_reserve(100).is_ok());
+    }
+
+    #[test]
+    fn allocation_counter_counts_successful_reservations_only() {
+        let t = MemoryTracker::new(100);
+        assert_eq!(t.allocations(), 0);
+        {
+            let _a = t.try_reserve(40).unwrap();
+            let _b = t.try_reserve(40).unwrap();
+            assert!(t.try_reserve(40).is_err());
+        }
+        // Releases do not decrement the counter: it counts mallocs, not residency.
+        assert_eq!(t.allocations(), 2);
+        let _c = t.try_reserve(10).unwrap();
+        assert_eq!(t.allocations(), 3);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::blas1::dot_unrecorded;
 use crate::blas2::Triangle;
 use crate::error::{dim_err, LaError};
-use crate::matrix::{Layout, Matrix, Op};
+use crate::matrix::{Layout, Matrix, MatrixViewMut, Op};
 use rayon::prelude::*;
 use sketch_gpu_sim::{Device, KernelCost};
 
@@ -60,7 +60,8 @@ fn pack_cols(b: &Matrix, op: Op) -> Vec<f64> {
 /// General matrix-matrix product `C <- alpha * op(A) * op(B) + beta * C`.
 ///
 /// The result is returned as a new column-major matrix; `c` supplies the `beta`-scaled
-/// initial value when provided.
+/// initial value when provided.  This is the thin allocating wrapper around
+/// [`gemm_into`], which buffer-reusing callers invoke directly.
 // The argument list deliberately mirrors BLAS DGEMM's parameter order.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_op(
@@ -73,6 +74,39 @@ pub fn gemm_op(
     beta: f64,
     c: Option<&Matrix>,
 ) -> Result<Matrix, LaError> {
+    let m = op_a.rows(a);
+    let n = op_b.cols(b);
+    let mut out = Matrix::zeros(m, n);
+    gemm_into(
+        device,
+        alpha,
+        op_a,
+        a,
+        op_b,
+        b,
+        beta,
+        c,
+        &mut out.view_mut(),
+    )?;
+    Ok(out)
+}
+
+/// Buffer-reusing GEMM: `out <- alpha * op(A) * op(B) + beta * C`, written into a
+/// caller-owned buffer of either layout.  Produces bit-for-bit the same values (and
+/// records the same cost) as [`gemm_op`] — every output element is an independent
+/// packed dot product, so the write layout cannot change the arithmetic.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    device: &Device,
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix,
+    op_b: Op,
+    b: &Matrix,
+    beta: f64,
+    c: Option<&Matrix>,
+    out: &mut MatrixViewMut<'_>,
+) -> Result<(), LaError> {
     let m = op_a.rows(a);
     let k = op_a.cols(a);
     let kb = op_b.rows(b);
@@ -91,28 +125,52 @@ pub fn gemm_op(
             ));
         }
     }
+    if out.nrows() != m || out.ncols() != n {
+        return Err(dim_err(
+            "gemm",
+            format!(
+                "output buffer is {}x{} but product is {m}x{n}",
+                out.nrows(),
+                out.ncols()
+            ),
+        ));
+    }
 
     let packed_a = pack_rows(a, op_a);
     let packed_b = pack_cols(b, op_b);
 
-    let mut out = Matrix::zeros(m, n);
-    {
-        let data = out.as_mut_slice();
-        data.par_chunks_mut(m.max(1))
-            .enumerate()
-            .for_each(|(j, col)| {
-                let bcol = &packed_b[j * k..(j + 1) * k];
-                for (i, slot) in col.iter_mut().enumerate() {
-                    let arow = &packed_a[i * k..(i + 1) * k];
-                    let mut value = alpha * dot_unrecorded(arow, bcol);
-                    if beta != 0.0 {
-                        if let Some(c0) = c {
-                            value += beta * c0.get(i, j);
-                        }
+    let element = |i: usize, j: usize| {
+        let arow = &packed_a[i * k..(i + 1) * k];
+        let bcol = &packed_b[j * k..(j + 1) * k];
+        let mut value = alpha * dot_unrecorded(arow, bcol);
+        if beta != 0.0 {
+            if let Some(c0) = c {
+                value += beta * c0.get(i, j);
+            }
+        }
+        value
+    };
+    match out.layout() {
+        Layout::ColMajor => {
+            out.as_mut_slice()
+                .par_chunks_mut(m.max(1))
+                .enumerate()
+                .for_each(|(j, col)| {
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        *slot = element(i, j);
                     }
-                    *slot = value;
-                }
-            });
+                });
+        }
+        Layout::RowMajor => {
+            out.as_mut_slice()
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(i, row)| {
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = element(i, j);
+                    }
+                });
+        }
     }
 
     let (m64, n64, k64) = (m as u64, n as u64, k as u64);
@@ -127,7 +185,7 @@ pub fn gemm_op(
         2 * m64 * n64 * k64,
         1,
     ));
-    Ok(out)
+    Ok(())
 }
 
 /// Convenience GEMM without transposes: `C = alpha * A * B + beta * C`.
@@ -416,6 +474,58 @@ mod tests {
         let b2t = b2.transpose(&d);
         let via_explicit2 = gemm(&d, 1.0, &a, &b2t, 0.0, None).unwrap();
         assert_close(&via_op2, &via_explicit2, 1e-12);
+    }
+
+    #[test]
+    fn gemm_into_is_bit_identical_in_both_output_layouts() {
+        let d = device();
+        let a = Matrix::random_gaussian(5, 7, Layout::RowMajor, 1, 0);
+        let b = Matrix::random_gaussian(7, 4, Layout::ColMajor, 1, 1);
+        let reference = gemm(&d, 1.0, &a, &b, 0.0, None).unwrap();
+        for layout in [Layout::ColMajor, Layout::RowMajor] {
+            // Start from a dirty buffer: every element must be overwritten.
+            let mut out = Matrix::from_fn(5, 4, layout, |_, _| f64::NAN);
+            gemm_into(
+                &d,
+                1.0,
+                Op::NoTrans,
+                &a,
+                Op::NoTrans,
+                &b,
+                0.0,
+                None,
+                &mut out.view_mut(),
+            )
+            .unwrap();
+            for i in 0..5 {
+                for j in 0..4 {
+                    assert!(
+                        out.get(i, j).to_bits() == reference.get(i, j).to_bits(),
+                        "({i},{j}) differs in {layout:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_into_rejects_wrong_output_shape() {
+        let d = device();
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let mut out = Matrix::zeros(2, 3);
+        assert!(gemm_into(
+            &d,
+            1.0,
+            Op::NoTrans,
+            &a,
+            Op::NoTrans,
+            &b,
+            0.0,
+            None,
+            &mut out.view_mut()
+        )
+        .is_err());
     }
 
     #[test]

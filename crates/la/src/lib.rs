@@ -45,6 +45,6 @@ pub mod qr;
 pub mod svd;
 
 pub use error::LaError;
-pub use matrix::{Layout, Matrix, Op};
+pub use matrix::{Layout, Matrix, MatrixViewMut, Op};
 pub use qr::QrFactors;
 pub use svd::{jacobi_svd, SmallSvd};

@@ -330,6 +330,30 @@ impl Matrix {
     /// Materialise the transpose (moves data), recording the traffic on `device`.
     pub fn transpose(&self, device: &Device) -> Matrix {
         let mut out = Matrix::zeros_with_layout(self.ncols, self.nrows, self.layout);
+        self.transpose_into(device, &mut out.view_mut())
+            .expect("freshly allocated transpose target always matches");
+        out
+    }
+
+    /// Write the transpose into an existing buffer (same traffic model as
+    /// [`transpose`](Self::transpose), no allocation).
+    pub fn transpose_into(
+        &self,
+        device: &Device,
+        out: &mut MatrixViewMut<'_>,
+    ) -> Result<(), LaError> {
+        if out.nrows() != self.ncols || out.ncols() != self.nrows {
+            return Err(dim_err(
+                "transpose_into",
+                format!(
+                    "source is {}x{} but target is {}x{}",
+                    self.nrows,
+                    self.ncols,
+                    out.nrows(),
+                    out.ncols()
+                ),
+            ));
+        }
         for i in 0..self.nrows {
             for j in 0..self.ncols {
                 out.set(j, i, self.get(i, j));
@@ -337,7 +361,17 @@ impl Matrix {
         }
         let bytes = KernelCost::f64_bytes(self.data.len() as u64);
         device.record(KernelCost::new(bytes, bytes, 0, 1));
-        out
+        Ok(())
+    }
+
+    /// Mutable view of the whole matrix (used by the buffer-reusing `*_into` kernels).
+    pub fn view_mut(&mut self) -> MatrixViewMut<'_> {
+        MatrixViewMut {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            layout: self.layout,
+            data: &mut self.data,
+        }
     }
 
     /// Extract the leading `rows x cols` block as a new matrix.
@@ -374,6 +408,119 @@ impl Matrix {
             }
         }
         Ok(max)
+    }
+}
+
+/// A mutable view over a caller-owned dense buffer with matrix shape and layout.
+///
+/// This is the output type of the buffer-reusing kernels (`gemm_into`, `spmm_into`,
+/// `SketchOperator::apply_into`): the caller allocates (and reserves device memory
+/// for) the buffer once and reuses it across calls, so the hot path performs no
+/// intermediate matrix allocations.
+#[derive(Debug)]
+pub struct MatrixViewMut<'a> {
+    nrows: usize,
+    ncols: usize,
+    layout: Layout,
+    data: &'a mut [f64],
+}
+
+impl<'a> MatrixViewMut<'a> {
+    /// Wrap a raw buffer as an `nrows x ncols` matrix view in the given layout.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn new(nrows: usize, ncols: usize, layout: Layout, data: &'a mut [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        Self {
+            nrows,
+            ncols,
+            layout,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Storage layout of the viewed buffer.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Flat index of `(i, j)` under the view's layout.
+    #[inline(always)]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        match self.layout {
+            Layout::RowMajor => i * self.ncols + j,
+            Layout::ColMajor => i + j * self.nrows,
+        }
+    }
+
+    /// Read element `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Write element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        let idx = self.idx(i, j);
+        self.data[idx] = value;
+    }
+
+    /// Add `value` to element `(i, j)`.
+    #[inline(always)]
+    pub fn add_to(&mut self, i: usize, j: usize, value: f64) {
+        let idx = self.idx(i, j);
+        self.data[idx] += value;
+    }
+
+    /// Overwrite every element with `value` (kernels that scatter-accumulate call
+    /// this with `0.0` first, mirroring the zeroing of a fresh output buffer).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// The underlying storage, immutably.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        self.data
+    }
+
+    /// The underlying storage, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.data
+    }
+
+    /// Reborrow the view (so it can be passed to helpers without consuming it).
+    pub fn reborrow(&mut self) -> MatrixViewMut<'_> {
+        MatrixViewMut {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            layout: self.layout,
+            data: self.data,
+        }
     }
 }
 
@@ -524,6 +671,53 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn from_vec_rejects_wrong_length() {
         Matrix::from_vec(2, 2, Layout::ColMajor, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn view_mut_writes_through_in_both_layouts() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let mut m = Matrix::zeros_with_layout(3, 4, layout);
+            {
+                let mut v = m.view_mut();
+                assert_eq!(v.nrows(), 3);
+                assert_eq!(v.ncols(), 4);
+                assert_eq!(v.layout(), layout);
+                v.set(1, 2, 5.0);
+                v.add_to(1, 2, 0.5);
+                assert_eq!(v.get(1, 2), 5.5);
+            }
+            assert_eq!(m.get(1, 2), 5.5);
+        }
+    }
+
+    #[test]
+    fn view_fill_and_reborrow() {
+        let mut buf = vec![1.0; 6];
+        let mut v = MatrixViewMut::new(2, 3, Layout::RowMajor, &mut buf);
+        v.reborrow().fill(0.0);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        v.as_mut_slice()[0] = 2.0;
+        assert_eq!(v.get(0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn view_rejects_wrong_buffer_length() {
+        let mut buf = vec![0.0; 5];
+        MatrixViewMut::new(2, 3, Layout::RowMajor, &mut buf);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose_and_rejects_bad_shapes() {
+        let device = Device::unlimited();
+        let m = Matrix::from_fn(3, 5, Layout::RowMajor, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose(&device);
+        let mut out = Matrix::zeros_with_layout(5, 3, Layout::ColMajor);
+        m.transpose_into(&device, &mut out.view_mut()).unwrap();
+        assert_eq!(out.max_abs_diff(&t).unwrap(), 0.0);
+
+        let mut wrong = Matrix::zeros(3, 5);
+        assert!(m.transpose_into(&device, &mut wrong.view_mut()).is_err());
     }
 
     #[test]

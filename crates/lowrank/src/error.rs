@@ -1,94 +1,43 @@
-//! Error type for the low-rank approximation pipeline.
+//! Error handling for the low-rank approximation pipeline.
+//!
+//! The crate shares the workspace-wide [`sketch_core::Error`]: sketching failures,
+//! dense linear algebra failures (for the Nyström path this includes
+//! `NotPositiveDefinite` when the input is not numerically PSD), dimension
+//! mismatches and invalid parameters all flow through one type.
 
-use sketch_core::SketchError;
-use sketch_la::LaError;
-use std::fmt;
+/// The low-rank error type: an alias for the workspace-wide error.
+pub use sketch_core::Error as LowRankError;
 
-/// Errors returned by the randomized low-rank approximation routines.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LowRankError {
-    /// Operand dimensions are incompatible with the requested operation.
-    DimensionMismatch {
-        /// Name of the routine that rejected the operands.
-        op: &'static str,
-        /// Human readable description of the mismatch.
-        detail: String,
-    },
-    /// A routine was configured with an invalid parameter (e.g. a target rank of
-    /// zero, or one exceeding the smaller matrix dimension).
-    InvalidParameter {
-        /// Description of the offending parameter.
-        detail: String,
-    },
-    /// An underlying dense linear algebra routine failed.  For the Nyström path this
-    /// includes [`LaError::NotPositiveDefinite`] when the input is not numerically
-    /// PSD.
-    La(LaError),
-    /// Generating or applying a `sketch-core` test matrix failed.
-    Sketch(SketchError),
-}
-
-impl fmt::Display for LowRankError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LowRankError::DimensionMismatch { op, detail } => {
-                write!(f, "{op}: dimension mismatch ({detail})")
-            }
-            LowRankError::InvalidParameter { detail } => {
-                write!(f, "invalid low-rank parameter: {detail}")
-            }
-            LowRankError::La(e) => write!(f, "linear algebra failure in low-rank path: {e}"),
-            LowRankError::Sketch(e) => write!(f, "sketch failure in low-rank path: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for LowRankError {}
-
-impl From<LaError> for LowRankError {
-    fn from(e: LaError) -> Self {
-        LowRankError::La(e)
-    }
-}
-
-impl From<SketchError> for LowRankError {
-    fn from(e: SketchError) -> Self {
-        LowRankError::Sketch(e)
-    }
-}
-
-/// Convenience constructor for dimension mismatch errors.
-pub(crate) fn dim_err(op: &'static str, detail: impl Into<String>) -> LowRankError {
-    LowRankError::DimensionMismatch {
-        op,
-        detail: detail.into(),
-    }
+/// Convenience constructor for dimension mismatch errors with full context.
+pub(crate) fn dim_err(
+    op: &'static str,
+    expected: usize,
+    found: usize,
+    operand: impl Into<String>,
+) -> LowRankError {
+    LowRankError::dimension_mismatch(op, expected, found, operand)
 }
 
 /// Convenience constructor for invalid-parameter errors.
 pub(crate) fn param_err(detail: impl Into<String>) -> LowRankError {
-    LowRankError::InvalidParameter {
-        detail: detail.into(),
-    }
+    LowRankError::invalid_param(detail)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sketch_la::LaError;
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(dim_err("rsvd", "A is 2x3").to_string().contains("rsvd"));
+        let e = dim_err("rsvd", 3, 2, "dense 2x3");
+        assert!(e.to_string().contains("rsvd"));
+        assert!(e.to_string().contains("dense 2x3"));
         assert!(param_err("k must be positive")
             .to_string()
             .contains("k must be positive"));
         let la: LowRankError = LaError::SingularTriangular { index: 0 }.into();
         assert!(la.to_string().contains("singular"));
-        let sk: LowRankError = SketchError::InvalidParameter {
-            detail: "zero".into(),
-        }
-        .into();
-        assert!(sk.to_string().contains("zero"));
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! * [`estimate_range_error`] — a posterior Gaussian-probe estimate of
 //!   `‖A − QQᵀA‖₂` so callers can adaptively grow `k`.
 //!
-//! Inputs are anything implementing [`MatVecLike`]; dense [`sketch_la::Matrix`] and
-//! sparse [`sketch_sparse::CsrMatrix`] are provided (the sparse path routes through
-//! `sketch-sparse::ops::spmm`).  All randomness comes from explicit Philox
-//! seeds/streams, so equal parameters give bit-for-bit equal factorisations.
+//! Inputs are anything implementing [`MatVecLike`], which is a thin adapter over the
+//! workspace-wide [`sketch_core::Operand`] view: dense [`sketch_la::Matrix`] and
+//! sparse [`sketch_sparse::CsrMatrix`] share one dense/CSR product implementation
+//! (the sparse path routes through `sketch-sparse::ops::spmm`).  All randomness
+//! comes from explicit Philox seeds/streams, so equal parameters give bit-for-bit
+//! equal factorisations.
 //!
 //! ## Error bound
 //!

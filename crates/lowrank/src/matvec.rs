@@ -2,100 +2,65 @@
 //!
 //! The entire low-rank pipeline only ever touches the input matrix through two
 //! products — `A·B` (sketching the range) and `Aᵀ·B` (projecting back / power
-//! iteration) — so that is the whole trait.  Dense [`Matrix`] operands route through
-//! `sketch-la` GEMM; [`CsrMatrix`] operands route through `sketch-sparse` SpMM, with
-//! the transposed product served by [`CsrMatrix::transpose`].
+//! iteration) — and both are provided by the workspace-wide
+//! [`sketch_core::Operand`] view.  `MatVecLike` is therefore a thin adapter: a type
+//! says how to view itself as an `Operand` and inherits the shared dense/CSR
+//! product implementations (dense routes through `sketch-la` GEMM, CSR through
+//! `sketch-sparse` SpMM), instead of each operand re-implementing the split.
+//!
+//! [`SparseOperand`] remains the one override: it caches the CSR transpose so the
+//! repeated `Aᵀ·B` products of power iteration pay the counting sort once.
 
-use crate::error::{dim_err, LowRankError};
+use crate::error::LowRankError;
+use sketch_core::Operand;
 use sketch_gpu_sim::Device;
-use sketch_la::{blas3, Matrix, Op};
+use sketch_la::Matrix;
 use sketch_sparse::{spmm, CsrMatrix};
 use std::cell::OnceCell;
 
 /// An operand the low-rank routines can multiply by a thin dense matrix from the
 /// right, both as itself and transposed.
+///
+/// Implementors only provide [`as_operand`](Self::as_operand); the products come
+/// from the shared [`Operand`] implementation (override them only to add caching,
+/// as [`SparseOperand`] does for the transpose).
 pub trait MatVecLike {
+    /// View this operand as the shared dense/CSR [`Operand`].
+    fn as_operand(&self) -> Operand<'_>;
+
     /// Number of rows of the operand.
-    fn nrows(&self) -> usize;
+    fn nrows(&self) -> usize {
+        self.as_operand().nrows()
+    }
 
     /// Number of columns of the operand.
-    fn ncols(&self) -> usize;
+    fn ncols(&self) -> usize {
+        self.as_operand().ncols()
+    }
 
     /// Compute `A · B` with `B` dense `ncols x p`; the result is `nrows x p`.
-    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError>;
+    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        self.as_operand().mul_right(device, b)
+    }
 
     /// Compute `Aᵀ · B` with `B` dense `nrows x p`; the result is `ncols x p`.
-    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError>;
+    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
+        self.as_operand().mul_transpose_right(device, b)
+    }
 }
 
 impl MatVecLike for Matrix {
-    fn nrows(&self) -> usize {
-        Matrix::nrows(self)
-    }
-
-    fn ncols(&self) -> usize {
-        Matrix::ncols(self)
-    }
-
-    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
-        Ok(blas3::gemm(device, 1.0, self, b, 0.0, None)?)
-    }
-
-    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
-        Ok(blas3::gemm_op(
-            device,
-            1.0,
-            Op::Trans,
-            self,
-            Op::NoTrans,
-            b,
-            0.0,
-            None,
-        )?)
+    fn as_operand(&self) -> Operand<'_> {
+        Operand::Dense(self)
     }
 }
 
+/// Plain CSR operands recompute the transpose on every `Aᵀ·B` — fine for the
+/// single `AᵀQ` step of the plain RSVD pipeline; power-iteration users should wrap
+/// the matrix in [`SparseOperand`], which caches the transpose across calls.
 impl MatVecLike for CsrMatrix {
-    fn nrows(&self) -> usize {
-        CsrMatrix::nrows(self)
-    }
-
-    fn ncols(&self) -> usize {
-        CsrMatrix::ncols(self)
-    }
-
-    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
-        if b.nrows() != self.ncols() {
-            return Err(dim_err(
-                "spmm",
-                format!(
-                    "A is {}x{} but B has {} rows",
-                    self.nrows(),
-                    self.ncols(),
-                    b.nrows()
-                ),
-            ));
-        }
-        Ok(spmm(device, self, b))
-    }
-
-    fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
-        if b.nrows() != self.nrows() {
-            return Err(dim_err(
-                "spmm_t",
-                format!(
-                    "Aᵀ is {}x{} but B has {} rows",
-                    self.ncols(),
-                    self.nrows(),
-                    b.nrows()
-                ),
-            ));
-        }
-        // CSR→CSR transpose (counting sort) then the generic SpMM.  This recomputes
-        // the transpose on every call — fine for the plain RSVD pipeline's single
-        // AᵀQ step; power-iteration users should wrap the matrix in
-        // [`SparseOperand`], which caches the transpose across calls.
-        Ok(spmm(device, &self.transpose(), b))
+    fn as_operand(&self) -> Operand<'_> {
+        Operand::Csr(self)
     }
 }
 
@@ -134,28 +99,17 @@ impl From<CsrMatrix> for SparseOperand {
 }
 
 impl MatVecLike for SparseOperand {
-    fn nrows(&self) -> usize {
-        self.csr.nrows()
-    }
-
-    fn ncols(&self) -> usize {
-        self.csr.ncols()
-    }
-
-    fn mul_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
-        self.csr.mul_right(device, b)
+    fn as_operand(&self) -> Operand<'_> {
+        Operand::Csr(&self.csr)
     }
 
     fn mul_transpose_right(&self, device: &Device, b: &Matrix) -> Result<Matrix, LowRankError> {
         if b.nrows() != self.csr.nrows() {
-            return Err(dim_err(
+            return Err(crate::error::dim_err(
                 "spmm_t",
-                format!(
-                    "Aᵀ is {}x{} but B has {} rows",
-                    self.csr.ncols(),
-                    self.csr.nrows(),
-                    b.nrows()
-                ),
+                self.csr.nrows(),
+                b.nrows(),
+                format!("B dense {}x{}", b.nrows(), b.ncols()),
             ));
         }
         Ok(spmm(device, self.transposed(), b))
@@ -251,5 +205,7 @@ mod tests {
         let a = Matrix::zeros(7, 2);
         assert_eq!(MatVecLike::nrows(&a), 7);
         assert_eq!(MatVecLike::ncols(&a), 2);
+        assert!(matches!(a.as_operand(), Operand::Dense(_)));
+        assert!(matches!(s.as_operand(), Operand::Csr(_)));
     }
 }

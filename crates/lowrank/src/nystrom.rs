@@ -74,6 +74,8 @@ pub fn nystrom<M: MatVecLike + ?Sized>(
     if a.ncols() != n {
         return Err(dim_err(
             "nystrom",
+            n,
+            a.ncols(),
             format!("PSD operand must be square, got {}x{}", n, a.ncols()),
         ));
     }

@@ -8,13 +8,13 @@
 //! directions.
 //!
 //! The test matrix is selected by [`RangeSketch`]: i.i.d. Gaussian columns, a
-//! CountSketch, or an SRHT — the latter two materialised through the `sketch-core`
-//! [`SketchOperator`] trait objects so the rangefinder exercises exactly the operators
-//! the rest of the workspace benchmarks.
+//! CountSketch, or an SRHT — the latter two built through their declarative
+//! [`SketchSpec`]s so the rangefinder exercises exactly the operators the rest of
+//! the workspace benchmarks.
 
 use crate::error::{dim_err, param_err, LowRankError};
 use crate::matvec::MatVecLike;
-use sketch_core::{CountSketch, SketchOperator, Srht};
+use sketch_core::{EmbeddingDim, SketchSpec};
 use sketch_gpu_sim::{Device, KernelCost};
 use sketch_la::norms::vec_norm2;
 use sketch_la::qr::geqrf;
@@ -48,13 +48,29 @@ impl RangeSketch {
         }
     }
 
+    /// The declarative [`SketchSpec`] for the `l x n` operator `S` whose transpose is
+    /// the test matrix `Ω`; `None` for the plain Gaussian (which is a direct Philox
+    /// fill, not a `sketch-core` operator).
+    ///
+    /// The `sketch-core` specs take a single seed; the stream is folded in with a
+    /// golden-ratio mix so `(seed, stream)` pairs stay distinct.
+    pub fn spec(&self, n: usize, l: usize, seed: u64, stream: u64) -> Option<SketchSpec> {
+        let mixed = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            RangeSketch::Gaussian => None,
+            RangeSketch::CountSketch => {
+                Some(SketchSpec::countsketch(n, EmbeddingDim::Exact(l), mixed))
+            }
+            RangeSketch::Srht => Some(SketchSpec::srht(n, EmbeddingDim::Exact(l), mixed)),
+        }
+    }
+
     /// Materialise the `n x l` test matrix `Ω` for `(seed, stream)`.
     ///
     /// Gaussian columns are filled directly with the Philox generator.  CountSketch
-    /// and SRHT build the corresponding `sketch-core` operator `S ∈ R^{l x n}` and
-    /// materialise `Ω = Sᵀ` by applying the trait object to the identity, so the
-    /// rangefinder reuses the exact kernels (and cost accounting) of the sketching
-    /// layer.
+    /// and SRHT build the corresponding `sketch-core` operator `S ∈ R^{l x n}`
+    /// through its [`SketchSpec`] and materialise `Ω = Sᵀ`, so the rangefinder
+    /// reuses the exact kernels (and cost accounting) of the sketching layer.
     pub fn test_matrix(
         &self,
         device: &Device,
@@ -66,9 +82,6 @@ impl RangeSketch {
         if n == 0 || l == 0 {
             return Err(param_err("test matrix dimensions must be positive"));
         }
-        // The sketch-core constructors take a single seed; fold the stream in with a
-        // golden-ratio mix so (seed, stream) pairs stay distinct.
-        let mixed = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match self {
             RangeSketch::Gaussian => Ok(Matrix::random_gaussian(
                 n,
@@ -80,7 +93,10 @@ impl RangeSketch {
             RangeSketch::CountSketch => {
                 // Ω = Sᵀ has exactly one ±1 per row, so scatter it directly from the
                 // operator's row map instead of applying S to a dense n x n identity.
-                let cs = CountSketch::generate(device, n, l, mixed);
+                let cs = self
+                    .spec(n, l, seed, stream)
+                    .expect("CountSketch has a spec")
+                    .build_countsketch(device)?;
                 let mut omega = Matrix::zeros(n, l);
                 for (j, (&row, &sign)) in cs.rows().iter().zip(cs.signs().iter()).enumerate() {
                     omega.set(j, row, if sign { 1.0 } else { -1.0 });
@@ -94,7 +110,10 @@ impl RangeSketch {
                 Ok(omega)
             }
             RangeSketch::Srht => {
-                let op: Box<dyn SketchOperator> = Box::new(Srht::generate(device, n, l, mixed)?);
+                let op = self
+                    .spec(n, l, seed, stream)
+                    .expect("SRHT has a spec")
+                    .build(device)?;
                 let st = op.apply_matrix(device, &Matrix::identity(n))?;
                 Ok(st.transpose(device))
             }
@@ -234,7 +253,9 @@ pub fn estimate_range_error<M: MatVecLike + ?Sized>(
     if q.nrows() != a.nrows() {
         return Err(dim_err(
             "estimate_range_error",
-            format!("A has {} rows but Q has {}", a.nrows(), q.nrows()),
+            a.nrows(),
+            q.nrows(),
+            format!("Q dense {}x{}", q.nrows(), q.ncols()),
         ));
     }
     let omega = Matrix::random_gaussian(

@@ -56,7 +56,9 @@ pub(crate) fn svd_from_range<M: MatVecLike + ?Sized>(
     if q.nrows() != a.nrows() {
         return Err(dim_err(
             "svd_from_range",
-            format!("A has {} rows but Q has {}", a.nrows(), q.nrows()),
+            a.nrows(),
+            q.nrows(),
+            format!("Q dense {}x{}", q.nrows(), q.ncols()),
         ));
     }
     let b = a.mul_transpose_right(device, q)?; // n x l, B = AᵀQ

@@ -208,17 +208,17 @@ impl StreamingSvd {
         if block.ncols() != self.ncols {
             return Err(dim_err(
                 "push_block",
-                format!(
-                    "stream has {} columns, block has {}",
-                    self.ncols,
-                    block.ncols()
-                ),
+                self.ncols,
+                block.ncols(),
+                format!("block dense {}x{}", block.nrows(), block.ncols()),
             ));
         }
         let mb = block.nrows();
         if self.next_row + mb > self.nrows {
             return Err(dim_err(
                 "push_block",
+                self.nrows - self.next_row,
+                mb,
                 format!(
                     "block of {mb} rows overflows the declared {} total (seen {})",
                     self.nrows, self.next_row

@@ -1,70 +1,19 @@
-//! Error type for the least squares solvers.
+//! Error handling for the least squares solvers.
+//!
+//! The solvers share the workspace-wide [`sketch_core::Error`]: sketching failures,
+//! dense linear algebra failures (most importantly the Cholesky factorisation of the
+//! Gram matrix losing positive definiteness — the Figure 8 normal-equations
+//! breakdown, see [`sketch_core::Error::is_gram_breakdown`]) and unusable problem
+//! shapes all flow through one type, so a single `?` crosses every layer.
 
-use sketch_core::SketchError;
-use sketch_la::LaError;
-use std::fmt;
-
-/// Errors returned by the least squares solvers.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LsqError {
-    /// A dense linear algebra routine failed.
-    ///
-    /// The most important instance: the Cholesky factorisation of the Gram matrix
-    /// failing for ill-conditioned problems, which is how the normal equations break
-    /// down in Figure 8.
-    La(LaError),
-    /// Sketch generation or application failed (including modelled device OOM).
-    Sketch(SketchError),
-    /// The problem dimensions are unusable (e.g. fewer rows than columns).
-    BadProblem {
-        /// Description of what is wrong.
-        detail: String,
-    },
-}
-
-impl fmt::Display for LsqError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LsqError::La(e) => write!(f, "linear algebra failure: {e}"),
-            LsqError::Sketch(e) => write!(f, "sketching failure: {e}"),
-            LsqError::BadProblem { detail } => {
-                write!(f, "unusable least squares problem: {detail}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for LsqError {}
-
-impl From<LaError> for LsqError {
-    fn from(e: LaError) -> Self {
-        LsqError::La(e)
-    }
-}
-
-impl From<SketchError> for LsqError {
-    fn from(e: SketchError) -> Self {
-        LsqError::Sketch(e)
-    }
-}
-
-impl LsqError {
-    /// Whether this error is the normal-equations instability signature: the Gram matrix
-    /// lost positive definiteness.
-    pub fn is_gram_breakdown(&self) -> bool {
-        matches!(self, LsqError::La(LaError::NotPositiveDefinite { .. }))
-    }
-
-    /// Whether this error is a modelled device out-of-memory failure.
-    pub fn is_out_of_memory(&self) -> bool {
-        matches!(self, LsqError::Sketch(SketchError::WouldExceedMemory(_)))
-    }
-}
+/// The least squares error type: an alias for the workspace-wide error.
+pub use sketch_core::Error as LsqError;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sketch_gpu_sim::MemoryError;
+    use sketch_la::LaError;
 
     #[test]
     fn conversions_and_predicates() {
@@ -77,18 +26,16 @@ mod tests {
         assert!(!e.is_out_of_memory());
         assert!(e.to_string().contains("positive definite"));
 
-        let e: LsqError = SketchError::WouldExceedMemory(MemoryError {
+        let e: LsqError = MemoryError {
             requested: 10,
             in_use: 0,
             capacity: 5,
-        })
+        }
         .into();
         assert!(e.is_out_of_memory());
         assert!(!e.is_gram_breakdown());
 
-        let e = LsqError::BadProblem {
-            detail: "d < n".into(),
-        };
+        let e = LsqError::bad_problem("d < n");
         assert!(e.to_string().contains("d < n"));
     }
 }

@@ -16,6 +16,11 @@
 //!
 //! [`solve`] dispatches on [`Method`] and returns both the solution and the per-phase
 //! [`RunBreakdown`](sketch_gpu_sim::RunBreakdown) that the Figure 5 harness prints.
+//! Each sketched method's configuration is declarative: [`Method::sketch_pipeline`]
+//! yields the [`sketch_core::Pipeline`] of [`sketch_core::SketchSpec`]s encoding the
+//! paper's embedding-dimension conventions, and [`solve`] builds it for the problem
+//! at hand.  Errors are the workspace-wide [`sketch_core::Error`] (re-exported as
+//! [`LsqError`]).
 //!
 //! ```
 //! use sketch_gpu_sim::Device;

@@ -1,19 +1,23 @@
 //! A single dispatch point over every solver the paper compares.
 //!
 //! The Figure 5/6/7/8 harnesses all iterate over the same method list (Normal Eq,
-//! Gauss, Count, Multi, SRHT, rand_cholQR, QR); [`solve`] encapsulates the embedding
-//! dimension conventions of Section 6 (`k = 2n` for Gaussian/SRHT/multisketch,
-//! `k = 2n²` for the CountSketch) so that every harness and example uses exactly the
+//! Gauss, Count, Multi, SRHT, rand_cholQR, QR).  Each sketched method's embedding
+//! dimension convention (Section 6: `k = 2n` for Gaussian/SRHT/multisketch, `k = 2n²`
+//! for the CountSketch) lives in the declarative
+//! [`sketch_pipeline`](Method::sketch_pipeline) — a [`Pipeline`] of
+//! [`SketchSpec`]s — and [`solve`] simply builds that pipeline for the problem at
+//! hand, so every harness, example, and JSON config constructs exactly the
 //! configuration the paper evaluated.
 
 use crate::error::LsqError;
 use crate::problem::LsqProblem;
 use crate::rand_cholqr::rand_cholqr_least_squares;
 use crate::solvers::{normal_equations, qr_direct, sketch_and_solve, LsqSolution};
-use sketch_core::{CountSketch, GaussianSketch, MultiSketch, Srht};
+use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
 use sketch_gpu_sim::Device;
 
 /// The least squares methods compared in the paper's evaluation.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Gram matrix + Cholesky (the baseline of Figures 5–8).
@@ -75,9 +79,43 @@ impl Method {
             Method::Gaussian | Method::CountSketch | Method::MultiSketch | Method::Srht
         )
     }
+
+    /// The sketch this method uses, as a declarative [`Pipeline`] carrying the
+    /// paper's Section 6 embedding-dimension conventions; `None` for the direct
+    /// (sketch-free) solvers.
+    ///
+    /// `input_dim` is the operand's row count `d`; the `2n`/`2n²` rules resolve
+    /// against the operand width when the pipeline is built.
+    pub fn sketch_pipeline(&self, input_dim: usize, seed: u64) -> Option<Pipeline> {
+        match self {
+            Method::NormalEquations | Method::Qr => None,
+            Method::Gaussian => Some(Pipeline::single(SketchSpec::gaussian(
+                input_dim,
+                EmbeddingDim::Ratio(2),
+                seed,
+            ))),
+            Method::CountSketch => Some(Pipeline::single(SketchSpec::countsketch(
+                input_dim,
+                EmbeddingDim::Square(2),
+                seed,
+            ))),
+            Method::Srht => Some(Pipeline::single(SketchSpec::srht(
+                input_dim,
+                EmbeddingDim::Ratio(2),
+                seed,
+            ))),
+            Method::MultiSketch | Method::RandCholQr => Some(Pipeline::count_gauss(
+                input_dim,
+                EmbeddingDim::Square(2),
+                EmbeddingDim::Ratio(2),
+                seed,
+            )),
+        }
+    }
 }
 
-/// Solve `problem` with `method` using the paper's embedding-dimension conventions.
+/// Solve `problem` with `method`, constructing the method's sketch through its
+/// declarative [`Pipeline`] (the paper's embedding-dimension conventions).
 ///
 /// `seed` drives the sketch generation so repeated runs are reproducible.
 pub fn solve(
@@ -91,33 +129,21 @@ pub fn solve(
     match method {
         Method::NormalEquations => normal_equations(device, problem),
         Method::Qr => qr_direct(device, problem),
-        Method::Gaussian => {
-            let sketch = GaussianSketch::generate(device, d, 2 * n, seed)?;
-            let mut sol = sketch_and_solve(device, problem, &sketch)?;
-            sol.method = Method::Gaussian.label();
-            Ok(sol)
-        }
-        Method::CountSketch => {
-            let sketch = CountSketch::generate(device, d, 2 * n * n, seed);
-            let mut sol = sketch_and_solve(device, problem, &sketch)?;
-            sol.method = Method::CountSketch.label();
-            Ok(sol)
-        }
-        Method::MultiSketch => {
-            let sketch = MultiSketch::generate(device, d, 2 * n * n, 2 * n, seed)?;
-            let mut sol = sketch_and_solve(device, problem, &sketch)?;
-            sol.method = Method::MultiSketch.label();
-            Ok(sol)
-        }
-        Method::Srht => {
-            let sketch = Srht::generate(device, d, 2 * n, seed)?;
-            let mut sol = sketch_and_solve(device, problem, &sketch)?;
-            sol.method = Method::Srht.label();
-            Ok(sol)
-        }
         Method::RandCholQr => {
-            let sketch = MultiSketch::generate(device, d, 2 * n * n, 2 * n, seed)?;
-            rand_cholqr_least_squares(device, problem, &sketch)
+            let sketch = method
+                .sketch_pipeline(d, seed)
+                .expect("rand_cholQR is sketched")
+                .build_for(device, n)?;
+            rand_cholqr_least_squares(device, problem, sketch.as_ref())
+        }
+        Method::Gaussian | Method::CountSketch | Method::MultiSketch | Method::Srht => {
+            let sketch = method
+                .sketch_pipeline(d, seed)
+                .expect("sketch-and-solve methods are sketched")
+                .build_for(device, n)?;
+            let mut sol = sketch_and_solve(device, problem, sketch.as_ref())?;
+            sol.method = method.label();
+            Ok(sol)
         }
     }
 }
@@ -126,6 +152,7 @@ pub fn solve(
 mod tests {
     use super::*;
     use crate::solvers::best_residual;
+    use sketch_core::SketchKind;
 
     fn device() -> Device {
         Device::unlimited()
@@ -157,6 +184,34 @@ mod tests {
         assert!(!Method::NormalEquations.has_distortion());
         assert!(!Method::RandCholQr.has_distortion());
         assert!(!Method::Qr.has_distortion());
+    }
+
+    #[test]
+    fn pipelines_encode_the_section6_conventions() {
+        // Direct solvers carry no sketch.
+        assert!(Method::NormalEquations.sketch_pipeline(100, 1).is_none());
+        assert!(Method::Qr.sketch_pipeline(100, 1).is_none());
+        // k = 2n for Gaussian/SRHT, k = 2n² for CountSketch.
+        let g = Method::Gaussian.sketch_pipeline(100, 1).unwrap();
+        assert_eq!(g.stages[0].output_dim, EmbeddingDim::Ratio(2));
+        let c = Method::CountSketch.sketch_pipeline(100, 1).unwrap();
+        assert_eq!(c.stages[0].output_dim, EmbeddingDim::Square(2));
+        let s = Method::Srht.sketch_pipeline(100, 1).unwrap();
+        assert_eq!(s.stages[0].kind, SketchKind::Srht);
+        // Multisketch and rand_cholQR share the Count→Gauss pipeline.
+        for m in [Method::MultiSketch, Method::RandCholQr] {
+            let p = m.sketch_pipeline(100, 1).unwrap();
+            assert!(p.is_count_gauss());
+            assert_eq!(p.input_dim(), 100);
+        }
+        // Built for n = 8, the dimensions match the paper.
+        let dev = device();
+        let op = Method::MultiSketch
+            .sketch_pipeline(1024, 1)
+            .unwrap()
+            .build_for(&dev, 8)
+            .unwrap();
+        assert_eq!(op.output_dim(), 16);
     }
 
     #[test]

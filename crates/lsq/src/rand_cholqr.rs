@@ -109,18 +109,25 @@ pub fn rand_cholqr_least_squares<S: SketchOperator + ?Sized>(
 mod tests {
     use super::*;
     use crate::solvers::qr_direct;
-    use sketch_core::{CountSketch, MultiSketch};
+    use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
     use sketch_la::blas3::gemm_op;
 
     fn device() -> Device {
         Device::unlimited()
     }
 
+    /// The Count→Gauss pipeline with the `8n²`/`8n` oversized test dimensions.
+    fn multisketch_of(dev: &Device, d: usize, n: usize, seed: u64) -> sketch_core::MultiSketch {
+        Pipeline::count_gauss(d, EmbeddingDim::Square(8), EmbeddingDim::Ratio(8), seed)
+            .build_multisketch(dev, n)
+            .unwrap()
+    }
+
     #[test]
     fn rand_cholqr_produces_orthonormal_q_and_reconstructs_a() {
         let dev = device();
         let a = Matrix::random_gaussian(1024, 6, Layout::RowMajor, 1, 0);
-        let ms = MultiSketch::generate(&dev, 1024, 8 * 36, 8 * 6, 2).unwrap();
+        let ms = multisketch_of(&dev, 1024, 6, 2);
         let f = rand_cholqr(&dev, &a, &ms).unwrap();
 
         let qtq = gemm_op(&dev, 1.0, Op::Trans, &f.q, Op::NoTrans, &f.q, 0.0, None).unwrap();
@@ -135,8 +142,10 @@ mod tests {
     fn r_factor_is_upper_triangular() {
         let dev = device();
         let a = Matrix::random_gaussian(512, 4, Layout::RowMajor, 3, 0);
-        let cs = CountSketch::generate(&dev, 512, 8 * 16, 4);
-        let f = rand_cholqr(&dev, &a, &cs).unwrap();
+        let cs = SketchSpec::countsketch(512, EmbeddingDim::Square(8), 4)
+            .build_for(&dev, 4)
+            .unwrap();
+        let f = rand_cholqr(&dev, &a, cs.as_ref()).unwrap();
         for i in 0..4 {
             for j in 0..i {
                 assert!(f.r.get(i, j).abs() < 1e-12);
@@ -149,7 +158,7 @@ mod tests {
         let dev = device();
         let p = LsqProblem::easy(&dev, 2048, 5, 5).unwrap();
         let qr = qr_direct(&dev, &p).unwrap();
-        let ms = MultiSketch::generate(&dev, p.nrows(), 8 * 25, 8 * 5, 6).unwrap();
+        let ms = multisketch_of(&dev, p.nrows(), 5, 6);
         let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
         for (a, b) in rc.x.iter().zip(&qr.x) {
             assert!((a - b).abs() < 1e-7, "{a} vs {b}");
@@ -165,8 +174,10 @@ mod tests {
             .unwrap()
             .relative_residual(&dev, &p)
             .unwrap();
-        let cs = CountSketch::generate(&dev, p.nrows(), 8 * 16, 8);
-        let rc = rand_cholqr_least_squares(&dev, &p, &cs).unwrap();
+        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(8), 8)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let rc = rand_cholqr_least_squares(&dev, &p, cs.as_ref()).unwrap();
         let res = rc.relative_residual(&dev, &p).unwrap();
         assert!(
             (res - best).abs() / best < 1e-6,
@@ -178,8 +189,10 @@ mod tests {
     fn breakdown_contains_trsm_and_gram_phases() {
         let dev = device();
         let p = LsqProblem::performance(&dev, 1024, 4, 9).unwrap();
-        let cs = CountSketch::generate(&dev, p.nrows(), 4 * 16, 10);
-        let rc = rand_cholqr_least_squares(&dev, &p, &cs).unwrap();
+        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(4), 10)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let rc = rand_cholqr_least_squares(&dev, &p, cs.as_ref()).unwrap();
         assert!(rc.breakdown.model_seconds_of(Phase::Trsm) > 0.0);
         assert!(rc.breakdown.model_seconds_of(Phase::GramMatrix) > 0.0);
         assert!(rc.breakdown.model_seconds_of(Phase::Potrf) > 0.0);
@@ -190,7 +203,14 @@ mod tests {
         // kappa = 1e8 breaks the normal equations but not rand_cholQR.
         let dev = device();
         let p = LsqProblem::conditioned(&dev, 2048, 4, 1e8, 11).unwrap();
-        let ms = MultiSketch::generate(&dev, p.nrows(), 16 * 16, 16 * 4, 12).unwrap();
+        let ms = Pipeline::count_gauss(
+            p.nrows(),
+            EmbeddingDim::Square(16),
+            EmbeddingDim::Ratio(16),
+            12,
+        )
+        .build_multisketch(&dev, p.ncols())
+        .unwrap();
         let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
         let res = rc.relative_residual(&dev, &p).unwrap();
         assert!(res < 1e-6, "residual {res}");
@@ -200,8 +220,10 @@ mod tests {
     fn sketch_dimension_mismatch_is_an_error() {
         let dev = device();
         let p = LsqProblem::performance(&dev, 256, 4, 1).unwrap();
-        let wrong = CountSketch::generate(&dev, 128, 64, 1);
-        assert!(rand_cholqr_least_squares(&dev, &p, &wrong).is_err());
-        assert!(rand_cholqr(&dev, &p.a, &wrong).is_err());
+        let wrong = SketchSpec::countsketch(128, EmbeddingDim::Exact(64), 1)
+            .build(&dev)
+            .unwrap();
+        assert!(rand_cholqr_least_squares(&dev, &p, wrong.as_ref()).is_err());
+        assert!(rand_cholqr(&dev, &p.a, wrong.as_ref()).is_err());
     }
 }

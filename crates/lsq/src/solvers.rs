@@ -13,6 +13,7 @@ use sketch_la::Op;
 
 /// The result of a least squares solve: the solution vector plus the phase breakdown
 /// used by the Figure 5 harness.
+#[must_use = "an LsqSolution carries the solution vector and the phase breakdown"]
 #[derive(Debug, Clone)]
 pub struct LsqSolution {
     /// Solution vector of length `n`.
@@ -148,7 +149,7 @@ pub fn best_residual(device: &Device, problem: &LsqProblem) -> Result<f64, LsqEr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sketch_core::{CountSketch, GaussianSketch, MultiSketch, Srht};
+    use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
     use sketch_gpu_sim::Device;
 
     fn device() -> Device {
@@ -198,8 +199,10 @@ mod tests {
         let dev = device();
         let p = problem(4096, 6, 4);
         let best = best_residual(&dev, &p).unwrap();
-        let cs = CountSketch::generate(&dev, p.nrows(), 2 * p.ncols() * p.ncols(), 11);
-        let sol = sketch_and_solve(&dev, &p, &cs).unwrap();
+        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(2), 11)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let sol = sketch_and_solve(&dev, &p, cs.as_ref()).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res >= best * (1.0 - 1e-12));
         assert!(res < 1.5 * best, "sketched {res} vs best {best}");
@@ -211,12 +214,16 @@ mod tests {
         let p = problem(2048, 4, 5);
         let best = best_residual(&dev, &p).unwrap();
 
-        let g = GaussianSketch::generate(&dev, p.nrows(), 8 * p.ncols(), 7).unwrap();
-        let sol_g = sketch_and_solve(&dev, &p, &g).unwrap();
+        let g = SketchSpec::gaussian(p.nrows(), EmbeddingDim::Ratio(8), 7)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let sol_g = sketch_and_solve(&dev, &p, g.as_ref()).unwrap();
         assert!(sol_g.relative_residual(&dev, &p).unwrap() < 1.6 * best);
 
-        let s = Srht::generate(&dev, p.nrows(), 8 * p.ncols(), 8).unwrap();
-        let sol_s = sketch_and_solve(&dev, &p, &s).unwrap();
+        let s = SketchSpec::srht(p.nrows(), EmbeddingDim::Ratio(8), 8)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let sol_s = sketch_and_solve(&dev, &p, s.as_ref()).unwrap();
         assert!(sol_s.relative_residual(&dev, &p).unwrap() < 1.6 * best);
     }
 
@@ -225,9 +232,14 @@ mod tests {
         let dev = device();
         let p = problem(4096, 6, 6);
         let best = best_residual(&dev, &p).unwrap();
-        let ms =
-            MultiSketch::generate(&dev, p.nrows(), 8 * p.ncols() * p.ncols(), 8 * p.ncols(), 9)
-                .unwrap();
+        let ms = Pipeline::count_gauss(
+            p.nrows(),
+            EmbeddingDim::Square(8),
+            EmbeddingDim::Ratio(8),
+            9,
+        )
+        .build_multisketch(&dev, p.ncols())
+        .unwrap();
         let sol = sketch_and_solve(&dev, &p, &ms).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res < 1.6 * best, "multisketch {res} vs best {best}");
@@ -251,8 +263,10 @@ mod tests {
         let dev = device();
         let p = LsqProblem::hard(&dev, 2048, 4, 7).unwrap();
         let best = best_residual(&dev, &p).unwrap();
-        let cs = CountSketch::generate(&dev, p.nrows(), 4 * p.ncols() * p.ncols(), 3);
-        let sol = sketch_and_solve(&dev, &p, &cs).unwrap();
+        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(4), 3)
+            .build_for(&dev, p.ncols())
+            .unwrap();
+        let sol = sketch_and_solve(&dev, &p, cs.as_ref()).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res + 1e-12 >= best);
         // And it obeys the theoretical distortion bound for a generous eps.
@@ -269,10 +283,12 @@ mod tests {
     fn sketch_dimension_mismatch_propagates_as_error() {
         let dev = device();
         let p = problem(256, 4, 8);
-        let wrong = CountSketch::generate(&dev, 128, 32, 1);
-        assert!(matches!(
-            sketch_and_solve(&dev, &p, &wrong),
-            Err(LsqError::Sketch(_))
-        ));
+        let wrong = SketchSpec::countsketch(128, EmbeddingDim::Exact(32), 1)
+            .build(&dev)
+            .unwrap();
+        let err = sketch_and_solve(&dev, &p, wrong.as_ref()).unwrap_err();
+        assert!(err.is_dimension_mismatch(), "{err}");
+        // The unified error names the rejecting operator and the operand shape.
+        assert!(err.to_string().contains("CountSketch"));
     }
 }

@@ -22,4 +22,4 @@ pub mod ops;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use ops::{spmm, spmv, SPMM_GATHER_PENALTY};
+pub use ops::{spmm, spmm_into, spmv, SPMM_GATHER_PENALTY};

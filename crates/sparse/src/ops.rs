@@ -10,7 +10,7 @@
 use crate::csr::CsrMatrix;
 use rayon::prelude::*;
 use sketch_gpu_sim::{Device, KernelCost};
-use sketch_la::{Layout, Matrix};
+use sketch_la::{Layout, Matrix, MatrixViewMut};
 
 /// Multiplier applied to the dense-operand read traffic of [`spmm`] to model the
 /// uncoalesced (gather) access pattern of a random sparsity structure.
@@ -48,15 +48,34 @@ pub fn spmv(device: &Device, s: &CsrMatrix, x: &[f64]) -> Vec<f64> {
 
 /// Sparse matrix times dense matrix: `Y = S A`, with `A` dense `ncols x n`.
 ///
-/// The result is a dense column-major `s.nrows() x n` matrix.  This is the cuSPARSE
-/// SpMM baseline of the paper's Figures 2–4.
+/// The result is a dense row-major `s.nrows() x n` matrix.  This is the cuSPARSE
+/// SpMM baseline of the paper's Figures 2–4, as a thin allocating wrapper over
+/// [`spmm_into`].
 ///
 /// # Panics
 /// Panics if `a.nrows() != s.ncols()`.
 pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
+    let mut y = Matrix::zeros_with_layout(s.nrows(), a.ncols(), Layout::RowMajor);
+    spmm_into(device, s, a, &mut y.view_mut());
+    y
+}
+
+/// Buffer-reusing SpMM: `out <- S A`, written into a caller-owned buffer.
+///
+/// The row-major fast path is bit-for-bit identical to [`spmm`]; a column-major
+/// output buffer is also accepted (same values, element-indexed writes).
+///
+/// # Panics
+/// Panics if `a.nrows() != s.ncols()` or `out` is not `s.nrows() x a.ncols()`.
+pub fn spmm_into(device: &Device, s: &CsrMatrix, a: &Matrix, out: &mut MatrixViewMut<'_>) {
     assert_eq!(a.nrows(), s.ncols(), "spmm: A must have {} rows", s.ncols());
     let n = a.ncols();
     let k = s.nrows();
+    assert_eq!(
+        (out.nrows(), out.ncols()),
+        (k, n),
+        "spmm: output buffer must be {k}x{n}"
+    );
 
     // Pack the dense operand so its rows are contiguous (the same packing `blas3`
     // applies before its dot-product loops): every non-zero then pulls one contiguous
@@ -78,23 +97,36 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
         }
     };
 
-    // Row-parallel SpMM producing a row-major result (each task owns one output row),
-    // mirroring the natural CUDA mapping of one warp per output row.  The accumulation
-    // order per output row (non-zeros outer, columns inner) is identical to the
-    // sequential reference, so results are bit-for-bit reproducible.
-    let mut y = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
-    {
-        let data = y.as_mut_slice();
-        data.par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(i, out_row)| {
+    // Row-parallel SpMM (each task owns one output row), mirroring the natural CUDA
+    // mapping of one warp per output row.  The accumulation order per output row
+    // (non-zeros outer, columns inner) is identical to the sequential reference, so
+    // results are bit-for-bit reproducible.
+    out.fill(0.0);
+    match out.layout() {
+        Layout::RowMajor => {
+            out.as_mut_slice()
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(i, out_row)| {
+                    for (j, v) in s.row(i) {
+                        let arow = &packed[j * n..j * n + n];
+                        for (slot, aj) in out_row.iter_mut().zip(arow.iter()) {
+                            *slot += v * aj;
+                        }
+                    }
+                });
+        }
+        Layout::ColMajor => {
+            // Same per-element accumulation order, element-indexed writes.
+            for i in 0..k {
                 for (j, v) in s.row(i) {
                     let arow = &packed[j * n..j * n + n];
-                    for (slot, aj) in out_row.iter_mut().zip(arow.iter()) {
-                        *slot += v * aj;
+                    for (c, aj) in arow.iter().enumerate() {
+                        out.add_to(i, c, v * aj);
                     }
                 }
-            });
+            }
+        }
     }
 
     let nnz = s.nnz() as u64;
@@ -112,7 +144,6 @@ pub fn spmm(device: &Device, s: &CsrMatrix, a: &Matrix) -> Matrix {
         2 * nnz * n64,
         1,
     ));
-    y
 }
 
 #[cfg(test)]
@@ -233,6 +264,32 @@ mod tests {
         let y_cm = spmm(&d, &s, &a_cm);
         assert_eq!(y_rm.as_slice(), reference.as_slice());
         assert_eq!(y_cm.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn spmm_into_reused_buffer_is_bit_identical_to_spmm() {
+        let d = device();
+        let s = sample_csr();
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0], &[0.0, 1.0]]);
+        let reference = spmm(&d, &s, &a);
+        let mut out = Matrix::from_fn(3, 2, Layout::RowMajor, |_, _| f64::NAN);
+        spmm_into(&d, &s, &a, &mut out.view_mut());
+        assert_eq!(out.as_slice(), reference.as_slice());
+
+        // Column-major output buffers hold the same values.
+        let mut out_cm = Matrix::from_fn(3, 2, Layout::ColMajor, |_, _| f64::NAN);
+        spmm_into(&d, &s, &a, &mut out_cm.view_mut());
+        assert_eq!(out_cm.max_abs_diff(&reference).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer must be")]
+    fn spmm_into_rejects_wrong_output_shape() {
+        let d = device();
+        let s = sample_csr();
+        let a = Matrix::identity(3);
+        let mut out = Matrix::zeros(2, 2);
+        spmm_into(&d, &s, &a, &mut out.view_mut());
     }
 
     #[test]

@@ -14,16 +14,20 @@ fn main() {
     let dist = BlockRowMatrix::split(&a, p);
     println!("A is {d} x {n}, distributed block-row across {p} simulated processes\n");
 
-    let count = CountSketch::generate(&device, d, 2 * n * n, 1);
-    let gauss = GaussianSketch::generate(&device, d, 2 * n, 2).expect("fits in memory");
-    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 3).expect("fits in memory");
+    // The three Section 7 sketches as declarative pipelines; `distributed_sketch`
+    // builds each one for the distributed operand and dispatches to its driver.
+    let count_plan = Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), 1));
+    let gauss_plan = Pipeline::single(SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), 2));
+    let multi_plan = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 3);
 
-    let single = count
+    let single = count_plan
+        .build_for(&device, n)
+        .expect("valid spec")
         .apply_matrix(&device, &a)
         .expect("single-device reference");
-    let out_count = distributed_countsketch(&device, &dist, &count).expect("dims match");
-    let out_gauss = distributed_gaussian(&device, &dist, &gauss).expect("dims match");
-    let out_multi = distributed_multisketch(&device, &dist, &multi).expect("dims match");
+    let out_count = distributed_sketch(&device, &dist, &count_plan).expect("dims match");
+    let out_gauss = distributed_sketch(&device, &dist, &gauss_plan).expect("dims match");
+    let out_multi = distributed_sketch(&device, &dist, &multi_plan).expect("dims match");
 
     println!(
         "distributed CountSketch equals the single-device result: max diff {:.2e}\n",

@@ -18,7 +18,11 @@ fn main() {
         2 * n
     );
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
-    let multi = MultiSketch::generate_default(&device, d, n, 3).expect("fits in device memory");
+    // The multisketch is the declarative Count→Gauss pipeline (k₁ = 2n², k₂ = 2n);
+    // build the fused operator so the Section 6.1 transpose trick is available.
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 3)
+        .build_multisketch(&device, n)
+        .expect("fits in device memory");
 
     // Stage 1: CountSketch d -> 2n^2 (one pass over A, row-major reads).
     device.tracker().reset();

@@ -13,9 +13,12 @@ fn main() {
     println!("Sketching a {d} x {n} matrix (row-major, as Section 6.1 prescribes)\n");
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 42, 0);
 
-    // CountSketch with the paper's embedding dimension k = 2n^2, applied via Algorithm 2.
+    // CountSketch with the paper's embedding dimension k = 2n^2 (the Square(2) rule),
+    // described declaratively and applied via Algorithm 2.
     let device = Device::h100();
-    let sketch = CountSketch::generate(&device, d, 2 * n * n, 7);
+    let sketch = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7)
+        .build_for(&device, n)
+        .expect("valid spec");
     let y = sketch
         .apply_matrix(&device, &a)
         .expect("fits on the device");
@@ -42,9 +45,12 @@ fn main() {
         device.model_time(&gram_cost) * 1e3
     );
 
-    // The multisketch reduces all the way to 2n rows for barely more than the CountSketch.
+    // The multisketch reduces all the way to 2n rows for barely more than the
+    // CountSketch; as a spec it is simply the Count→Gauss pipeline.
     let device = Device::h100();
-    let multi = MultiSketch::generate_default(&device, d, n, 9).expect("fits on the device");
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 9)
+        .build_for(&device, n)
+        .expect("fits on the device");
     let z = multi.apply_matrix(&device, &a).expect("fits on the device");
     println!(
         "MultiSketch        : {} x {} -> {} x {}   modelled H100 time {:.3} ms",

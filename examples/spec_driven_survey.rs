@@ -1,0 +1,98 @@
+//! Spec-driven Figure 5 survey: every sketched least squares method is *named by a
+//! JSON file* — no sketch constructor appears in this code.  The checked-in
+//! `examples/specs/fig5_methods.json` carries one [`Pipeline`] per method with the
+//! paper's Section 6 embedding-dimension rules, plus the problem shape; this example
+//! just loads, builds, runs, and prints the Figure-5 style breakdown.
+//!
+//! Run with: `cargo run --release --example spec_driven_survey`
+
+use gpu_countsketch::lsq::{normal_equations, rand_cholqr_least_squares, sketch_and_solve};
+use gpu_countsketch::prelude::*;
+
+fn main() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fig5_methods.json"
+    );
+    let text = std::fs::read_to_string(path).expect("spec file is checked in");
+    let doc = JsonValue::parse(&text).expect("spec file is valid JSON");
+
+    let problem_spec = doc.get("problem").expect("spec has a problem section");
+    let d = problem_spec.get("d").and_then(JsonValue::as_usize).unwrap();
+    let n = problem_spec.get("n").and_then(JsonValue::as_usize).unwrap();
+    let seed = problem_spec
+        .get("seed")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let kappa = problem_spec
+        .get("kappa")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(1e2);
+
+    let device = Device::h100();
+    // The Figure 5 performance problem: cond(A) = kappa, b = A·1 + N(0, 0.1²) noise.
+    let problem =
+        LsqProblem::with_noise(&device, d, n, kappa, 0.0, 0.1, seed).expect("valid problem");
+    println!("Figure 5 sweep from {path}");
+    println!("problem: A is {d} x {n}, cond(A) = {kappa:.1e}, seed {seed}\n");
+    println!(
+        "{:<14} {:>12} {:>14} {:>26}",
+        "method", "model ms", "residual", "dominant phase"
+    );
+
+    let report = |sol: &LsqSolution| {
+        let residual = sol
+            .relative_residual(&device, &problem)
+            .expect("residual is computable");
+        let dominant = sol
+            .breakdown
+            .phases
+            .iter()
+            .max_by(|a, b| a.model_seconds.total_cmp(&b.model_seconds))
+            .map(|p| format!("{} ({:.3} ms)", p.phase.label(), p.model_seconds * 1e3))
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>12.3} {:>14.3e} {:>26}",
+            sol.method,
+            sol.model_ms(),
+            residual,
+            dominant
+        );
+    };
+
+    // The deterministic baseline is not in the JSON — it has no sketch to describe.
+    let baseline = normal_equations(&device, &problem).expect("well conditioned");
+    report(&baseline);
+
+    for entry in doc
+        .get("methods")
+        .and_then(JsonValue::as_array)
+        .expect("spec has a methods array")
+    {
+        let label = entry
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .expect("method has a label");
+        let solver = entry
+            .get("solver")
+            .and_then(JsonValue::as_str)
+            .expect("method has a solver");
+        let plan = Pipeline::from_json_value(entry.get("pipeline").expect("method has a pipeline"))
+            .expect("pipeline parses");
+        let sketch = plan.build_for(&device, n).expect("pipeline builds");
+
+        let mut sol = match solver {
+            "rand-cholqr" => {
+                rand_cholqr_least_squares(&device, &problem, sketch.as_ref()).expect("solvable")
+            }
+            _ => sketch_and_solve(&device, &problem, sketch.as_ref()).expect("solvable"),
+        };
+        // Report under the JSON's label; leak is fine for a handful of labels in an
+        // example process.
+        sol.method = Box::leak(label.to_string().into_boxed_str());
+        report(&sol);
+    }
+
+    println!("\nEvery sketched method above was constructed from the JSON spec alone —");
+    println!("swap the file to name a different experiment (dimensions, rules, seeds).");
+}

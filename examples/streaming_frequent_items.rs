@@ -36,7 +36,10 @@ fn main() {
     let d = 1 << 14;
     let n = 16;
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
-    let hash_sketch = HashCountSketch::new(d, 2 * n * n, 9);
+    let hash_sketch = SketchSpec::hash_countsketch(d, EmbeddingDim::Square(2), 9)
+        .resolve(n)
+        .build_hash_countsketch(&device)
+        .expect("valid spec");
     let explicit = hash_sketch.to_explicit();
     let y_hash = hash_sketch.apply_matrix(&device, &a).expect("dims match");
     let y_explicit = explicit.apply_matrix(&device, &a).expect("dims match");

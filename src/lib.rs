@@ -20,6 +20,11 @@
 //!
 //! ## Quickstart
 //!
+//! Sketches are described declaratively with [`SketchSpec`](sketch_core::SketchSpec)
+//! (or a multi-stage [`Pipeline`](sketch_core::Pipeline)) and built on a device; the
+//! `2n`/`2n²` embedding-dimension conventions of the paper are carried as rules that
+//! resolve against the operand width.
+//!
 //! ```
 //! use gpu_countsketch::prelude::*;
 //!
@@ -27,9 +32,20 @@
 //! let d = 4096;
 //! let n = 8;
 //! let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 1, 0);
-//! let sketch = CountSketch::generate(&device, d, 2 * n * n, 2);
+//!
+//! // CountSketch with the paper's k = 2n² convention.
+//! let spec = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 2);
+//! let sketch = spec.build_for(&device, n).unwrap();
 //! let y = sketch.apply_matrix(&device, &a).unwrap();
 //! assert_eq!(y.nrows(), 2 * n * n);
+//!
+//! // The Count-Gauss multisketch is the two-stage pipeline, straight to 2n rows —
+//! // and the spec serializes, so a JSON file can name this whole experiment.
+//! let plan = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 3);
+//! let multi = plan.build_for(&device, n).unwrap();
+//! let z = multi.apply_matrix(&device, &a).unwrap();
+//! assert_eq!(z.nrows(), 2 * n);
+//! assert_eq!(Pipeline::from_json(&plan.to_json()).unwrap(), plan);
 //! println!("modelled H100 time: {:.3} ms",
 //!          device.model_time(&device.tracker().snapshot()) * 1e3);
 //! ```
@@ -46,11 +62,13 @@ pub use sketch_sparse as sparse;
 /// The most commonly used types, importable with one `use` line.
 pub mod prelude {
     pub use sketch_core::{
-        CountSketch, FrequencyCountSketch, GaussianSketch, HashCountSketch, MultiSketch,
-        SketchError, SketchOperator, Srht,
+        CountSketch, EmbeddingDim, Error, FrequencyCountSketch, GaussianSketch, HashCountSketch,
+        JsonValue, MultiSketch, Operand, Pipeline, SketchError, SketchKind, SketchOperator,
+        SketchSpec, Srht,
     };
     pub use sketch_dist::{
-        distributed_countsketch, distributed_gaussian, distributed_multisketch, BlockRowMatrix,
+        distributed_countsketch, distributed_gaussian, distributed_multisketch, distributed_sketch,
+        BlockRowMatrix,
     };
     pub use sketch_gpu_sim::{Device, DeviceSpec, KernelCost, Phase, Profiler, RunBreakdown};
     pub use sketch_la::{Layout, Matrix, Op};

@@ -13,7 +13,10 @@ fn distributed_countsketch_is_bit_for_bit_equal_to_single_device() {
     let device = Device::unlimited();
     let a = Matrix::random_gaussian(D, N, Layout::RowMajor, SEED, 0);
     // Same Philox seed => same sketch on the "single device" and on the ranks.
-    let sketch = CountSketch::generate(&device, D, 2 * N * N, SEED);
+    let sketch = SketchSpec::countsketch(D, EmbeddingDim::Square(2), SEED)
+        .resolve(N)
+        .build_countsketch(&device)
+        .expect("valid spec");
     let single = sketch.apply_matrix(&device, &a).expect("single device");
 
     for p in [1usize, 2, 3, 4, 7, 16] {
@@ -40,7 +43,9 @@ fn comm_volume_scales_linearly_in_processes_minus_one() {
     let device = Device::unlimited();
     let a = Matrix::random_gaussian(D, N, Layout::RowMajor, SEED, 1);
     let k = 2 * N * N;
-    let sketch = CountSketch::generate(&device, D, k, SEED);
+    let sketch = SketchSpec::countsketch(D, EmbeddingDim::Exact(k), SEED)
+        .build_countsketch(&device)
+        .expect("valid spec");
 
     let words_at = |p: usize| {
         let dist = BlockRowMatrix::split(&a, p);
@@ -65,9 +70,17 @@ fn all_three_distributed_sketches_agree_with_their_single_device_versions() {
     let a = Matrix::random_gaussian(D, N, Layout::RowMajor, SEED, 2);
     let dist = BlockRowMatrix::split(&a, 8);
 
-    let count = CountSketch::generate(&device, D, 2 * N * N, SEED);
-    let gauss = GaussianSketch::generate(&device, D, 2 * N, SEED).expect("fits");
-    let multi = MultiSketch::generate(&device, D, 2 * N * N, 2 * N, SEED).expect("fits");
+    let count = SketchSpec::countsketch(D, EmbeddingDim::Square(2), SEED)
+        .resolve(N)
+        .build_countsketch(&device)
+        .expect("valid spec");
+    let gauss = SketchSpec::gaussian(D, EmbeddingDim::Ratio(2), SEED)
+        .resolve(N)
+        .build_gaussian(&device)
+        .expect("fits");
+    let multi = Pipeline::count_gauss(D, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), SEED)
+        .build_multisketch(&device, N)
+        .expect("fits");
 
     let run_c = distributed_countsketch(&device, &dist, &count).expect("countsketch");
     let run_g = distributed_gaussian(&device, &dist, &gauss).expect("gaussian");

@@ -20,13 +20,17 @@ proptest! {
         let x = gpu_countsketch::rng::fill::gaussian_vec(seed, 3, d);
         let nx = vec_norm2(&x);
 
-        let operators: Vec<Box<dyn SketchOperator>> = vec![
-            Box::new(CountSketch::generate(&device, d, 8 * n * n, seed)),
-            Box::new(GaussianSketch::generate(&device, d, 16 * n, seed).unwrap()),
-            Box::new(Srht::generate(&device, d, 32 * n, seed).unwrap()),
-            Box::new(MultiSketch::generate(&device, d, 16 * n * n, 16 * n, seed).unwrap()),
-            Box::new(HashCountSketch::new(d, 8 * n * n, seed)),
+        let plans = [
+            Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(8), seed)),
+            Pipeline::single(SketchSpec::gaussian(d, EmbeddingDim::Ratio(16), seed)),
+            Pipeline::single(SketchSpec::srht(d, EmbeddingDim::Ratio(32), seed)),
+            Pipeline::count_gauss(d, EmbeddingDim::Square(16), EmbeddingDim::Ratio(16), seed),
+            Pipeline::single(SketchSpec::hash_countsketch(d, EmbeddingDim::Square(8), seed)),
         ];
+        let operators: Vec<Box<dyn SketchOperator>> = plans
+            .iter()
+            .map(|plan| plan.build_for(&device, n).unwrap())
+            .collect();
         for op in operators {
             let y = op.apply_vector(&device, &x).unwrap();
             let ratio = vec_norm2(&y) / nx;
@@ -43,8 +47,10 @@ proptest! {
         let d = 2048usize;
         let n = 4usize;
         let basis = orthonormal_columns(&device, d, n, seed).unwrap();
-        let cs = CountSketch::generate(&device, d, 16 * n * n, seed + 1);
-        let eps = subspace_embedding_distortion(&device, &cs, &basis).unwrap();
+        let cs = SketchSpec::countsketch(d, EmbeddingDim::Square(16), seed + 1)
+            .build_for(&device, n)
+            .unwrap();
+        let eps = subspace_embedding_distortion(&device, cs.as_ref(), &basis).unwrap();
         prop_assert!(eps < 0.8, "CountSketch distortion {eps}");
     }
 
@@ -55,7 +61,10 @@ proptest! {
         let d = 512usize;
         let n = 4usize;
         let a = Matrix::random_gaussian(d, n, Layout::RowMajor, seed, 0);
-        let cs = CountSketch::generate(&device, d, 2 * n * n, seed);
+        let cs = SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed)
+            .resolve(n)
+            .build_countsketch(&device)
+            .unwrap();
         let single = cs.apply_matrix(&device, &a).unwrap();
         let dist = BlockRowMatrix::split(&a, p);
         let reduced = distributed_countsketch(&device, &dist, &cs).unwrap();

@@ -106,7 +106,9 @@ fn distributed_multisketch_feeds_the_same_least_squares_solution() {
     let d = 1 << 12;
     let n = 8;
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, 7, 0);
-    let multi = MultiSketch::generate(&device, d, 2 * n * n, 2 * n, 8).unwrap();
+    let multi = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 8)
+        .build_multisketch(&device, n)
+        .unwrap();
 
     let single = multi.apply_matrix(&device, &a).unwrap();
     let dist = BlockRowMatrix::split(&a, 4);
@@ -121,6 +123,8 @@ fn modelled_memory_limits_are_enforced() {
     let mut spec = DeviceSpec::h100();
     spec.memory_bytes = 1 << 20; // 1 MiB toy device
     let device = Device::new(spec);
-    let err = GaussianSketch::generate(&device, 1 << 16, 64, 1).unwrap_err();
+    let err = SketchSpec::gaussian(1 << 16, EmbeddingDim::Exact(64), 1)
+        .build_gaussian(&device)
+        .unwrap_err();
     assert!(matches!(err, SketchError::WouldExceedMemory(_)));
 }
