@@ -62,7 +62,9 @@ pub use error::{Error, SketchError};
 pub use gaussian::GaussianSketch;
 pub use multisketch::MultiSketch;
 pub use operand::Operand;
-pub use spec::{json::JsonValue, ComposedSketch, EmbeddingDim, Pipeline, SketchKind, SketchSpec};
+pub use spec::{
+    json::JsonValue, ComposedSketch, EmbeddingDim, Pipeline, ShardAxis, SketchKind, SketchSpec,
+};
 pub use srht::Srht;
 pub use streaming::FrequencyCountSketch;
 pub use traits::SketchOperator;

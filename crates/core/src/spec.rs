@@ -87,6 +87,41 @@ impl SketchKind {
             ))),
         }
     }
+
+    /// The [`ShardAxis`] along which this kind's kernel shards bitwise-losslessly
+    /// (see the enum docs for the kernel property behind each choice).
+    pub fn shard_axis(&self) -> ShardAxis {
+        match self {
+            // Ordered row-scatter kernels: block-row fold is the exact chain.
+            SketchKind::CountSketch | SketchKind::HashCountSketch => ShardAxis::Rows,
+            // Per-column dot/transform kernels: column panels are exact.
+            SketchKind::Gaussian | SketchKind::Srht => ShardAxis::Cols,
+        }
+    }
+}
+
+/// Along which operand axis a sketch kind can be sharded across devices while keeping
+/// the multi-device result **bit-for-bit identical** to the single-device kernel.
+///
+/// This is a *contract on the kernels*, consumed by the multi-device executor in
+/// `sketch-dist`:
+///
+/// * [`ShardAxis::Rows`] — the kernel folds each input row into the output with one
+///   sequential, per-element accumulation chain in increasing global row order (the
+///   Algorithm-2 CountSketch scatter).  Block-row shards folded into one shared
+///   accumulator in shard order reproduce the exact chain, so an *ordered* ring
+///   reduction is bitwise lossless.
+/// * [`ShardAxis::Cols`] — the kernel computes every output column independently of
+///   all other columns (a GEMM dot per element, or a per-column FWHT).  Column-panel
+///   shards are embarrassingly exact and reassemble with an allgather; a block-row
+///   split of these kinds would change the floating-point summation grouping (the
+///   GEMM dot is unrolled four-wide) and only be equal up to rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShardAxis {
+    /// Shard the operand into block rows; reduce with an ordered ring fold.
+    Rows,
+    /// Shard the operand into column panels; reassemble with an allgather.
+    Cols,
 }
 
 /// How a spec's output dimension is determined.
@@ -196,6 +231,12 @@ impl SketchSpec {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The [`ShardAxis`] along which this spec's kernel shards bitwise-losslessly
+    /// (delegates to [`SketchKind::shard_axis`]).
+    pub fn shard_axis(&self) -> ShardAxis {
+        self.kind.shard_axis()
     }
 
     /// Resolve an embedding rule against an operand width, yielding a spec with an
@@ -471,6 +512,14 @@ impl Pipeline {
         Ok(resolved)
     }
 
+    /// The [`ShardAxis`] of each stage, in application order — the per-stage sharding
+    /// contract the multi-device executor follows (e.g. the Count-Gauss multisketch is
+    /// `[Rows, Cols]`: block-row fold for the CountSketch stage, column panels for the
+    /// small Gaussian stage on the reduced intermediate).
+    pub fn shard_axes(&self) -> Vec<ShardAxis> {
+        self.stages.iter().map(SketchSpec::shard_axis).collect()
+    }
+
     /// Whether this pipeline is the Count-Gauss multisketch shape.
     pub fn is_count_gauss(&self) -> bool {
         self.stages.len() == 2
@@ -683,6 +732,18 @@ mod tests {
         assert_eq!(EmbeddingDim::Square(2).resolve(32), 2048);
         assert!(!EmbeddingDim::Exact(1).needs_ncols());
         assert!(EmbeddingDim::Ratio(2).needs_ncols());
+    }
+
+    #[test]
+    fn shard_axes_follow_the_kernel_contract() {
+        assert_eq!(SketchKind::CountSketch.shard_axis(), ShardAxis::Rows);
+        assert_eq!(SketchKind::HashCountSketch.shard_axis(), ShardAxis::Rows);
+        assert_eq!(SketchKind::Gaussian.shard_axis(), ShardAxis::Cols);
+        assert_eq!(SketchKind::Srht.shard_axis(), ShardAxis::Cols);
+        let spec = SketchSpec::countsketch(64, EmbeddingDim::Exact(8), 1);
+        assert_eq!(spec.shard_axis(), ShardAxis::Rows);
+        let plan = Pipeline::count_gauss(64, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 1);
+        assert_eq!(plan.shard_axes(), vec![ShardAxis::Rows, ShardAxis::Cols]);
     }
 
     #[test]

@@ -1,17 +1,34 @@
-//! Communication volume model for the allreduce of sketched partials.
+//! Communication volume model for the collectives that stitch sketched shards
+//! back together: ring allreduce (summing partials) and ring allgather
+//! (replicating column panels).
 
-/// Modelled cost of allreduce-summing one `k x n` partial result across `P`
-/// processes with a bandwidth-optimal ring (reduce-scatter + allgather).
+/// Which ring collective a [`CommCost`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommPattern {
+    /// Reduce-scatter + allgather: every rank ends with the *sum* of all partials.
+    #[default]
+    AllReduce,
+    /// Pure allgather: every rank ends with a *copy* of every panel (no reduction).
+    AllGather,
+}
+
+/// Modelled cost of a ring collective over one `k x n` matrix across `P` processes.
 ///
-/// Each process sends and receives `2 (P-1)/P · k·n` words; summed over the
-/// ring's links the total traffic is `2 (P-1) · k·n` words.  With `P = 1` the
-/// allreduce degenerates to a no-op and every volume is zero.
+/// For the bandwidth-optimal ring **allreduce** (reduce-scatter + allgather) each
+/// process sends and receives `2 (P-1)/P · k·n` words; summed over the ring's links
+/// the total traffic is `2 (P-1) · k·n` words.  The ring **allgather** moves each
+/// panel around the ring once for `(P-1) · k·n` words in total — half the allreduce,
+/// which is why the column-panel execution of the dot-product sketches communicates
+/// less than the block-row reduction.  With `P = 1` either collective degenerates to
+/// a no-op and every volume is zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommCost {
     /// Number of participating processes.
     pub processes: usize,
-    /// Elements of the reduced matrix (`k · n`).
+    /// Elements of the reduced/gathered matrix (`k · n`).
     pub reduced_words: u64,
+    /// Which ring collective is being modelled.
+    pub pattern: CommPattern,
 }
 
 impl CommCost {
@@ -24,15 +41,35 @@ impl CommCost {
         Self {
             processes,
             reduced_words: (k * n) as u64,
+            pattern: CommPattern::AllReduce,
+        }
+    }
+
+    /// Model an allgather of a `k x n` matrix (held as per-rank panels) across
+    /// `processes` ranks.
+    ///
+    /// # Panics
+    /// Panics if `processes` is zero — a gather needs at least one rank.
+    pub fn allgather(processes: usize, k: usize, n: usize) -> Self {
+        assert!(processes > 0, "allgather needs at least one process");
+        Self {
+            processes,
+            reduced_words: (k * n) as u64,
+            pattern: CommPattern::AllGather,
         }
     }
 
     /// Total words crossing the network, summed over all links.
     pub fn total_words(&self) -> u64 {
-        2 * (self.processes as u64).saturating_sub(1) * self.reduced_words
+        let hops = match self.pattern {
+            CommPattern::AllReduce => 2,
+            CommPattern::AllGather => 1,
+        };
+        hops * (self.processes as u64).saturating_sub(1) * self.reduced_words
     }
 
-    /// Words each process sends (= receives) in the ring allreduce.
+    /// Words each process sends (= receives) in the modelled ring collective
+    /// (allreduce or allgather, per [`CommCost::pattern`]).
     pub fn words_per_process(&self) -> u64 {
         if self.processes == 0 {
             return 0;
@@ -79,5 +116,19 @@ mod tests {
     fn bytes_are_eight_times_words() {
         let c = CommCost::allreduce(4, 16, 8);
         assert_eq!(c.total_bytes(), 8 * c.total_words());
+    }
+
+    #[test]
+    fn allgather_moves_half_the_allreduce_volume() {
+        let reduce = CommCost::allreduce(4, 16, 8);
+        let gather = CommCost::allgather(4, 16, 8);
+        assert_eq!(gather.total_words() * 2, reduce.total_words());
+        assert_eq!(CommCost::allgather(1, 16, 8).total_words(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_process_allgather_is_rejected() {
+        CommCost::allgather(0, 16, 8);
     }
 }

@@ -20,9 +20,15 @@
 //!   sketch gen, matrix sketch, vector sketch, POTRF, GEQRF, ORMQR, TRSV, TRSM);
 //! * [`MemoryTracker`] — models the 80 GB device capacity so the "Gaussian bar is blank
 //!   because the GPU ran out of memory" behaviour of Figures 2 and 5 is reproduced as a
-//!   typed error instead of silently succeeding on a big-RAM host.
+//!   typed error instead of silently succeeding on a big-RAM host;
+//! * [`DevicePool`] / [`InterconnectSpec`] — N devices with independent trackers,
+//!   joined by a modelled NVLink/PCIe ring for the multi-device executor in
+//!   `sketch-dist`;
+//! * [`stream`] — simulated CUDA streams and events: in-order queues on a virtual
+//!   clock, cross-stream waits, and a [`Timeline`] that reports makespan, per-device
+//!   utilization and how much communication was hidden behind compute.
 //!
-//! ## Example
+//! ## Example: cost tracking and the roofline clock
 //!
 //! ```
 //! use sketch_gpu_sim::{Device, KernelCost, Phase};
@@ -37,17 +43,43 @@
 //! assert!(pct > 50.0); // memory bound kernel runs near the modelled bandwidth ceiling
 //! let _ = Phase::MatrixSketch;
 //! ```
+//!
+//! ## Example: a pool of devices and an overlapped two-stream schedule
+//!
+//! ```
+//! use sketch_gpu_sim::{DevicePool, KernelCost, StreamKind, StreamSet};
+//!
+//! let pool = DevicePool::h100(2);
+//! let cost = KernelCost::new(1 << 24, 1 << 20, 1 << 20, 1);
+//! let kernel_s = pool.device(0).model_time(&cost);
+//! let comm_s = pool.interconnect().transfer_time(1 << 20);
+//!
+//! // Each device computes its shard; device 0's transfer overlaps device 1's kernel.
+//! let mut set = StreamSet::new(pool.num_devices());
+//! let k0 = set.enqueue(0, StreamKind::Compute, "shard 0", &[], kernel_s);
+//! set.enqueue(0, StreamKind::Comm, "fold 0", &[k0], comm_s);
+//! let k1 = set.enqueue(1, StreamKind::Compute, "shard 1", &[], kernel_s);
+//! set.enqueue(1, StreamKind::Comm, "fold 1", &[k1], comm_s);
+//! let timeline = set.finish();
+//! assert!(timeline.makespan() < timeline.serial_seconds()); // overlap won
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod counters;
 pub mod device;
 pub mod launch;
 pub mod memory;
+pub mod pool;
 pub mod profile;
 pub mod roofline;
+pub mod stream;
 
 pub use counters::{CostTracker, KernelCost};
 pub use device::{Device, DeviceSpec};
 pub use launch::{parallel_for, parallel_for_chunks, AtomicF64, AtomicF64View};
 pub use memory::{MemoryError, MemoryTracker, Reservation};
+pub use pool::{DevicePool, InterconnectSpec};
 pub use profile::{Phase, PhaseRecord, Profiler, RunBreakdown};
 pub use roofline::RooflineModel;
+pub use stream::{Event, SimStream, StreamKind, StreamSet, Timeline, TimelineEntry};

@@ -1,0 +1,194 @@
+//! A pool of simulated devices connected by a modelled interconnect.
+//!
+//! The multi-device executor in `sketch-dist` shards work across the pool's
+//! [`Device`]s and uses [`InterconnectSpec`] to price the transfers that stitch the
+//! shards back together.  Each device keeps its own cost tracker and memory model, so
+//! per-device utilization and per-device OOM behaviour fall out of the same idioms
+//! the single-device code already uses.
+//!
+//! ```
+//! use sketch_gpu_sim::{DevicePool, KernelCost};
+//!
+//! let pool = DevicePool::h100(4);
+//! pool.device(2).record(KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1));
+//! assert_eq!(pool.num_devices(), 4);
+//! assert_eq!(pool.total_cost().launches, 1);
+//! // An NVLink hop for 1 MiB:
+//! assert!(pool.interconnect().transfer_time(1 << 20) > 0.0);
+//! ```
+
+use crate::counters::KernelCost;
+use crate::device::{Device, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// Published characteristics of the device-to-device interconnect.
+///
+/// The executor models ring collectives, so the numbers describe one link of the
+/// ring; the defaults follow NVIDIA's NVLink 4 datasheet figures de-rated the same
+/// way [`DeviceSpec`] de-rates HBM bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Human readable name used in reports.
+    pub name: &'static str,
+    /// Sustained point-to-point bandwidth of one link, in bytes per second.
+    pub link_bandwidth_bytes_per_s: f64,
+    /// Fixed per-transfer latency in seconds (ring hop setup, NCCL launch, …).
+    pub latency_s: f64,
+}
+
+impl InterconnectSpec {
+    /// NVLink 4 (H100 generation): 900 GB/s aggregate per GPU; a single ring
+    /// direction sustains roughly half, de-rated to 80 %.
+    pub const fn nvlink4() -> Self {
+        Self {
+            name: "NVLink 4 (modelled)",
+            link_bandwidth_bytes_per_s: 360.0e9,
+            latency_s: 5.0e-6,
+        }
+    }
+
+    /// PCIe 5.0 x16: the fallback fabric when GPUs are not NVLink-connected.
+    pub const fn pcie5() -> Self {
+        Self {
+            name: "PCIe 5.0 x16 (modelled)",
+            link_bandwidth_bytes_per_s: 50.0e9,
+            latency_s: 1.0e-5,
+        }
+    }
+
+    /// Time for one link to move `bytes`, in seconds.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / self.link_bandwidth_bytes_per_s
+    }
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        Self::nvlink4()
+    }
+}
+
+/// A fixed set of simulated devices plus the interconnect between them.
+#[derive(Debug, Default)]
+pub struct DevicePool {
+    devices: Vec<Device>,
+    interconnect: InterconnectSpec,
+}
+
+impl DevicePool {
+    /// A pool of `n` identical devices built from one spec, NVLink-connected.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero — an executor needs at least one device.
+    pub fn homogeneous(n: usize, spec: DeviceSpec) -> Self {
+        assert!(n > 0, "a device pool needs at least one device");
+        Self {
+            devices: (0..n).map(|_| Device::new(spec)).collect(),
+            interconnect: InterconnectSpec::default(),
+        }
+    }
+
+    /// `n` modelled H100s (the paper's device).
+    pub fn h100(n: usize) -> Self {
+        Self::homogeneous(n, DeviceSpec::h100())
+    }
+
+    /// `n` devices that never report out-of-memory; convenient in tests.
+    pub fn unlimited(n: usize) -> Self {
+        Self::homogeneous(n, DeviceSpec::unlimited())
+    }
+
+    /// Replace the interconnect model.
+    #[must_use]
+    pub fn with_interconnect(mut self, interconnect: InterconnectSpec) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Number of devices in the pool.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device `i` (pool position).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// All devices, in pool order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The interconnect model.
+    pub fn interconnect(&self) -> &InterconnectSpec {
+        &self.interconnect
+    }
+
+    /// Sum of every device's accumulated cost counters.
+    pub fn total_cost(&self) -> KernelCost {
+        self.devices
+            .iter()
+            .fold(KernelCost::zero(), |acc, d| acc + d.tracker().snapshot())
+    }
+
+    /// Reset every device's cost counters.
+    pub fn reset_counters(&self) {
+        for d in &self.devices {
+            d.tracker().reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_pool_has_independent_trackers() {
+        let pool = DevicePool::h100(3);
+        pool.device(0).record(KernelCost::new(8, 8, 2, 1));
+        pool.device(2).record(KernelCost::new(16, 0, 4, 1));
+        assert_eq!(pool.device(0).tracker().snapshot().flops, 2);
+        assert_eq!(pool.device(1).tracker().snapshot().flops, 0);
+        assert_eq!(pool.total_cost().flops, 6);
+        pool.reset_counters();
+        assert_eq!(pool.total_cost(), KernelCost::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_is_rejected() {
+        DevicePool::h100(0);
+    }
+
+    #[test]
+    fn interconnect_presets_are_ordered_sensibly() {
+        let nvlink = InterconnectSpec::nvlink4();
+        let pcie = InterconnectSpec::pcie5();
+        assert!(nvlink.link_bandwidth_bytes_per_s > pcie.link_bandwidth_bytes_per_s);
+        let bytes = 1u64 << 24;
+        assert!(nvlink.transfer_time(bytes) < pcie.transfer_time(bytes));
+        assert_eq!(nvlink.transfer_time(0), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let ic = InterconnectSpec::nvlink4();
+        let t = ic.transfer_time(1);
+        assert!(t >= ic.latency_s);
+    }
+
+    #[test]
+    fn pool_interconnect_is_swappable() {
+        let pool = DevicePool::unlimited(2).with_interconnect(InterconnectSpec::pcie5());
+        assert_eq!(pool.interconnect().name, "PCIe 5.0 x16 (modelled)");
+        assert_eq!(pool.devices().len(), 2);
+    }
+}

@@ -68,6 +68,8 @@ pub mod streaming;
 pub use error::LowRankError;
 pub use matvec::{MatVecLike, SparseOperand};
 pub use nystrom::{nystrom, NystromResult};
-pub use rangefinder::{estimate_range_error, range_finder, LowRankParams, RangeSketch};
+pub use rangefinder::{
+    estimate_range_error, range_finder, range_finder_pooled, LowRankParams, RangeSketch,
+};
 pub use rsvd::{deterministic_svd, rsvd, SvdResult};
 pub use streaming::{streaming_svd, CountingBlockSource, RowBlockSource, StreamingSvd};

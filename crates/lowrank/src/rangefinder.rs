@@ -228,6 +228,56 @@ pub fn range_finder<M: MatVecLike + ?Sized>(
     Ok(q)
 }
 
+/// Multi-device randomized rangefinder: the sketch product runs on a
+/// [`DevicePool`](sketch_gpu_sim::DevicePool) through the pipelined executor of
+/// `sketch-dist`, the QR factorisations on pool device 0.
+///
+/// The test-matrix product is recast as a *sketch application*: with the
+/// CountSketch/SRHT test matrix `Ω = Sᵀ` (where `S` is the `ℓ x n` operator from
+/// [`RangeSketch::spec`]), `Y = A Ω = (S Aᵀ)ᵀ` — exactly the operation
+/// [`sketch_dist::pipelined_sketch`] shards, overlaps and prices across the pool.
+/// Power iterations and the final orthonormalisation then run on device 0.
+/// Returns the basis `Q` plus the executor's
+/// [`PipelinedRun`](sketch_dist::PipelinedRun) for timeline inspection.
+///
+/// The plain-Gaussian test matrix is a direct Philox fill, not a `sketch-core`
+/// operator, so it has no sharding contract; asking for it here is an
+/// [`InvalidParameter`](sketch_core::Error::InvalidParameter) error — use
+/// [`range_finder`] (or the CountSketch/SRHT families) instead.
+pub fn range_finder_pooled(
+    pool: &sketch_gpu_sim::DevicePool,
+    a: &Matrix,
+    params: &LowRankParams,
+    opts: &sketch_dist::ExecutorOptions,
+) -> Result<(Matrix, sketch_dist::PipelinedRun), LowRankError> {
+    let device = pool.device(0);
+    let (m, n) = (a.nrows(), a.ncols());
+    let l = params.sketch_dim(m, n)?;
+    let Some(spec) = params.sketch.spec(n, l, params.seed, params.stream) else {
+        return Err(param_err(
+            "the plain Gaussian test matrix has no sketch-core operator to shard; \
+             use RangeSketch::CountSketch / RangeSketch::Srht with range_finder_pooled, \
+             or the single-device range_finder",
+        ));
+    };
+    let at = a.transpose(device);
+    let run = sketch_dist::pipelined_sketch(pool, &at, &sketch_core::Pipeline::single(spec), opts)?;
+    // run.result = S Aᵀ = Ωᵀ Aᵀ = Yᵀ.
+    let y = run.result.transpose(device);
+    let mut q = orthonormalize(device, &y)?;
+    for _ in 0..params.power_iters {
+        let z = orthonormalize(
+            device,
+            &blas3::gemm_op(device, 1.0, Op::Trans, a, Op::NoTrans, &q, 0.0, None)?,
+        )?;
+        q = orthonormalize(
+            device,
+            &blas3::gemm_op(device, 1.0, Op::NoTrans, a, Op::NoTrans, &z, 0.0, None)?,
+        )?;
+    }
+    Ok((q, run))
+}
+
 /// Posterior error estimate for a computed range `Q` (HMT Algorithm 4.3).
 ///
 /// Draws `probes` Gaussian probe vectors `ω_i` and returns
@@ -282,6 +332,51 @@ mod tests {
 
     fn device() -> Device {
         Device::unlimited()
+    }
+
+    #[test]
+    fn pooled_rangefinder_captures_an_exact_low_rank_range() {
+        use sketch_dist::ExecutorOptions;
+        use sketch_gpu_sim::DevicePool;
+
+        let d = device();
+        // Exactly rank-4 matrix: a perfect rangefinder reconstructs it to rounding.
+        let mut sigma = geometric_singular_values(4, 1e2);
+        sigma.resize(30, 0.0);
+        let a = matrix_with_singular_values(&d, 120, 30, &sigma, 9).unwrap();
+        for sketch in [RangeSketch::CountSketch, RangeSketch::Srht] {
+            let params = LowRankParams::new(4).with_sketch(sketch).with_seed(3, 2);
+            for devices in [1usize, 3] {
+                let pool = DevicePool::unlimited(devices);
+                let (q, run) =
+                    range_finder_pooled(&pool, &a, &params, &ExecutorOptions::default()).unwrap();
+                assert_eq!((q.nrows(), q.ncols()), (120, 12));
+                // Orthonormal columns.
+                let gram =
+                    blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
+                assert!(gram.max_abs_diff(&Matrix::identity(12)).unwrap() < 1e-10);
+                // The projection recovers the rank-4 matrix.
+                let qta =
+                    blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &a, 0.0, None).unwrap();
+                let back = blas3::gemm(&d, 1.0, &q, &qta, 0.0, None).unwrap();
+                assert!(back.max_abs_diff(&a).unwrap() < 1e-8);
+                assert!(run.pipelined_seconds <= run.serial_seconds + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_rangefinder_rejects_the_plain_gaussian_family() {
+        use sketch_dist::ExecutorOptions;
+        use sketch_gpu_sim::DevicePool;
+
+        let d = device();
+        let a = Matrix::random_gaussian(40, 10, Layout::ColMajor, 1, 0);
+        let pool = DevicePool::unlimited(2);
+        let params = LowRankParams::new(3).with_sketch(RangeSketch::Gaussian);
+        let err = range_finder_pooled(&pool, &a, &params, &ExecutorOptions::default()).unwrap_err();
+        assert!(matches!(err, LowRankError::InvalidParameter { .. }));
+        let _ = d;
     }
 
     #[test]

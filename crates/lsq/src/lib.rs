@@ -37,12 +37,14 @@
 
 pub mod error;
 pub mod method;
+pub mod pooled;
 pub mod problem;
 pub mod rand_cholqr;
 pub mod solvers;
 
 pub use error::LsqError;
 pub use method::{solve, Method};
+pub use pooled::sketch_and_solve_pooled;
 pub use problem::LsqProblem;
 pub use rand_cholqr::{rand_cholqr, rand_cholqr_least_squares, RandCholQrFactors};
 pub use solvers::{normal_equations, qr_direct, sketch_and_solve, LsqSolution};

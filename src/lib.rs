@@ -49,6 +49,31 @@
 //! println!("modelled H100 time: {:.3} ms",
 //!          device.model_time(&device.tracker().snapshot()) * 1e3);
 //! ```
+//!
+//! ## Multi-device quickstart
+//!
+//! The same pipeline scales across a pool of simulated GPUs through the pipelined
+//! executor: shards are dispatched round-robin, collectives overlap the next shard's
+//! compute, and the result stays **bit-for-bit identical** to single-device
+//! execution (see `ARCHITECTURE.md` for the `ShardAxis` contract behind that).
+//!
+//! ```
+//! use gpu_countsketch::prelude::*;
+//!
+//! let d = 1 << 12;
+//! let a = Matrix::random_gaussian(d, 8, Layout::RowMajor, 1, 0);
+//! let plan = Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7));
+//!
+//! // Four modelled H100s on NVLink, two shards per device.
+//! let pool = DevicePool::h100(4);
+//! let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+//!
+//! let device = Device::h100();
+//! let single = plan.build_for(&device, 8).unwrap().apply_matrix(&device, &a).unwrap();
+//! assert_eq!(run.result.max_abs_diff(&single).unwrap(), 0.0);   // same bits
+//! assert!(run.pipelined_seconds < run.serial_seconds);          // overlap won
+//! assert_eq!(run.utilizations().len(), 4);
+//! ```
 
 pub use sketch_core as sketch;
 pub use sketch_dist as dist;
@@ -63,20 +88,23 @@ pub use sketch_sparse as sparse;
 pub mod prelude {
     pub use sketch_core::{
         CountSketch, EmbeddingDim, Error, FrequencyCountSketch, GaussianSketch, HashCountSketch,
-        JsonValue, MultiSketch, Operand, Pipeline, SketchError, SketchKind, SketchOperator,
-        SketchSpec, Srht,
+        JsonValue, MultiSketch, Operand, Pipeline, ShardAxis, SketchError, SketchKind,
+        SketchOperator, SketchSpec, Srht,
     };
     pub use sketch_dist::{
         distributed_countsketch, distributed_gaussian, distributed_multisketch, distributed_sketch,
-        BlockRowMatrix,
+        pipelined_sketch, BlockRowMatrix, CommCost, ExecutorOptions, PipelinedRun, Schedule,
     };
-    pub use sketch_gpu_sim::{Device, DeviceSpec, KernelCost, Phase, Profiler, RunBreakdown};
+    pub use sketch_gpu_sim::{
+        Device, DevicePool, DeviceSpec, InterconnectSpec, KernelCost, Phase, Profiler,
+        RunBreakdown, StreamKind, StreamSet, Timeline,
+    };
     pub use sketch_la::{Layout, Matrix, Op};
     pub use sketch_lowrank::{
-        estimate_range_error, nystrom, range_finder, rsvd, streaming_svd, CountingBlockSource,
-        LowRankParams, MatVecLike, NystromResult, RangeSketch, SvdResult,
+        estimate_range_error, nystrom, range_finder, range_finder_pooled, rsvd, streaming_svd,
+        CountingBlockSource, LowRankParams, MatVecLike, NystromResult, RangeSketch, SvdResult,
     };
-    pub use sketch_lsq::{solve, LsqProblem, LsqSolution, Method};
+    pub use sketch_lsq::{sketch_and_solve_pooled, solve, LsqProblem, LsqSolution, Method};
     pub use sketch_rng::{PhiloxRng, StreamFactory};
 }
 

@@ -1,0 +1,99 @@
+//! Checks that every intra-repository markdown link in the top-level docs
+//! resolves to a real file or directory — the offline half of the CI doc-link
+//! gate (rustdoc's `broken_intra_doc_links` covers the API docs; this covers
+//! the repo guides).
+
+use std::path::{Path, PathBuf};
+
+/// Extract `[text](target)` link targets from markdown, skipping fenced code
+/// blocks and inline code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_code = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(close) = line[i + 2..].find(')') {
+                        targets.push(line[i + 2..i + 2 + close].to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+fn check_file(repo_root: &Path, doc: &str) {
+    let path = repo_root.join(doc);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut broken = Vec::new();
+    for target in link_targets(&text) {
+        // External links and pure in-page anchors are out of scope.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let file_part = target.split('#').next().unwrap_or(&target);
+        if file_part.is_empty() {
+            continue;
+        }
+        let resolved: PathBuf = repo_root.join(file_part);
+        if !resolved.exists() {
+            broken.push(target);
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "{doc} has broken intra-repo links: {broken:?}"
+    );
+}
+
+#[test]
+fn readme_links_resolve() {
+    check_file(Path::new(env!("CARGO_MANIFEST_DIR")), "README.md");
+}
+
+#[test]
+fn architecture_links_resolve() {
+    check_file(Path::new(env!("CARGO_MANIFEST_DIR")), "ARCHITECTURE.md");
+}
+
+#[test]
+fn architecture_is_cross_linked_from_readme() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    assert!(
+        link_targets(&readme)
+            .iter()
+            .any(|t| t.split('#').next() == Some("ARCHITECTURE.md")),
+        "README.md must link to ARCHITECTURE.md"
+    );
+}
+
+#[test]
+fn link_extractor_handles_fences_and_code_spans() {
+    let md = "see [a](real.md) and `[b](fake.md)`\n```\n[c](alsofake.md)\n```\n[d](other.md#frag)";
+    let targets = link_targets(md);
+    assert_eq!(
+        targets,
+        vec!["real.md".to_string(), "other.md#frag".to_string()]
+    );
+}

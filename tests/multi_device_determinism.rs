@@ -1,0 +1,175 @@
+//! The multi-device determinism suite: sharded, pipelined execution across a
+//! [`DevicePool`] must be **bit-for-bit identical** to single-device execution —
+//! for every sketch kind, every device count (including a prime one), and uneven
+//! shard splits.
+//!
+//! This is the contract that makes the multi-device executor safe to adopt
+//! anywhere: scaling out changes the modelled timeline, never the answer.
+
+use gpu_countsketch::dist::{pipelined_sketch, ExecutorOptions};
+use gpu_countsketch::gpu::{Device, DevicePool};
+use gpu_countsketch::la::{Layout, Matrix};
+use gpu_countsketch::sketch::{EmbeddingDim, Pipeline, SketchSpec};
+
+/// Bitwise equality, element by element (stricter than `max_abs_diff == 0.0`,
+/// which cannot distinguish `-0.0` from `0.0`).
+fn assert_bits_equal(label: &str, got: &Matrix, want: &Matrix) {
+    assert_eq!((got.nrows(), got.ncols()), (want.nrows(), want.ncols()));
+    for i in 0..want.nrows() {
+        for j in 0..want.ncols() {
+            assert_eq!(
+                got.get(i, j).to_bits(),
+                want.get(i, j).to_bits(),
+                "{label}: element ({i},{j}) drifted: {} vs {}",
+                got.get(i, j),
+                want.get(i, j)
+            );
+        }
+    }
+}
+
+fn single_device_reference(plan: &Pipeline, a: &Matrix) -> Matrix {
+    let device = Device::unlimited();
+    plan.build_for(&device, a.ncols())
+        .expect("plan builds")
+        .apply_matrix(&device, a)
+        .expect("plan applies")
+}
+
+/// The ISSUE's device grid: 1 (degenerate), 2/4 (powers of two), 7 (prime, so
+/// every split of the 1000-row operand and the 9-column panels is uneven).
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn check_across_devices(label: &str, plan: &Pipeline, a: &Matrix) {
+    let reference = single_device_reference(plan, a);
+    for devices in DEVICE_COUNTS {
+        let pool = DevicePool::unlimited(devices);
+        let run = pipelined_sketch(&pool, a, plan, &ExecutorOptions::default())
+            .unwrap_or_else(|e| panic!("{label} failed on {devices} devices: {e}"));
+        assert_bits_equal(
+            &format!("{label} @ {devices} devices"),
+            &run.result,
+            &reference,
+        );
+    }
+}
+
+/// A 1000 x 9 operand: 1000 is divisible by neither 4, 7, 8 nor 14 shards, and 9
+/// columns split unevenly across every pool of the grid.
+fn odd_operand() -> Matrix {
+    Matrix::random_gaussian(1000, 9, Layout::RowMajor, 21, 0)
+}
+
+#[test]
+fn countsketch_is_bit_identical_across_device_counts() {
+    let a = odd_operand();
+    let plan = Pipeline::single(SketchSpec::countsketch(
+        a.nrows(),
+        EmbeddingDim::Square(2),
+        7,
+    ));
+    check_across_devices("CountSketch", &plan, &a);
+}
+
+#[test]
+fn gaussian_is_bit_identical_across_device_counts() {
+    let a = odd_operand();
+    let plan = Pipeline::single(SketchSpec::gaussian(a.nrows(), EmbeddingDim::Ratio(2), 5));
+    check_across_devices("Gaussian", &plan, &a);
+}
+
+#[test]
+fn srht_is_bit_identical_across_device_counts() {
+    let a = odd_operand();
+    let plan = Pipeline::single(SketchSpec::srht(a.nrows(), EmbeddingDim::Ratio(2), 3));
+    check_across_devices("SRHT", &plan, &a);
+}
+
+#[test]
+fn hash_countsketch_is_bit_identical_across_device_counts() {
+    let a = odd_operand();
+    let plan = Pipeline::single(SketchSpec::hash_countsketch(
+        a.nrows(),
+        EmbeddingDim::Exact(48),
+        11,
+    ));
+    check_across_devices("HashCountSketch", &plan, &a);
+}
+
+#[test]
+fn count_gauss_pipeline_is_bit_identical_across_device_counts() {
+    let a = odd_operand();
+    let plan = Pipeline::count_gauss(
+        a.nrows(),
+        EmbeddingDim::Square(2),
+        EmbeddingDim::Ratio(2),
+        13,
+    );
+    check_across_devices("Count-Gauss", &plan, &a);
+}
+
+#[test]
+fn uneven_shard_splits_never_change_the_bits() {
+    // Prime row count and a shards-per-device sweep: every schedule is ragged.
+    let a = Matrix::random_gaussian(997, 5, Layout::RowMajor, 8, 0);
+    let specs = [
+        SketchSpec::countsketch(997, EmbeddingDim::Square(2), 2),
+        SketchSpec::gaussian(997, EmbeddingDim::Ratio(2), 4),
+        SketchSpec::srht(997, EmbeddingDim::Ratio(2), 6),
+    ];
+    for spec in specs {
+        let plan = Pipeline::single(spec.clone());
+        let reference = single_device_reference(&plan, &a);
+        for shards_per_device in [1usize, 2, 3, 5] {
+            let pool = DevicePool::unlimited(3);
+            let run = pipelined_sketch(
+                &pool,
+                &a,
+                &plan,
+                &ExecutorOptions::default().with_shards_per_device(shards_per_device),
+            )
+            .expect("executes");
+            assert_bits_equal(
+                &format!("{} spd={shards_per_device}", spec.kind.as_str()),
+                &run.result,
+                &reference,
+            );
+        }
+    }
+}
+
+#[test]
+fn column_major_operands_are_also_bit_identical() {
+    // The CountSketch fold charges the uncoalesced-read penalty on column-major
+    // input but must still produce the same bits.
+    let a = Matrix::random_gaussian(640, 6, Layout::ColMajor, 15, 0);
+    let plan = Pipeline::single(SketchSpec::countsketch(640, EmbeddingDim::Square(2), 9));
+    check_across_devices("CountSketch/col-major", &plan, &a);
+}
+
+#[test]
+fn timeline_reports_are_consistent_on_every_pool() {
+    let a = odd_operand();
+    let plan = Pipeline::count_gauss(
+        a.nrows(),
+        EmbeddingDim::Square(2),
+        EmbeddingDim::Ratio(2),
+        1,
+    );
+    for devices in DEVICE_COUNTS {
+        let pool = DevicePool::unlimited(devices);
+        let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+        assert!(run.compute_only_seconds <= run.pipelined_seconds + 1e-15);
+        assert!(run.pipelined_seconds <= run.serial_seconds + 1e-15);
+        if devices >= 2 {
+            assert!(
+                run.pipelined_seconds < run.serial_seconds,
+                "no overlap won on {devices} devices"
+            );
+        }
+        let utils = run.utilizations();
+        assert_eq!(utils.len(), devices);
+        assert!(utils.iter().all(|&u| (0.0..=1.0 + 1e-12).contains(&u)));
+        assert!(utils[0] > 0.0, "device 0 must have worked");
+    }
+}
