@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for Figure 5: end-to-end least squares solves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sketch_gpu_sim::Device;
+use sketch_gpu_sim::{Device, DevicePool};
 use sketch_lsq::{solve, LsqProblem, Method};
 
 fn bench_least_squares(c: &mut Criterion) {
@@ -9,12 +9,13 @@ fn bench_least_squares(c: &mut Criterion) {
     let d = 1 << 13;
     let n = 16;
     let problem = LsqProblem::performance(&device, d, n, 42).unwrap();
+    let pool = DevicePool::unlimited(1);
 
     let mut group = c.benchmark_group("least_squares_d8k_n16");
     group.sample_size(10);
     for method in Method::FIGURE5 {
         group.bench_function(BenchmarkId::new("solver", method.label()), |b| {
-            b.iter(|| solve(&device, &problem, method, 7).unwrap())
+            b.iter(|| solve(&pool, &problem, method, 7).unwrap())
         });
     }
     group.finish();

@@ -1,13 +1,21 @@
-//! Multi-device scaling figure: strong/weak scaling and the overlap ablation of
-//! the pipelined executor, emitted as JSON to seed the benchmark trajectory.
+//! Multi-device scaling figure: strong/weak scaling, the overlap ablation and
+//! the sparse-operand sweep of the unified execution engine, emitted as JSON to
+//! seed the benchmark trajectory.
 //!
-//! Three experiments, all on modelled H100 pools joined by NVLink:
+//! Four experiments, all on modelled H100 pools joined by NVLink:
 //!
 //! * **strong scaling** — a fixed CountSketch problem across 1/2/4/8 devices;
 //! * **weak scaling** — the per-device problem held constant while devices grow;
 //! * **overlap ablation** — at a fixed pool size, serial vs. pipelined vs.
 //!   compute-only makespan for every sketch kind plus the Count-Gauss pipeline,
-//!   isolating how much of the collectives the stream schedule hides.
+//!   isolating how much of the collectives the stream schedule hides;
+//! * **sparse scaling** — CountSketch over CSR operands at several densities
+//!   across the device grid, exercising the executor's zero-copy
+//!   `Operand::slice_rows` sharding (the same engine, sparse operand).
+//!
+//! Every JSON row records the per-stage ring `CommPattern` (allreduce for the
+//! row-sharded CountSketch families, allgather for the column-sharded
+//! Gaussian/SRHT panels).
 //!
 //! The binary also *enforces* the headline property — pipelined makespan strictly
 //! below serial makespan on every pool of ≥ 2 devices — and exits non-zero if any
@@ -16,10 +24,12 @@
 //! Run with: `cargo run --release -p sketch-bench --bin fig_scaling [-- --smoke] [--out PATH]`
 
 use sketch_bench::report::{ms, pct, Table};
-use sketch_core::{EmbeddingDim, JsonValue, Pipeline, SketchSpec};
+use sketch_core::{EmbeddingDim, JsonValue, Operand, Pipeline, SketchSpec};
 use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
 use sketch_gpu_sim::DevicePool;
 use sketch_la::{Layout, Matrix};
+use sketch_rng::fill;
+use sketch_sparse::{CooMatrix, CsrMatrix};
 
 /// One measured configuration, ready for both the text table and the JSON report.
 struct Run {
@@ -28,6 +38,8 @@ struct Run {
     shards: usize,
     d: usize,
     n: usize,
+    /// Stored nonzeros of the operand (`None` for dense operands).
+    nnz: Option<usize>,
     run: PipelinedRun,
 }
 
@@ -65,8 +77,41 @@ impl Run {
                 "per_device_utilization".into(),
                 JsonValue::Array(r.utilizations().into_iter().map(JsonValue::Float).collect()),
             ),
+            (
+                // The ring collective of each pipeline stage, in stage order.
+                "comm_patterns".into(),
+                JsonValue::Array(
+                    r.comm
+                        .iter()
+                        .map(|c| JsonValue::Str(c.pattern.as_str().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "nnz".into(),
+                match self.nnz {
+                    Some(nnz) => JsonValue::UInt(nnz as u64),
+                    None => JsonValue::Null,
+                },
+            ),
         ])
     }
+}
+
+/// Deterministic random CSR operand targeting `target_density` stored fill:
+/// Philox-seeded global `(row, col)` scatter with Gaussian values (coincident
+/// draws merge, so the realised density lands slightly below the target — the
+/// caller labels runs with the *measured* `nnz / (d*n)`).
+fn random_csr(d: usize, n: usize, target_density: f64, seed: u64) -> CsrMatrix {
+    let draws = ((d * n) as f64 * target_density).round().max(1.0) as usize;
+    let rows = fill::uniform_index_vec(seed, 10, draws, d);
+    let cols = fill::uniform_index_vec(seed, 11, draws, n);
+    let vals = fill::gaussian_vec(seed, 12, draws);
+    let mut coo = CooMatrix::with_capacity(d, n, draws);
+    for i in 0..draws {
+        coo.push(rows[i], cols[i], vals[i]);
+    }
+    CsrMatrix::from_coo(&coo)
 }
 
 fn execute(label: &str, d: usize, n: usize, devices: usize, plan: &Pipeline) -> Run {
@@ -80,6 +125,22 @@ fn execute(label: &str, d: usize, n: usize, devices: usize, plan: &Pipeline) -> 
         shards: run.schedules.iter().map(|s| s.num_shards()).sum(),
         d,
         n,
+        nnz: None,
+        run,
+    }
+}
+
+fn execute_sparse(label: &str, a: &CsrMatrix, devices: usize, plan: &Pipeline) -> Run {
+    let pool = DevicePool::h100(devices);
+    let run = pipelined_sketch(&pool, Operand::Csr(a), plan, &ExecutorOptions::default())
+        .expect("sparse scaling configurations fit the modelled device");
+    Run {
+        label: label.to_string(),
+        devices,
+        shards: run.schedules.iter().map(|s| s.num_shards()).sum(),
+        d: a.nrows(),
+        n: a.ncols(),
+        nnz: Some(a.nnz()),
         run,
     }
 }
@@ -162,6 +223,24 @@ fn main() {
         .map(|(label, plan)| execute(label, d_ab, n, ablation_devices, plan))
         .collect();
 
+    // Sparse scaling: CountSketch over CSR operands at several densities,
+    // sharded with the executor's zero-copy block-row views.  Labels carry the
+    // *measured* density (nnz / (d*n)) of each operand.
+    let d_sparse = d_weak_base;
+    let densities: &[f64] = &[0.001, 0.01, 0.1];
+    let sparse: Vec<Run> = densities
+        .iter()
+        .flat_map(|&target| {
+            let a = random_csr(d_sparse, n, target, 77);
+            let measured = 100.0 * a.nnz() as f64 / (d_sparse * n) as f64;
+            let plan = count_plan(d_sparse);
+            device_counts
+                .iter()
+                .map(|&p| execute_sparse(&format!("CSR CountSketch {measured:.2}%"), &a, p, &plan))
+                .collect::<Vec<Run>>()
+        })
+        .collect();
+
     // Text report.
     let headers = [
         "method",
@@ -191,6 +270,12 @@ fn main() {
     );
     push_rows(&mut t_ab, &ablation);
     t_ab.print();
+    let mut t_sparse = Table::new(
+        format!("Sparse CSR scaling (d = {d_sparse}, n = {n}, CountSketch)"),
+        &headers,
+    );
+    push_rows(&mut t_sparse, &sparse);
+    t_sparse.print();
 
     // JSON report.
     let section = |runs: &[Run]| JsonValue::Array(runs.iter().map(Run::to_json).collect());
@@ -205,13 +290,19 @@ fn main() {
         ("strong_scaling".into(), section(&strong)),
         ("weak_scaling".into(), section(&weak)),
         ("overlap_ablation".into(), section(&ablation)),
+        ("sparse_scaling".into(), section(&sparse)),
     ]);
     std::fs::write(&out_path, doc.render()).expect("write scaling JSON");
     println!("wrote {out_path}");
 
     // Gate: on >= 2 devices the pipelined makespan must beat the serial one.
     let mut violations = 0usize;
-    for r in strong.iter().chain(weak.iter()).chain(ablation.iter()) {
+    for r in strong
+        .iter()
+        .chain(weak.iter())
+        .chain(ablation.iter())
+        .chain(sparse.iter())
+    {
         if r.devices >= 2 && r.run.pipelined_seconds >= r.run.serial_seconds {
             eprintln!(
                 "VIOLATION: {} on {} devices: pipelined {:.6} ms >= serial {:.6} ms",

@@ -2,7 +2,7 @@
 
 use crate::analytic::LsqMethod;
 use crate::config::{ExperimentScale, SweepPoint};
-use sketch_gpu_sim::{Device, Phase};
+use sketch_gpu_sim::{Device, DevicePool, Phase};
 use sketch_lsq::{solve, LsqProblem, Method};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -77,9 +77,10 @@ pub fn lsq_breakdown_measured_rows(seed: u64) -> Vec<LsqBreakdownRow> {
         let problem = LsqProblem::performance(&device, point.d, point.n, seed)
             .expect("measured sweep sizes are always valid");
         for method in Method::FIGURE5 {
-            let device = Device::h100();
+            // Serial execution through the unified engine: a pool of one H100.
+            let pool = DevicePool::h100(1);
             let start = Instant::now();
-            match solve(&device, &problem, method, seed) {
+            match solve(&pool, &problem, method, seed) {
                 Ok(sol) => {
                     let phase_ms: Vec<(Phase, f64)> = sol
                         .breakdown
@@ -120,8 +121,9 @@ pub fn residual_rows(hard: bool, seed: u64) -> Vec<ResidualRow> {
         } else {
             LsqProblem::easy(&device, point.d, point.n, seed).expect("valid sweep")
         };
+        let pool = DevicePool::unlimited(1);
         for method in Method::ALL {
-            let residual = solve(&device, &problem, method, seed)
+            let residual = solve(&pool, &problem, method, seed)
                 .ok()
                 .and_then(|sol| sol.relative_residual(&device, &problem).ok());
             rows.push(ResidualRow {
@@ -150,8 +152,9 @@ pub fn stability_rows(seed: u64) -> Vec<ResidualRow> {
         let device = Device::unlimited();
         let problem = LsqProblem::conditioned(&device, point.d, point.n, kappa, seed)
             .expect("valid stability problem");
+        let pool = DevicePool::unlimited(1);
         for method in methods {
-            let residual = solve(&device, &problem, method, seed)
+            let residual = solve(&pool, &problem, method, seed)
                 .ok()
                 .and_then(|sol| sol.relative_residual(&device, &problem).ok())
                 .filter(|r| r.is_finite());

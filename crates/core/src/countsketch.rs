@@ -290,6 +290,14 @@ fn scatter_rows_into(
                 }
             }
         }
+        Operand::CsrRows(v) => {
+            for j in 0..d {
+                let (target, sign) = target_of(j);
+                for (c, val) in v.row(j) {
+                    out.add_to(target, c, sign * val);
+                }
+            }
+        }
     }
 }
 
@@ -331,6 +339,9 @@ impl SketchOperator for CountSketch {
             }
             Operand::Csr(s) => {
                 device.record(Self::apply_cost_csr(self.d, self.k, s.ncols(), s.nnz()));
+            }
+            Operand::CsrRows(v) => {
+                device.record(Self::apply_cost_csr(self.d, self.k, v.ncols(), v.nnz()));
             }
         }
         Ok(())
@@ -457,6 +468,17 @@ impl SketchOperator for HashCountSketch {
             Operand::Csr(s) => {
                 let nnz = s.nnz() as u64;
                 let n64 = s.ncols() as u64;
+                let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + d + 1);
+                device.record(KernelCost::new(
+                    KernelCost::f64_bytes(nnz) + idx_bytes,
+                    KernelCost::f64_bytes(nnz) + KernelCost::f64_bytes(k * n64),
+                    nnz + 6 * d,
+                    2,
+                ));
+            }
+            Operand::CsrRows(v) => {
+                let nnz = v.nnz() as u64;
+                let n64 = v.ncols() as u64;
                 let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + d + 1);
                 device.record(KernelCost::new(
                     KernelCost::f64_bytes(nnz) + idx_bytes,

@@ -63,6 +63,20 @@ impl GaussianSketch {
     pub fn size_bytes(&self) -> u64 {
         self.matrix.size_bytes()
     }
+
+    /// Cost of the gather-per-nonzero sparse application path.
+    fn record_csr_apply_cost(&self, device: &Device, nnz: usize, nrows: usize, ncols: usize) {
+        let nnz = nnz as u64;
+        let n64 = ncols as u64;
+        let k64 = self.output_dim() as u64;
+        let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + nrows as u64 + 1);
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(nnz + k64 * nnz) + idx_bytes,
+            KernelCost::f64_bytes(k64 * n64),
+            2 * k64 * nnz,
+            1,
+        ));
+    }
 }
 
 impl SketchOperator for GaussianSketch {
@@ -110,26 +124,26 @@ impl SketchOperator for GaussianSketch {
                 // Y[:, c] += a_jc * S[:, j] for every stored entry: the dense sketch
                 // columns are gathered per non-zero, which is exactly how cuSPARSE
                 // would drive a dense-times-sparse product from the right.
-                let k = self.output_dim();
                 out.fill(0.0);
                 for j in 0..s.nrows() {
                     for (c, v) in s.row(j) {
-                        for i in 0..k {
+                        for i in 0..self.output_dim() {
                             out.add_to(i, c, self.matrix.get(i, j) * v);
                         }
                     }
                 }
-                let nnz = s.nnz() as u64;
-                let n64 = s.ncols() as u64;
-                let k64 = k as u64;
-                let idx_bytes =
-                    (std::mem::size_of::<usize>() as u64) * (nnz + s.nrows() as u64 + 1);
-                device.record(KernelCost::new(
-                    KernelCost::f64_bytes(nnz + k64 * nnz) + idx_bytes,
-                    KernelCost::f64_bytes(k64 * n64),
-                    2 * k64 * nnz,
-                    1,
-                ));
+                self.record_csr_apply_cost(device, s.nnz(), s.nrows(), s.ncols());
+            }
+            Operand::CsrRows(v) => {
+                out.fill(0.0);
+                for j in 0..v.nrows() {
+                    for (c, val) in v.row(j) {
+                        for i in 0..self.output_dim() {
+                            out.add_to(i, c, self.matrix.get(i, j) * val);
+                        }
+                    }
+                }
+                self.record_csr_apply_cost(device, v.nnz(), v.nrows(), v.ncols());
             }
         }
         Ok(())

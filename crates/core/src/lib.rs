@@ -61,7 +61,7 @@ pub use countsketch::{CountSketch, HashCountSketch};
 pub use error::{Error, SketchError};
 pub use gaussian::GaussianSketch;
 pub use multisketch::MultiSketch;
-pub use operand::Operand;
+pub use operand::{Operand, OperandSlice};
 pub use spec::{
     json::JsonValue, ComposedSketch, EmbeddingDim, Pipeline, ShardAxis, SketchKind, SketchSpec,
 };

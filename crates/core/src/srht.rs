@@ -115,17 +115,30 @@ impl Srht {
                         work.set(i, j, self.signs[i] * v);
                     }
                 }
-                let nnz = s.nnz() as u64;
-                let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + self.d as u64 + 1);
-                device.record(KernelCost::new(
-                    KernelCost::f64_bytes(nnz + self.d as u64) + idx_bytes,
-                    KernelCost::f64_bytes((self.d_pad * n) as u64),
-                    nnz,
-                    1,
-                ));
+                self.record_work_matrix_cost(device, s.nnz(), n);
+            }
+            Operand::CsrRows(v) => {
+                for i in 0..self.d {
+                    for (j, val) in v.row(i) {
+                        work.set(i, j, self.signs[i] * val);
+                    }
+                }
+                self.record_work_matrix_cost(device, v.nnz(), n);
             }
         }
         work
+    }
+
+    /// Cost of scattering a sparse operand into the padded work matrix.
+    fn record_work_matrix_cost(&self, device: &Device, nnz: usize, n: usize) {
+        let nnz = nnz as u64;
+        let idx_bytes = (std::mem::size_of::<usize>() as u64) * (nnz + self.d as u64 + 1);
+        device.record(KernelCost::new(
+            KernelCost::f64_bytes(nnz + self.d as u64) + idx_bytes,
+            KernelCost::f64_bytes((self.d_pad * n) as u64),
+            nnz,
+            1,
+        ));
     }
 
     /// Sample and scale the transformed work matrix into the caller's buffer:

@@ -192,6 +192,13 @@ mod tests {
                         }
                     }
                 }
+                Operand::CsrRows(view) => {
+                    for i in 0..self.k {
+                        for (j, v) in view.row(i) {
+                            out.set(i, j, v);
+                        }
+                    }
+                }
             }
             device.record(self.algorithmic_cost(a.ncols()));
             Ok(())

@@ -1,0 +1,237 @@
+//! Property tests for the `Operand` slicing contract: slices taken along a
+//! sketch kind's `ShardAxis` recompose **bit-for-bit** to the unsliced
+//! `apply_into`, for dense and CSR operands, under uneven (prime-size) splits.
+//!
+//! This is the substrate the executor's sharding stands on:
+//!
+//! * column-sharded kinds (Gaussian, SRHT) applied to `slice_cols` panels must
+//!   produce bitwise slices of the full result (`slice ∘ apply_into ==
+//!   apply_into`), because their per-column kernels never see other columns;
+//! * row-sharded kinds (CountSketch, hash CountSketch) must reproduce the exact
+//!   single-device accumulation chain when their `slice_rows` views are folded
+//!   into one shared accumulator in shard order — the ordered ring fold.
+
+use proptest::prelude::*;
+use sketch_core::{CountSketch, EmbeddingDim, Operand, SketchKind, SketchOperator, SketchSpec};
+use sketch_gpu_sim::Device;
+use sketch_la::{Layout, Matrix};
+use sketch_sparse::{CooMatrix, CsrMatrix};
+
+fn device() -> Device {
+    Device::unlimited()
+}
+
+/// Sparse copy of a dense matrix with a deterministic ~60% fill pattern.
+fn csr_of(a: &Matrix) -> CsrMatrix {
+    let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            if (i * 31 + j * 17) % 5 != 0 {
+                coo.push(i, j, a.get(i, j));
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.nrows() == b.nrows()
+        && a.ncols() == b.ncols()
+        && (0..a.nrows())
+            .all(|i| (0..a.ncols()).all(|j| a.get(i, j).to_bits() == b.get(i, j).to_bits()))
+}
+
+/// Cut `extent` into `pieces` contiguous ranges, first `extent % pieces` one
+/// element longer (the executor's balanced split).
+fn balanced_ranges(extent: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    let pieces = pieces.clamp(1, extent);
+    let base = extent / pieces;
+    let extra = extent % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Column recomposition: apply the *full* operator to each column slice and
+/// stitch the panels; must equal the unsliced apply bit-for-bit.
+fn check_col_recomposition(spec: &SketchSpec, operand: Operand<'_>, pieces: usize) -> bool {
+    let dev = device();
+    let op = spec.build(&dev).expect("spec builds");
+    let n = operand.ncols();
+    let k = op.output_dim();
+
+    let mut full = Matrix::zeros_with_layout(k, n, op.output_layout());
+    op.apply_into(&dev, operand, &mut full.view_mut())
+        .expect("full apply");
+
+    let mut stitched = Matrix::zeros_with_layout(k, n, op.output_layout());
+    for range in balanced_ranges(n, pieces) {
+        let slice = operand.slice_cols(&dev, range.clone());
+        let mut panel = Matrix::zeros_with_layout(k, range.len(), op.output_layout());
+        op.apply_into(&dev, slice.as_operand(), &mut panel.view_mut())
+            .expect("panel apply");
+        for (j, global) in range.enumerate() {
+            for i in 0..k {
+                stitched.set(i, global, panel.get(i, j));
+            }
+        }
+    }
+    bits_equal(&full, &stitched)
+}
+
+/// Row recomposition: fold each `slice_rows` view into one shared accumulator
+/// in shard order — the executor's ordered ring fold — and compare against the
+/// unsliced Algorithm-2 apply.
+fn check_row_recomposition(spec: &SketchSpec, operand: Operand<'_>, pieces: usize) -> bool {
+    let dev = device();
+    let sketch: CountSketch = match spec.kind {
+        SketchKind::CountSketch => spec.build_countsketch(&dev).expect("builds"),
+        SketchKind::HashCountSketch => spec
+            .build_hash_countsketch(&dev)
+            .expect("builds")
+            .to_explicit(),
+        _ => unreachable!("row recomposition only covers the CountSketch families"),
+    };
+    let n = operand.ncols();
+    let k = sketch.output_dim();
+
+    let mut full = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
+    sketch
+        .apply_into(&dev, operand, &mut full.view_mut())
+        .expect("full apply");
+
+    let rows = sketch.rows();
+    let signs = sketch.signs();
+    let mut folded = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
+    for range in balanced_ranges(operand.nrows(), pieces) {
+        let slice = operand.slice_rows(range.clone());
+        match slice.as_operand() {
+            Operand::Dense(block) => {
+                for (local, global) in range.enumerate() {
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for c in 0..n {
+                        folded.add_to(rows[global], c, sign * block.get(local, c));
+                    }
+                }
+            }
+            Operand::CsrRows(view) => {
+                for (local, global) in range.enumerate() {
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for (c, v) in view.row(local) {
+                        folded.add_to(rows[global], c, sign * v);
+                    }
+                }
+            }
+            Operand::Csr(s) => {
+                for (local, global) in range.enumerate() {
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for (c, v) in s.row(local) {
+                        folded.add_to(rows[global], c, sign * v);
+                    }
+                }
+            }
+        }
+    }
+    bits_equal(&full, &folded)
+}
+
+/// The four sketch kinds at a given input dimension, paired with their shard
+/// axis handler.
+fn specs(d: usize, seed: u64) -> Vec<SketchSpec> {
+    vec![
+        SketchSpec::countsketch(d, EmbeddingDim::Exact(13), seed),
+        SketchSpec::hash_countsketch(d, EmbeddingDim::Exact(13), seed + 1),
+        SketchSpec::gaussian(d, EmbeddingDim::Exact(11), seed + 2),
+        SketchSpec::srht(d, EmbeddingDim::Exact(11), seed + 3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// slice ∘ apply_into == apply_into along each kind's ShardAxis, for dense
+    /// and CSR operands, with uneven splits (prime piece counts included).
+    #[test]
+    fn prop_slices_recompose_bit_for_bit(
+        d in 31usize..160,
+        n in 5usize..12,
+        pieces in 2usize..8,
+        seed in 0u64..200,
+    ) {
+        let dense = Matrix::random_gaussian(d, n, Layout::RowMajor, seed, 0);
+        let sparse = csr_of(&dense);
+        for spec in specs(d, seed) {
+            for operand in [Operand::Dense(&dense), Operand::Csr(&sparse)] {
+                let ok = match spec.shard_axis() {
+                    sketch_core::ShardAxis::Rows =>
+                        check_row_recomposition(&spec, operand, pieces),
+                    sketch_core::ShardAxis::Cols =>
+                        check_col_recomposition(&spec, operand, pieces),
+                };
+                prop_assert!(
+                    ok,
+                    "{} drifted under {pieces}-way slicing of a {} operand",
+                    spec.kind.as_str(),
+                    operand.describe()
+                );
+            }
+        }
+    }
+
+    /// Row slices of a CSR operand are zero-copy views whose rows match the
+    /// parent exactly, and column slices tile the parent's entries.
+    #[test]
+    fn prop_csr_slices_view_the_parent_exactly(
+        d in 17usize..97,
+        n in 4usize..10,
+        pieces in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let dense = Matrix::random_gaussian(d, n, Layout::RowMajor, seed, 1);
+        let sparse = csr_of(&dense);
+        let operand = Operand::Csr(&sparse);
+        let dev = device();
+
+        let mut nnz_sum = 0usize;
+        for range in balanced_ranges(d, pieces) {
+            let slice = operand.slice_rows(range.clone());
+            prop_assert!(slice.is_borrowed(), "CSR row slices must not copy");
+            if let Operand::CsrRows(view) = slice.as_operand() {
+                nnz_sum += view.nnz();
+                for (local, global) in range.enumerate() {
+                    let got: Vec<(usize, f64)> = view.row(local).collect();
+                    let want: Vec<(usize, f64)> = sparse.row(global).collect();
+                    prop_assert_eq!(got, want);
+                }
+            } else {
+                prop_assert!(false, "expected a CsrRows view");
+            }
+        }
+        prop_assert_eq!(nnz_sum, sparse.nnz());
+
+        let mut col_nnz = 0usize;
+        for range in balanced_ranges(n, pieces) {
+            let slice = operand.slice_cols(&dev, range.clone());
+            if let Operand::Csr(panel) = slice.as_operand() {
+                col_nnz += panel.nnz();
+                for i in 0..d {
+                    let want: Vec<(usize, f64)> = sparse
+                        .row(i)
+                        .filter(|(j, _)| range.contains(j))
+                        .map(|(j, v)| (j - range.start, v))
+                        .collect();
+                    let got: Vec<(usize, f64)> = panel.row(i).collect();
+                    prop_assert_eq!(got, want);
+                }
+            } else {
+                prop_assert!(false, "expected a materialised CSR panel");
+            }
+        }
+        prop_assert_eq!(col_nnz, sparse.nnz());
+    }
+}

@@ -12,6 +12,17 @@ pub enum CommPattern {
     AllGather,
 }
 
+impl CommPattern {
+    /// Short name used in reports and JSON rows ("ring-allreduce" /
+    /// "ring-allgather").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CommPattern::AllReduce => "ring-allreduce",
+            CommPattern::AllGather => "ring-allgather",
+        }
+    }
+}
+
 /// Modelled cost of a ring collective over one `k x n` matrix across `P` processes.
 ///
 /// For the bandwidth-optimal ring **allreduce** (reduce-scatter + allgather) each

@@ -24,17 +24,22 @@
 //!    [`PipelinedRun`] reports serial vs. pipelined makespan, the compute-only
 //!    critical path, overlap efficiency and per-device utilization.
 
-use crate::block::BlockRowMatrix;
 use crate::comm::CommCost;
 use crate::error::DistError;
 use sketch_core::{
-    CountSketch, Operand, Pipeline, ShardAxis, SketchKind, SketchOperator, SketchSpec,
+    CountSketch, Error, Operand, Pipeline, ShardAxis, SketchKind, SketchOperator, SketchSpec,
 };
 use sketch_gpu_sim::{DevicePool, KernelCost, StreamKind, StreamSet, Timeline};
 use sketch_la::{Layout, Matrix};
 use std::ops::Range;
 
 /// Tuning knobs for the executor.
+///
+/// `#[non_exhaustive]`: construct through [`ExecutorOptions::new`] /
+/// [`Default::default`] and the `with_*` builders, so future knobs (stream
+/// counts, shard-size floors, …) are non-breaking.
+#[must_use = "ExecutorOptions configures an executor run; pass it to pipelined_sketch"]
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutorOptions {
     /// How many shards to cut per device (clamped so no shard is empty).  More
@@ -53,7 +58,6 @@ impl ExecutorOptions {
     }
 
     /// Set the shards-per-device knob.
-    #[must_use]
     pub fn with_shards_per_device(mut self, shards_per_device: usize) -> Self {
         self.shards_per_device = shards_per_device.max(1);
         self
@@ -90,7 +94,7 @@ pub struct Schedule {
 impl Schedule {
     /// Cut `extent` (rows or columns) into `num_shards` balanced contiguous ranges
     /// — the first `extent % num_shards` shards get one extra element, matching
-    /// [`BlockRowMatrix::split`] — and assign them to `num_devices` devices
+    /// [`BlockRowMatrix::split`](crate::BlockRowMatrix::split) — and assign them to `num_devices` devices
     /// round-robin.
     ///
     /// # Panics
@@ -151,6 +155,7 @@ struct ShardOp {
 }
 
 /// The result of one pipelined multi-device sketch execution.
+#[must_use = "a PipelinedRun carries the sketched matrix and the modelled timeline"]
 #[derive(Debug, Clone)]
 pub struct PipelinedRun {
     /// The sketched matrix — bit-for-bit identical to single-device
@@ -208,20 +213,43 @@ impl PipelinedRun {
 /// Execute `plan` on `a` across the pool, sharding each stage along its
 /// [`ShardAxis`] and overlapping collectives with compute.
 ///
+/// `a` is any [`Operand`]-viewable input — `&Matrix`, `&CsrMatrix`, a
+/// [`CsrRowsView`](sketch_sparse::CsrRowsView) or an explicit [`Operand`] —
+/// so the same engine serves dense and sparse workloads.  Row-sharded stages
+/// slice CSR operands with the zero-copy [`Operand::slice_rows`] view;
+/// column-sharded stages materialise CSC-style panels via
+/// [`Operand::slice_cols`], charging the copy to the shard's device.
+///
 /// The numerical result is **bit-for-bit identical** to
-/// `plan.build_for(device, a.ncols())?.apply_matrix(device, a)` on a single
+/// `plan.build_for(device, a.ncols())?.apply_operand(device, a)` on a single
 /// device, for every supported kind (CountSketch, Gaussian, SRHT, hash
 /// CountSketch, and any pipeline of them including Count-Gauss), independent of
 /// `opts.shards_per_device` and the pool size — the determinism suite pins this
-/// down across 1/2/4/7 devices and uneven splits.
-pub fn pipelined_sketch(
+/// down across 1/2/4/7 devices, uneven splits, and dense + CSR operands.
+///
+/// On a pool of one ([`DevicePool::single`]) each stage runs as a single
+/// unsharded kernel with zero communication, so the timeline reduces to bare
+/// [`Device`](sketch_gpu_sim::Device) launches — "serial" is just the
+/// degenerate pool.
+pub fn pipelined_sketch<'a>(
     pool: &DevicePool,
-    a: &Matrix,
+    a: impl Into<Operand<'a>>,
     plan: &Pipeline,
     opts: &ExecutorOptions,
 ) -> Result<PipelinedRun, DistError> {
+    let a: Operand<'a> = a.into();
     let resolved = plan.resolve(a.ncols())?;
     let p = pool.num_devices();
+    if let Some(first) = resolved.first() {
+        if first.input_dim != a.nrows() {
+            return Err(Error::dimension_mismatch(
+                "pipelined_sketch",
+                first.input_dim,
+                a.nrows(),
+                a.describe(),
+            ));
+        }
+    }
 
     let mut stage_ops: Vec<Vec<ShardOp>> = Vec::with_capacity(resolved.len());
     let mut schedules = Vec::with_capacity(resolved.len());
@@ -230,7 +258,7 @@ pub fn pipelined_sketch(
 
     for (stage_idx, spec) in resolved.iter().enumerate() {
         let input = match &current {
-            Some(m) => m,
+            Some(m) => Operand::Dense(m),
             None => a,
         };
         let axis = spec.shard_axis();
@@ -238,7 +266,13 @@ pub fn pipelined_sketch(
             ShardAxis::Rows => input.nrows(),
             ShardAxis::Cols => input.ncols(),
         };
-        let num_shards = (opts.shards_per_device.max(1) * p).clamp(1, extent);
+        // A pool of one is a first-class zero-overhead target: no sharding, no
+        // collectives — the stage is exactly one bare device launch.
+        let num_shards = if p == 1 {
+            1
+        } else {
+            (opts.shards_per_device.max(1) * p).clamp(1, extent)
+        };
         let schedule = Schedule::block_cyclic(axis, extent, num_shards, p);
 
         let (out, ops, comm) = match axis {
@@ -270,13 +304,17 @@ pub fn pipelined_sketch(
     })
 }
 
-/// Row-sharded stage (CountSketch families): fold block rows into one shared
-/// accumulator in global row order — the exact chain of the single-device
+/// Row-sharded stage (CountSketch families): fold block-row slices into one
+/// shared accumulator in global row order — the exact chain of the single-device
 /// Algorithm-2 scatter, and simultaneously the ordered ring reduction whose
 /// per-shard fold the timeline overlaps with the next shard's compute.
+///
+/// Shards are cut with [`Operand::slice_rows`]: dense blocks keep the operand's
+/// layout (and its read-penalty accounting), CSR shards are zero-copy
+/// `row_ptr` windows folded non-zero by non-zero.
 fn execute_row_stage(
     pool: &DevicePool,
-    input: &Matrix,
+    input: Operand<'_>,
     spec: &SketchSpec,
     schedule: &Schedule,
     stage_idx: usize,
@@ -300,23 +338,48 @@ fn execute_row_stage(
     };
     replicate_generation(pool, sketch.generation_cost());
 
-    let dist =
-        BlockRowMatrix::split_ranges(input, schedule.assignments.iter().map(|s| s.range.clone()));
     let rows = sketch.rows();
     let signs = sketch.signs();
 
     let mut out = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
     let mut ops = Vec::with_capacity(schedule.num_shards());
-    for (assignment, (range, block)) in schedule.assignments.iter().zip(dist.iter()) {
+    for assignment in &schedule.assignments {
         let device = pool.device(assignment.device);
-        for (local, global) in range.clone().enumerate() {
-            let target = rows[global];
-            let sign = if signs[global] { 1.0 } else { -1.0 };
-            for c in 0..n {
-                out.add_to(target, c, sign * block.get(local, c));
+        let range = assignment.range.clone();
+        let slice = input.slice_rows(range.clone());
+        let cost = match slice.as_operand() {
+            Operand::Dense(block) => {
+                for (local, global) in range.clone().enumerate() {
+                    let target = rows[global];
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for c in 0..n {
+                        out.add_to(target, c, sign * block.get(local, c));
+                    }
+                }
+                CountSketch::apply_cost(range.len(), k, n, block.layout() == Layout::ColMajor)
             }
-        }
-        let cost = CountSketch::apply_cost(range.len(), k, n, block.layout() == Layout::ColMajor);
+            Operand::CsrRows(view) => {
+                for (local, global) in range.clone().enumerate() {
+                    let target = rows[global];
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for (c, v) in view.row(local) {
+                        out.add_to(target, c, sign * v);
+                    }
+                }
+                CountSketch::apply_cost_csr(range.len(), k, n, view.nnz())
+            }
+            Operand::Csr(s) => {
+                // Whole-range slice of a CSR operand (the single-shard case).
+                for (local, global) in range.clone().enumerate() {
+                    let target = rows[global];
+                    let sign = if signs[global] { 1.0 } else { -1.0 };
+                    for (c, v) in s.row(local) {
+                        out.add_to(target, c, sign * v);
+                    }
+                }
+                CountSketch::apply_cost_csr(range.len(), k, n, s.nnz())
+            }
+        };
         device.record(cost);
         ops.push(ShardOp {
             device: assignment.device,
@@ -337,9 +400,16 @@ fn execute_row_stage(
 /// column panel with the *full* operator — per-column kernels never see the other
 /// panels, so the panels are bitwise slices of the single-device result — and the
 /// panels are allgathered.
+///
+/// Dense panels are cut with [`Operand::slice_cols`] (view-equivalent,
+/// uncharged).  CSR operands are carved into *all* panels up front in one
+/// CSC-style conversion pass, charged once per device (every device converts
+/// its replica, like sketch generation) — so the modelled compute of a sparse
+/// column stage does **not** grow with the shard count the way per-shard
+/// full-matrix scans would.
 fn execute_col_stage(
     pool: &DevicePool,
-    input: &Matrix,
+    input: Operand<'_>,
     spec: &SketchSpec,
     schedule: &Schedule,
     stage_idx: usize,
@@ -351,19 +421,25 @@ fn execute_col_stage(
     let op = spec.build(pool.device(0))?;
     replicate_generation(pool, op.generation_cost());
 
+    // One conversion pass cuts every CSR panel of the stage (None for dense).
+    let csr_panels = cut_csr_panels(pool, input, schedule);
+
     let mut out = Matrix::zeros_with_layout(k, n, op.output_layout());
     let mut ops = Vec::with_capacity(schedule.num_shards());
-    for assignment in &schedule.assignments {
+    for (shard, assignment) in schedule.assignments.iter().enumerate() {
         let device = pool.device(assignment.device);
         let range = assignment.range.clone();
-        // Column panel of the operand, in the operand's own layout (exact copy;
-        // a view in a real implementation, so the copy is not charged).
-        let panel_in = Matrix::from_fn(input.nrows(), range.len(), input.layout(), |i, j| {
-            input.get(i, range.start + j)
-        });
         let mut panel_out = Matrix::zeros_with_layout(k, range.len(), op.output_layout());
-        let (applied, cost) = device.tracker().measure(|| {
-            op.apply_into(device, Operand::Dense(&panel_in), &mut panel_out.view_mut())
+        let (applied, cost) = device.tracker().measure(|| match &csr_panels {
+            Some(panels) => op.apply_into(
+                device,
+                Operand::Csr(&panels[shard]),
+                &mut panel_out.view_mut(),
+            ),
+            None => {
+                let panel_in = input.slice_cols(device, range.clone());
+                op.apply_into(device, panel_in.as_operand(), &mut panel_out.view_mut())
+            }
         });
         applied?;
         for (j, global) in range.clone().enumerate() {
@@ -389,6 +465,49 @@ fn execute_col_stage(
         });
     }
     Ok((out, ops, CommCost::allgather(p, k, n)))
+}
+
+/// Carve every column panel of a CSR-like operand for one stage, in schedule
+/// order, and charge the CSC-style conversion **once per device** (each device
+/// converts its replica, mirroring [`replicate_generation`]): stream the parent's
+/// nonzeros and row pointers once, write every panel's entries plus its fresh
+/// row-pointer array.  Dense operands return `None` (their panels are
+/// view-equivalent cuts).
+fn cut_csr_panels(
+    pool: &DevicePool,
+    input: Operand<'_>,
+    schedule: &Schedule,
+) -> Option<Vec<sketch_sparse::CsrMatrix>> {
+    let panels: Vec<sketch_sparse::CsrMatrix> = match input {
+        Operand::Dense(_) => return None,
+        Operand::Csr(s) => schedule
+            .assignments
+            .iter()
+            .map(|a| s.slice_cols(a.range.clone()))
+            .collect(),
+        Operand::CsrRows(v) => schedule
+            .assignments
+            .iter()
+            .map(|a| v.slice_cols(a.range.clone()))
+            .collect(),
+    };
+    let nnz = match input {
+        Operand::Csr(s) => s.nnz(),
+        Operand::CsrRows(v) => v.nnz(),
+        Operand::Dense(_) => unreachable!("dense returned above"),
+    } as u64;
+    let idx = std::mem::size_of::<usize>() as u64;
+    let rows1 = input.nrows() as u64 + 1;
+    let cost = KernelCost::new(
+        KernelCost::f64_bytes(nnz) + idx * (nnz + rows1),
+        KernelCost::f64_bytes(nnz) + idx * (nnz + rows1 * panels.len() as u64),
+        nnz,
+        1,
+    );
+    for device in pool.devices() {
+        device.record(cost);
+    }
+    Some(panels)
 }
 
 /// Time one shard's ordered ring fold occupies its comm stream: moving the `k x n`
@@ -610,12 +729,160 @@ mod tests {
         assert_eq!(run.comm_seconds, 0.0);
         assert_eq!(run.comm_total_bytes(), 0);
         assert_eq!(run.overlap_efficiency(), 1.0);
+        // A pool of one never shards: each stage is exactly one kernel.
+        assert_eq!(run.schedules[0].num_shards(), 1);
+    }
+
+    #[test]
+    fn pool_of_one_makespan_equals_bare_device_launches() {
+        use sketch_gpu_sim::DeviceSpec;
+
+        // A spec executed on a DevicePool::single must cost exactly what a bare
+        // Device launch costs: same kernel, no sharding, no collectives, and the
+        // timeline makespan equals the modelled time of the single apply.
+        let d = 640;
+        let n = 7;
+        let a = input(d, n);
+        for spec in [
+            SketchSpec::countsketch(d, EmbeddingDim::Square(2), 4),
+            SketchSpec::srht(d, EmbeddingDim::Ratio(2), 5),
+        ] {
+            // Reference: apply on a bare device and model the apply-only cost.
+            let bare = Device::h100();
+            let op = spec.build_for(&bare, n).unwrap();
+            let before = bare.tracker().snapshot();
+            let single = op.apply_matrix(&bare, &a).unwrap();
+            let apply_cost = bare.tracker().snapshot() - before;
+
+            let pool = DevicePool::single(DeviceSpec::h100());
+            let run = pipelined_sketch(
+                &pool,
+                &a,
+                &Pipeline::single(spec.clone()),
+                &ExecutorOptions::default(),
+            )
+            .unwrap();
+            assert!(bits_equal(&run.result, &single));
+            assert_eq!(run.comm_seconds, 0.0);
+            assert_eq!(run.pipelined_seconds, run.serial_seconds);
+            assert_eq!(run.pipelined_seconds, run.compute_only_seconds);
+            // Exactly one kernel on the timeline, priced like the bare launch.
+            assert_eq!(run.timeline.entries().len(), 1);
+            assert_eq!(
+                run.pipelined_seconds,
+                bare.model_time(&apply_cost),
+                "{} pool-of-one is not a bare launch",
+                spec.kind.as_str()
+            );
+            // And the device tracker accumulated the same generation + apply cost.
+            let pool_cost = pool.total_cost();
+            let bare_total = bare.tracker().snapshot();
+            assert_eq!(pool_cost, bare_total, "{} cost drifted", spec.kind.as_str());
+        }
+    }
+
+    #[test]
+    fn csr_operand_is_bit_identical_to_single_device_apply() {
+        use sketch_sparse::{CooMatrix, CsrMatrix};
+
+        let d = 300;
+        let n = 6;
+        let dense = input(d, n);
+        let mut coo = CooMatrix::new(d, n);
+        for i in 0..d {
+            // ~2 nonzeros per row, deterministic pattern.
+            coo.push(i, i % n, dense.get(i, i % n));
+            if i % 3 == 0 {
+                coo.push(i, (i + 2) % n, dense.get(i, (i + 2) % n));
+            }
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+
+        for spec in [
+            SketchSpec::countsketch(d, EmbeddingDim::Square(2), 5),
+            SketchSpec::hash_countsketch(d, EmbeddingDim::Exact(24), 6),
+            SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), 7),
+            SketchSpec::srht(d, EmbeddingDim::Ratio(2), 8),
+        ] {
+            let single_dev = Device::unlimited();
+            let single = spec
+                .build_for(&single_dev, n)
+                .unwrap()
+                .apply_operand(&single_dev, Operand::Csr(&csr))
+                .unwrap();
+            for devices in [1usize, 3] {
+                let pool = DevicePool::unlimited(devices);
+                let run = pipelined_sketch(
+                    &pool,
+                    &csr,
+                    &Pipeline::single(spec.clone()),
+                    &ExecutorOptions::default(),
+                )
+                .unwrap();
+                assert!(
+                    bits_equal(&run.result, &single),
+                    "{} drifted on {devices} devices with a CSR operand",
+                    spec.kind.as_str()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_col_sharding_does_not_scan_the_parent_per_shard() {
+        use sketch_sparse::{CooMatrix, CsrMatrix};
+
+        // The CSC-style panel conversion is charged once per device and stage;
+        // finer sharding must not multiply full-matrix scans into the model.
+        let d = 400;
+        let n = 12;
+        let mut coo = CooMatrix::new(d, n);
+        for i in 0..d {
+            for j in 0..4 {
+                coo.push(i, (i * 3 + j * 5) % n, ((i * n + j) as f64 * 0.01).sin());
+            }
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let spec = SketchSpec::gaussian(d, EmbeddingDim::Exact(16), 3);
+
+        let read_bytes_with = |spd: usize| {
+            let pool = DevicePool::unlimited(2);
+            let run = pipelined_sketch(
+                &pool,
+                &csr,
+                &Pipeline::single(spec.clone()),
+                &ExecutorOptions::default().with_shards_per_device(spd),
+            )
+            .unwrap();
+            assert!(run.result.nrows() == 16);
+            pool.total_cost().bytes_read
+        };
+        let coarse = read_bytes_with(1);
+        let fine = read_bytes_with(6);
+        assert!(
+            fine < coarse + coarse / 2,
+            "fine sharding re-scans the operand: {fine} vs {coarse} bytes read"
+        );
+    }
+
+    #[test]
+    fn operand_row_mismatch_is_a_dimension_error() {
+        let a = input(100, 4);
+        let plan = Pipeline::single(SketchSpec::countsketch(128, EmbeddingDim::Exact(16), 1));
+        let pool = DevicePool::unlimited(2);
+        let err = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap_err();
+        assert!(err.is_dimension_mismatch(), "{err}");
+        assert!(err.to_string().contains("dense 100x4"));
     }
 
     #[test]
     fn more_devices_shrink_the_pipelined_makespan() {
-        let a = input(4096, 8);
-        let spec = SketchSpec::countsketch(4096, EmbeddingDim::Square(2), 5);
+        // Large enough that streaming dominates the per-shard launch overhead —
+        // the regime where sharding pays off.  (A pool of one runs a single
+        // unsharded kernel, so it is the cheapest possible serial baseline.)
+        let d = 1 << 20;
+        let a = input(d, 8);
+        let spec = SketchSpec::countsketch(d, EmbeddingDim::Square(2), 5);
         let mut prev = f64::INFINITY;
         for p in [1usize, 2, 4] {
             let pool = DevicePool::unlimited(p);
@@ -628,7 +895,8 @@ mod tests {
             .unwrap();
             assert!(
                 run.compute_only_seconds < prev,
-                "compute path must shrink with more devices"
+                "compute path must shrink with more devices ({p}: {} vs {prev})",
+                run.compute_only_seconds
             );
             prev = run.compute_only_seconds;
         }

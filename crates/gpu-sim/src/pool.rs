@@ -56,6 +56,19 @@ impl InterconnectSpec {
         }
     }
 
+    /// The degenerate interconnect of a single-device pool: no transfer ever
+    /// crosses a link, so every hop is free.  This is what makes a
+    /// [`DevicePool::single`] a zero-overhead execution target — the executor's
+    /// collectives degenerate to no-ops and the timeline reduces to bare device
+    /// launches.
+    pub const fn local() -> Self {
+        Self {
+            name: "local (single device)",
+            link_bandwidth_bytes_per_s: f64::INFINITY,
+            latency_s: 0.0,
+        }
+    }
+
     /// Time for one link to move `bytes`, in seconds.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
         if bytes == 0 {
@@ -94,6 +107,20 @@ impl DevicePool {
     /// `n` modelled H100s (the paper's device).
     pub fn h100(n: usize) -> Self {
         Self::homogeneous(n, DeviceSpec::h100())
+    }
+
+    /// A first-class single-device pool with the degenerate
+    /// [`InterconnectSpec::local`] interconnect.
+    ///
+    /// This is how "serial" execution is expressed in the unified engine: every
+    /// driver takes a pool, and a pool of one runs the exact single-device kernels
+    /// with zero communication — the executor's timeline produces the same makespan
+    /// as bare [`Device`] launches.
+    pub fn single(spec: DeviceSpec) -> Self {
+        Self {
+            devices: vec![Device::new(spec)],
+            interconnect: InterconnectSpec::local(),
+        }
     }
 
     /// `n` devices that never report out-of-memory; convenient in tests.
@@ -183,6 +210,15 @@ mod tests {
         let ic = InterconnectSpec::nvlink4();
         let t = ic.transfer_time(1);
         assert!(t >= ic.latency_s);
+    }
+
+    #[test]
+    fn single_device_pool_has_a_free_interconnect() {
+        let pool = DevicePool::single(DeviceSpec::h100());
+        assert_eq!(pool.num_devices(), 1);
+        assert_eq!(pool.interconnect().transfer_time(1 << 30), 0.0);
+        assert_eq!(pool.interconnect().name, "local (single device)");
+        assert_eq!(pool.device(0).spec().name, DeviceSpec::h100().name);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * [`range_finder`] — draw a test matrix `Ω ∈ R^{n x ℓ}` ([`RangeSketch`]:
 //!   Gaussian, CountSketch, or SRHT, built from the `sketch-core` operators), form
 //!   `Y = AΩ`, orthonormalise with Householder QR, optionally stabilised power
-//!   iteration,
+//!   iteration.  Runs on the unified execution engine: it takes a
+//!   [`sketch_gpu_sim::DevicePool`] — serial is a pool of one, and on 2+ devices
+//!   the CountSketch/SRHT families shard `Y = (S Aᵀ)ᵀ` through
+//!   [`sketch_dist::pipelined_sketch`],
 //! * [`rsvd()`] — rangefinder plus a small dense SVD (`sketch-la::svd::jacobi_svd`)
 //!   giving the truncated factorisation `A ≈ U Σ Vᵀ`,
 //! * [`StreamingSvd`] / [`streaming_svd`] — a *single-pass* variant that consumes `A`
@@ -68,8 +71,6 @@ pub mod streaming;
 pub use error::LowRankError;
 pub use matvec::{MatVecLike, SparseOperand};
 pub use nystrom::{nystrom, NystromResult};
-pub use rangefinder::{
-    estimate_range_error, range_finder, range_finder_pooled, LowRankParams, RangeSketch,
-};
+pub use rangefinder::{estimate_range_error, range_finder, LowRankParams, RangeSketch};
 pub use rsvd::{deterministic_svd, rsvd, SvdResult};
 pub use streaming::{streaming_svd, CountingBlockSource, RowBlockSource, StreamingSvd};

@@ -14,8 +14,9 @@
 
 use crate::error::{dim_err, param_err, LowRankError};
 use crate::matvec::MatVecLike;
-use sketch_core::{EmbeddingDim, SketchSpec};
-use sketch_gpu_sim::{Device, KernelCost};
+use sketch_core::{EmbeddingDim, Operand, Pipeline, SketchSpec};
+use sketch_dist::{pipelined_sketch, ExecutorOptions};
+use sketch_gpu_sim::{Device, DevicePool, KernelCost};
 use sketch_la::norms::vec_norm2;
 use sketch_la::qr::geqrf;
 use sketch_la::{blas3, Layout, Matrix, Op};
@@ -201,13 +202,99 @@ pub(crate) fn orthonormalize(device: &Device, y: &Matrix) -> Result<Matrix, LowR
     Ok(geqrf(device, y)?.q_thin(device))
 }
 
-/// Randomized rangefinder: an `m x ℓ` matrix `Q` with orthonormal columns such that
-/// `A ≈ Q Qᵀ A`.
+/// Randomized rangefinder on the unified execution engine: an `m x ℓ` matrix `Q`
+/// with orthonormal columns such that `A ≈ Q Qᵀ A`, computed on a [`DevicePool`].
+///
+/// **Serial is a pool of one** (e.g.
+/// [`DevicePool::single`](sketch_gpu_sim::DevicePool::single)): the classic HMT
+/// sequence — draw `Ω`, form `Y = A Ω`, orthonormalise — runs on pool device 0,
+/// bit-for-bit identical to the pre-engine serial implementation for every test
+/// matrix family including the plain Gaussian.
+///
+/// **On 2+ devices** the test-matrix product is recast as a *sketch application*:
+/// with the CountSketch/SRHT test matrix `Ω = Sᵀ` (where `S` is the `ℓ x n`
+/// operator from [`RangeSketch::spec`]), `Y = A Ω = (S Aᵀ)ᵀ` — exactly the
+/// operation [`pipelined_sketch`] shards, overlaps and prices across the pool,
+/// for dense *and* CSR operands.  Power iterations and the orthonormalisations
+/// run on device 0.  The plain-Gaussian test matrix is a direct Philox fill with
+/// no `sketch-core` operator to shard, so it is rejected with an
+/// [`InvalidParameter`](sketch_core::Error::InvalidParameter) error on
+/// multi-device pools — use the CountSketch/SRHT families there.
 ///
 /// With a Gaussian test matrix, HMT Theorem 10.6 bounds the expected error by
 /// `E‖A − QQᵀA‖ ≤ (1 + 4√(k+p)·√(min(m,n))/(p−1))·σ_{k+1}`, and each power iteration
 /// drives the constant towards 1 like `(σ_{k+1}/σ_k)^{2q}`.
 pub fn range_finder<M: MatVecLike + ?Sized>(
+    pool: &DevicePool,
+    a: &M,
+    params: &LowRankParams,
+    opts: &ExecutorOptions,
+) -> Result<Matrix, LowRankError> {
+    let device = pool.device(0);
+    if pool.num_devices() == 1 {
+        // The degenerate pool runs the exact serial HMT sequence on device 0.
+        return range_finder_on(device, a, params);
+    }
+    let (m, n) = (a.nrows(), a.ncols());
+    let l = params.sketch_dim(m, n)?;
+    let Some(spec) = params.sketch.spec(n, l, params.seed, params.stream) else {
+        return Err(param_err(
+            "the plain Gaussian test matrix has no sketch-core operator to shard \
+             across a multi-device pool; use RangeSketch::CountSketch / \
+             RangeSketch::Srht, or a pool of one",
+        ));
+    };
+    // Y = A Ω = (S Aᵀ)ᵀ: hand the transposed operand to the executor.  The
+    // dense transpose charges itself through the device; the CSR counting-sort
+    // transpose is charged here so the sparse path prices its O(nnz) passes
+    // like the dense one does.
+    let at_dense;
+    let at_csr;
+    let at: Operand<'_> = match a.as_operand() {
+        Operand::Dense(d) => {
+            at_dense = d.transpose(device);
+            Operand::Dense(&at_dense)
+        }
+        Operand::Csr(s) => {
+            at_csr = s.transpose();
+            device.record(csr_transpose_cost(s.nnz(), s.nrows(), s.ncols()));
+            Operand::Csr(&at_csr)
+        }
+        Operand::CsrRows(v) => {
+            at_csr = v.to_csr().transpose();
+            device.record(csr_transpose_cost(v.nnz(), v.nrows(), v.ncols()));
+            Operand::Csr(&at_csr)
+        }
+    };
+    let run = pipelined_sketch(pool, at, &Pipeline::single(spec), opts)?;
+    // run.result = S Aᵀ = Ωᵀ Aᵀ = Yᵀ.
+    let y = run.result.transpose(device);
+    let mut q = orthonormalize(device, &y)?;
+    for _ in 0..params.power_iters {
+        let z = orthonormalize(device, &a.mul_transpose_right(device, &q)?)?;
+        q = orthonormalize(device, &a.mul_right(device, &z)?)?;
+    }
+    Ok(q)
+}
+
+/// Modelled cost of the CSR→CSR counting-sort transpose (cuSPARSE `csr2csc`):
+/// two passes over the nonzeros (histogram + scatter), index and value traffic
+/// on both sides.
+fn csr_transpose_cost(nnz: usize, nrows: usize, ncols: usize) -> KernelCost {
+    let idx = std::mem::size_of::<usize>() as u64;
+    let nnz64 = nnz as u64;
+    KernelCost::new(
+        2 * (KernelCost::f64_bytes(nnz64) + idx * nnz64) + idx * (nrows as u64 + 1),
+        KernelCost::f64_bytes(nnz64) + idx * nnz64 + idx * (ncols as u64 + 1),
+        nnz64,
+        2,
+    )
+}
+
+/// The serial HMT rangefinder on one device — the pool-of-one body of
+/// [`range_finder`], kept crate-private so single-device drivers ([`crate::rsvd`])
+/// reuse it without constructing a pool.
+pub(crate) fn range_finder_on<M: MatVecLike + ?Sized>(
     device: &Device,
     a: &M,
     params: &LowRankParams,
@@ -226,56 +313,6 @@ pub fn range_finder<M: MatVecLike + ?Sized>(
         q = orthonormalize(device, &a.mul_right(device, &z)?)?;
     }
     Ok(q)
-}
-
-/// Multi-device randomized rangefinder: the sketch product runs on a
-/// [`DevicePool`](sketch_gpu_sim::DevicePool) through the pipelined executor of
-/// `sketch-dist`, the QR factorisations on pool device 0.
-///
-/// The test-matrix product is recast as a *sketch application*: with the
-/// CountSketch/SRHT test matrix `Ω = Sᵀ` (where `S` is the `ℓ x n` operator from
-/// [`RangeSketch::spec`]), `Y = A Ω = (S Aᵀ)ᵀ` — exactly the operation
-/// [`sketch_dist::pipelined_sketch`] shards, overlaps and prices across the pool.
-/// Power iterations and the final orthonormalisation then run on device 0.
-/// Returns the basis `Q` plus the executor's
-/// [`PipelinedRun`](sketch_dist::PipelinedRun) for timeline inspection.
-///
-/// The plain-Gaussian test matrix is a direct Philox fill, not a `sketch-core`
-/// operator, so it has no sharding contract; asking for it here is an
-/// [`InvalidParameter`](sketch_core::Error::InvalidParameter) error — use
-/// [`range_finder`] (or the CountSketch/SRHT families) instead.
-pub fn range_finder_pooled(
-    pool: &sketch_gpu_sim::DevicePool,
-    a: &Matrix,
-    params: &LowRankParams,
-    opts: &sketch_dist::ExecutorOptions,
-) -> Result<(Matrix, sketch_dist::PipelinedRun), LowRankError> {
-    let device = pool.device(0);
-    let (m, n) = (a.nrows(), a.ncols());
-    let l = params.sketch_dim(m, n)?;
-    let Some(spec) = params.sketch.spec(n, l, params.seed, params.stream) else {
-        return Err(param_err(
-            "the plain Gaussian test matrix has no sketch-core operator to shard; \
-             use RangeSketch::CountSketch / RangeSketch::Srht with range_finder_pooled, \
-             or the single-device range_finder",
-        ));
-    };
-    let at = a.transpose(device);
-    let run = sketch_dist::pipelined_sketch(pool, &at, &sketch_core::Pipeline::single(spec), opts)?;
-    // run.result = S Aᵀ = Ωᵀ Aᵀ = Yᵀ.
-    let y = run.result.transpose(device);
-    let mut q = orthonormalize(device, &y)?;
-    for _ in 0..params.power_iters {
-        let z = orthonormalize(
-            device,
-            &blas3::gemm_op(device, 1.0, Op::Trans, a, Op::NoTrans, &q, 0.0, None)?,
-        )?;
-        q = orthonormalize(
-            device,
-            &blas3::gemm_op(device, 1.0, Op::NoTrans, a, Op::NoTrans, &z, 0.0, None)?,
-        )?;
-    }
-    Ok((q, run))
 }
 
 /// Posterior error estimate for a computed range `Q` (HMT Algorithm 4.3).
@@ -334,11 +371,16 @@ mod tests {
         Device::unlimited()
     }
 
+    fn opts() -> ExecutorOptions {
+        ExecutorOptions::default()
+    }
+
+    fn pool1() -> DevicePool {
+        DevicePool::unlimited(1)
+    }
+
     #[test]
     fn pooled_rangefinder_captures_an_exact_low_rank_range() {
-        use sketch_dist::ExecutorOptions;
-        use sketch_gpu_sim::DevicePool;
-
         let d = device();
         // Exactly rank-4 matrix: a perfect rangefinder reconstructs it to rounding.
         let mut sigma = geometric_singular_values(4, 1e2);
@@ -346,10 +388,9 @@ mod tests {
         let a = matrix_with_singular_values(&d, 120, 30, &sigma, 9).unwrap();
         for sketch in [RangeSketch::CountSketch, RangeSketch::Srht] {
             let params = LowRankParams::new(4).with_sketch(sketch).with_seed(3, 2);
-            for devices in [1usize, 3] {
+            for devices in [2usize, 3] {
                 let pool = DevicePool::unlimited(devices);
-                let (q, run) =
-                    range_finder_pooled(&pool, &a, &params, &ExecutorOptions::default()).unwrap();
+                let q = range_finder(&pool, &a, &params, &opts()).unwrap();
                 assert_eq!((q.nrows(), q.ncols()), (120, 12));
                 // Orthonormal columns.
                 let gram =
@@ -360,23 +401,41 @@ mod tests {
                     blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &a, 0.0, None).unwrap();
                 let back = blas3::gemm(&d, 1.0, &q, &qta, 0.0, None).unwrap();
                 assert!(back.max_abs_diff(&a).unwrap() < 1e-8);
-                assert!(run.pipelined_seconds <= run.serial_seconds + 1e-15);
             }
         }
     }
 
     #[test]
-    fn pooled_rangefinder_rejects_the_plain_gaussian_family() {
-        use sketch_dist::ExecutorOptions;
-        use sketch_gpu_sim::DevicePool;
+    fn multi_device_rangefinder_accepts_csr_operands() {
+        use sketch_sparse::{CooMatrix, CsrMatrix};
 
         let d = device();
+        // A sparse matrix whose range is still low-dimensional-ish: random CSR.
+        let mut coo = CooMatrix::new(90, 30);
+        for i in 0..90 {
+            coo.push(i, i % 30, ((i + 1) as f64 * 0.37).sin());
+            coo.push(i, (i * 7 + 3) % 30, ((i + 2) as f64 * 0.11).cos());
+        }
+        let csr = CsrMatrix::from_coo(&coo);
+        let params = LowRankParams::new(6)
+            .with_sketch(RangeSketch::CountSketch)
+            .with_seed(5, 1);
+        let pool = DevicePool::unlimited(3);
+        let q = range_finder(&pool, &csr, &params, &opts()).unwrap();
+        assert_eq!((q.nrows(), q.ncols()), (90, 14));
+        let gram = blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
+        assert!(gram.max_abs_diff(&Matrix::identity(14)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn multi_device_pool_rejects_the_plain_gaussian_family_but_pool_of_one_allows_it() {
         let a = Matrix::random_gaussian(40, 10, Layout::ColMajor, 1, 0);
-        let pool = DevicePool::unlimited(2);
         let params = LowRankParams::new(3).with_sketch(RangeSketch::Gaussian);
-        let err = range_finder_pooled(&pool, &a, &params, &ExecutorOptions::default()).unwrap_err();
+        let err = range_finder(&DevicePool::unlimited(2), &a, &params, &opts()).unwrap_err();
         assert!(matches!(err, LowRankError::InvalidParameter { .. }));
-        let _ = d;
+        // The unified entry point still serves the Gaussian family serially.
+        let q = range_finder(&pool1(), &a, &params, &opts()).unwrap();
+        assert_eq!((q.nrows(), q.ncols()), (40, 10));
     }
 
     #[test]
@@ -389,7 +448,7 @@ mod tests {
             RangeSketch::Srht,
         ] {
             let params = LowRankParams::new(5).with_sketch(sketch).with_seed(7, 1);
-            let q = range_finder(&d, &a, &params).unwrap();
+            let q = range_finder(&pool1(), &a, &params, &opts()).unwrap();
             assert_eq!(q.nrows(), 60);
             assert_eq!(q.ncols(), 13);
             let gram = blas3::gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &q, 0.0, None).unwrap();
@@ -402,11 +461,37 @@ mod tests {
     }
 
     #[test]
+    fn pool_of_one_is_bit_identical_to_the_serial_rangefinder() {
+        // The acceptance pin: routing through the unified entry point with a
+        // 1-device pool reproduces the pre-engine serial path bit for bit.
+        let d = device();
+        let a = Matrix::random_gaussian(70, 24, Layout::ColMajor, 11, 0);
+        for sketch in [
+            RangeSketch::Gaussian,
+            RangeSketch::CountSketch,
+            RangeSketch::Srht,
+        ] {
+            let params = LowRankParams::new(5)
+                .with_sketch(sketch)
+                .with_seed(13, 2)
+                .with_power_iters(1);
+            let serial = range_finder_on(&d, &a, &params).unwrap();
+            let pooled = range_finder(&pool1(), &a, &params, &opts()).unwrap();
+            assert_eq!(
+                serial.as_slice(),
+                pooled.as_slice(),
+                "{} drifted through the pool-of-one path",
+                sketch.name()
+            );
+        }
+    }
+
+    #[test]
     fn exact_rank_k_matrix_is_captured_exactly() {
         let d = device();
         let a = sketch_la::cond::rank_k_matrix(&d, 50, 16, 4, 11).unwrap();
         let params = LowRankParams::new(4).with_oversample(4);
-        let q = range_finder(&d, &a, &params).unwrap();
+        let q = range_finder(&pool1(), &a, &params, &opts()).unwrap();
         // ‖A − QQᵀA‖ should be at roundoff.
         let est = estimate_range_error(&d, &a, &q, 5, 99, 0).unwrap();
         assert!(est < 1e-10, "estimate {est}");
@@ -418,8 +503,8 @@ mod tests {
         let sigma = geometric_singular_values(20, 1e3);
         let a = matrix_with_singular_values(&d, 80, 20, &sigma, 5).unwrap();
         let base = LowRankParams::new(6).with_oversample(2).with_seed(1, 0);
-        let q0 = range_finder(&d, &a, &base).unwrap();
-        let q2 = range_finder(&d, &a, &base.with_power_iters(2)).unwrap();
+        let q0 = range_finder(&pool1(), &a, &base, &opts()).unwrap();
+        let q2 = range_finder(&pool1(), &a, &base.with_power_iters(2), &opts()).unwrap();
         let e0 = estimate_range_error(&d, &a, &q0, 6, 42, 0).unwrap();
         let e2 = estimate_range_error(&d, &a, &q2, 6, 42, 0).unwrap();
         assert!(
@@ -434,7 +519,7 @@ mod tests {
         let sigma = geometric_singular_values(12, 1e2);
         let a = matrix_with_singular_values(&d, 40, 12, &sigma, 8).unwrap();
         let params = LowRankParams::new(3).with_oversample(3);
-        let q = range_finder(&d, &a, &params).unwrap();
+        let q = range_finder(&pool1(), &a, &params, &opts()).unwrap();
         // True spectral residual via the dense SVD of A − QQᵀA.
         let qta = a.mul_transpose_right(&d, &q).unwrap(); // n x l = (QᵀA)ᵀ
         let qqta = blas3::gemm_op(&d, 1.0, Op::NoTrans, &q, Op::Trans, &qta, 0.0, None).unwrap();
@@ -451,8 +536,8 @@ mod tests {
     fn parameters_are_validated() {
         let d = device();
         let a = Matrix::zeros(10, 5);
-        assert!(range_finder(&d, &a, &LowRankParams::new(0)).is_err());
-        assert!(range_finder(&d, &a, &LowRankParams::new(6)).is_err());
+        assert!(range_finder(&pool1(), &a, &LowRankParams::new(0), &opts()).is_err());
+        assert!(range_finder(&pool1(), &a, &LowRankParams::new(6), &opts()).is_err());
         let q = Matrix::identity(10).submatrix(10, 2).unwrap();
         assert!(estimate_range_error(&d, &a, &q, 0, 1, 0).is_err());
         let q_bad = Matrix::zeros(9, 2);
@@ -469,7 +554,7 @@ mod tests {
         let sigma = geometric_singular_values(16, 1e1);
         let a = matrix_with_singular_values(&d, 50, 16, &sigma, 4).unwrap();
         let params = LowRankParams::new(2).with_oversample(0).with_seed(77, 5);
-        let q = range_finder(&d, &a, &params).unwrap();
+        let q = range_finder(&pool1(), &a, &params, &opts()).unwrap();
         let est = estimate_range_error(&d, &a, &q, 2, params.seed, params.stream).unwrap();
         assert!(
             est > 0.5 * sigma[2],

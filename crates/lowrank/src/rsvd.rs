@@ -7,7 +7,7 @@
 
 use crate::error::{dim_err, LowRankError};
 use crate::matvec::MatVecLike;
-use crate::rangefinder::{range_finder, LowRankParams};
+use crate::rangefinder::{range_finder_on, LowRankParams};
 use sketch_gpu_sim::Device;
 use sketch_la::qr::economy_qr;
 use sketch_la::{blas3, jacobi_svd, Layout, Matrix, Op};
@@ -95,7 +95,7 @@ pub fn rsvd<M: MatVecLike + ?Sized>(
     a: &M,
     params: &LowRankParams,
 ) -> Result<SvdResult, LowRankError> {
-    let q = range_finder(device, a, params)?;
+    let q = range_finder_on(device, a, params)?;
     svd_from_range(device, a, &q, params.k)
 }
 

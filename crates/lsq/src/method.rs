@@ -14,7 +14,8 @@ use crate::problem::LsqProblem;
 use crate::rand_cholqr::rand_cholqr_least_squares;
 use crate::solvers::{normal_equations, qr_direct, sketch_and_solve, LsqSolution};
 use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
-use sketch_gpu_sim::Device;
+use sketch_dist::ExecutorOptions;
+use sketch_gpu_sim::DevicePool;
 
 /// The least squares methods compared in the paper's evaluation.
 #[non_exhaustive]
@@ -114,34 +115,51 @@ impl Method {
     }
 }
 
-/// Solve `problem` with `method`, constructing the method's sketch through its
-/// declarative [`Pipeline`] (the paper's embedding-dimension conventions).
+/// Solve `problem` with `method` on a [`DevicePool`], constructing the method's
+/// sketch through its declarative [`Pipeline`] (the paper's embedding-dimension
+/// conventions) and executing it on the unified engine.
+///
+/// Serial execution is a pool of one (e.g.
+/// [`DevicePool::single`](sketch_gpu_sim::DevicePool::single)); larger pools
+/// shard the matrix sketch with the pipelined executor.  The solution vector is
+/// bit-identical for every pool size.  The direct (sketch-free) methods run on
+/// pool device 0.
 ///
 /// `seed` drives the sketch generation so repeated runs are reproducible.
 pub fn solve(
-    device: &Device,
+    pool: &DevicePool,
     problem: &LsqProblem,
     method: Method,
     seed: u64,
 ) -> Result<LsqSolution, LsqError> {
+    solve_with_opts(pool, problem, method, seed, &ExecutorOptions::default())
+}
+
+/// [`solve`] with explicit executor tuning knobs.
+pub fn solve_with_opts(
+    pool: &DevicePool,
+    problem: &LsqProblem,
+    method: Method,
+    seed: u64,
+    opts: &ExecutorOptions,
+) -> Result<LsqSolution, LsqError> {
+    let device = pool.device(0);
     let d = problem.nrows();
-    let n = problem.ncols();
     match method {
         Method::NormalEquations => normal_equations(device, problem),
         Method::Qr => qr_direct(device, problem),
         Method::RandCholQr => {
-            let sketch = method
+            let plan = method
                 .sketch_pipeline(d, seed)
-                .expect("rand_cholQR is sketched")
-                .build_for(device, n)?;
-            rand_cholqr_least_squares(device, problem, sketch.as_ref())
+                .expect("rand_cholQR is sketched");
+            let (sol, _run) = rand_cholqr_least_squares(pool, problem, &plan, opts)?;
+            Ok(sol)
         }
         Method::Gaussian | Method::CountSketch | Method::MultiSketch | Method::Srht => {
-            let sketch = method
+            let plan = method
                 .sketch_pipeline(d, seed)
-                .expect("sketch-and-solve methods are sketched")
-                .build_for(device, n)?;
-            let mut sol = sketch_and_solve(device, problem, sketch.as_ref())?;
+                .expect("sketch-and-solve methods are sketched");
+            let (mut sol, _run) = sketch_and_solve(pool, problem, &plan, opts)?;
             sol.method = method.label();
             Ok(sol)
         }
@@ -153,9 +171,14 @@ mod tests {
     use super::*;
     use crate::solvers::best_residual;
     use sketch_core::SketchKind;
+    use sketch_gpu_sim::Device;
 
     fn device() -> Device {
         Device::unlimited()
+    }
+
+    fn pool() -> DevicePool {
+        DevicePool::unlimited(1)
     }
 
     #[test]
@@ -220,7 +243,7 @@ mod tests {
         let p = LsqProblem::easy(&dev, 1024, 4, 1).unwrap();
         let best = best_residual(&dev, &p).unwrap();
         for method in Method::ALL {
-            let sol = solve(&dev, &p, method, 7).unwrap();
+            let sol = solve(&pool(), &p, method, 7).unwrap();
             let res = sol.relative_residual(&dev, &p).unwrap();
             // With the paper's k = 2n convention and this deliberately tiny n, the
             // subspace-embedding ε is large, so allow the full sketch-and-solve
@@ -242,9 +265,9 @@ mod tests {
     fn undistorted_methods_agree_with_each_other() {
         let dev = device();
         let p = LsqProblem::hard(&dev, 2048, 5, 2).unwrap();
-        let qr = solve(&dev, &p, Method::Qr, 1).unwrap();
-        let ne = solve(&dev, &p, Method::NormalEquations, 1).unwrap();
-        let rc = solve(&dev, &p, Method::RandCholQr, 1).unwrap();
+        let qr = solve(&pool(), &p, Method::Qr, 1).unwrap();
+        let ne = solve(&pool(), &p, Method::NormalEquations, 1).unwrap();
+        let rc = solve(&pool(), &p, Method::RandCholQr, 1).unwrap();
         for (a, b) in ne.x.iter().zip(&qr.x) {
             assert!((a - b).abs() < 1e-7);
         }
@@ -254,11 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn every_sketched_method_is_bit_identical_across_pool_sizes() {
+        let dev = device();
+        let p = LsqProblem::easy(&dev, 1024, 4, 9).unwrap();
+        for method in [
+            Method::Gaussian,
+            Method::CountSketch,
+            Method::MultiSketch,
+            Method::Srht,
+            Method::RandCholQr,
+        ] {
+            let reference = solve(&pool(), &p, method, 3).unwrap();
+            for devices in [2usize, 3] {
+                let big = DevicePool::unlimited(devices);
+                let sol = solve(&big, &p, method, 3).unwrap();
+                for (a, b) in sol.x.iter().zip(&reference.x) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} drifted on {devices} devices",
+                        method.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn solves_are_reproducible_for_a_fixed_seed() {
         let dev = device();
         let p = LsqProblem::easy(&dev, 1024, 4, 3).unwrap();
-        let a = solve(&dev, &p, Method::MultiSketch, 42).unwrap();
-        let b = solve(&dev, &p, Method::MultiSketch, 42).unwrap();
+        let a = solve(&pool(), &p, Method::MultiSketch, 42).unwrap();
+        let b = solve(&pool(), &p, Method::MultiSketch, 42).unwrap();
         assert_eq!(a.x, b.x);
     }
 
@@ -267,7 +317,7 @@ mod tests {
         // This is the Figure 8 story in miniature: kappa = 1e12 > u^{-1/2} ~ 1e8.
         let dev = device();
         let p = LsqProblem::conditioned(&dev, 1024, 8, 1e12, 4).unwrap();
-        let ne = solve(&dev, &p, Method::NormalEquations, 1);
+        let ne = solve(&pool(), &p, Method::NormalEquations, 1);
         let ne_failed_or_inaccurate = match ne {
             Err(e) => e.is_gram_breakdown(),
             Ok(sol) => sol.relative_residual(&dev, &p).unwrap() > 1e-4,
@@ -277,7 +327,7 @@ mod tests {
             "normal equations should struggle at kappa=1e12"
         );
 
-        let multi = solve(&dev, &p, Method::MultiSketch, 1).unwrap();
+        let multi = solve(&pool(), &p, Method::MultiSketch, 1).unwrap();
         let res = multi.relative_residual(&dev, &p).unwrap();
         assert!(res < 1e-4, "multisketch stays accurate: {res}");
     }

@@ -9,9 +9,10 @@
 
 use crate::error::LsqError;
 use crate::problem::LsqProblem;
-use crate::solvers::LsqSolution;
-use sketch_core::SketchOperator;
-use sketch_gpu_sim::{Device, Phase, Profiler};
+use crate::solvers::{pooled_matrix_sketch, LsqSolution};
+use sketch_core::{Pipeline, SketchOperator};
+use sketch_dist::{ExecutorOptions, PipelinedRun};
+use sketch_gpu_sim::{Device, DevicePool, Phase, Profiler};
 use sketch_la::blas2::{gemv, trsv, Triangle};
 use sketch_la::blas3::{gemm, gram_gemm, trsm_right};
 use sketch_la::chol::potrf_upper;
@@ -51,24 +52,39 @@ pub fn rand_cholqr<S: SketchOperator + ?Sized>(
     Ok(RandCholQrFactors { q, r })
 }
 
-/// Algorithm 5 — rand_cholQR least squares (one TRSM, no explicit `Q`).
+/// Algorithm 5 — rand_cholQR least squares (one TRSM, no explicit `Q`) — on the
+/// unified execution engine.
+///
+/// The sketch `Y = S A` (the only step that touches the tall matrix with a random
+/// operator) runs across the pool through [`sketch_dist::pipelined_sketch`]; everything else —
+/// QR of the small sketched matrix, TRSM preconditioning, Gram, Cholesky,
+/// triangular solves — runs on pool device 0, where the preconditioned problem is
+/// small.  Serial execution is a pool of one; the solution is bit-identical for
+/// every pool size because the executor's sketch is bit-identical to the
+/// single-device kernel.
 ///
 /// Produces the breakdown phases the Figure 5 harness expects: sketch gen, matrix
-/// sketch, GEQRF (on the sketched matrix), TRSM (preconditioning), Gram matrix, `A₀ᵀb`,
-/// POTRF and the final triangular solves.
-pub fn rand_cholqr_least_squares<S: SketchOperator + ?Sized>(
-    device: &Device,
+/// sketch (charged at the pipelined makespan), GEQRF (on the sketched matrix),
+/// TRSM (preconditioning), Gram matrix, `A₀ᵀb`, POTRF and the final triangular
+/// solves.  The executor's [`PipelinedRun`] rides along for timeline inspection.
+pub fn rand_cholqr_least_squares(
+    pool: &DevicePool,
     problem: &LsqProblem,
-    sketch: &S,
-) -> Result<LsqSolution, LsqError> {
+    plan: &Pipeline,
+    opts: &ExecutorOptions,
+) -> Result<(LsqSolution, PipelinedRun), LsqError> {
+    let device = pool.device(0);
     let mut prof = Profiler::new(device);
-    prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
-
-    // Step 1: sketch the coefficient matrix.
-    let y = prof.phase(Phase::MatrixSketch, || {
-        sketch.apply_matrix(device, &problem.a)
+    // Generation is accounted in its own phase; the executor regenerates the
+    // stage operators internally from the same specs and seeds (same bits), so
+    // this build is purely the Figure-5 "Sketch gen" accounting.
+    prof.phase(Phase::SketchGen, || {
+        plan.build_for(device, problem.ncols()).map(|_| ())
     })?;
-    let y_cm = y.to_layout(device, Layout::ColMajor);
+
+    // Step 1: sketch the coefficient matrix on the pool.
+    let (run, sketch_phase) = pooled_matrix_sketch(pool, &problem.a, plan, opts)?;
+    let y_cm = run.result.to_layout(device, Layout::ColMajor);
 
     // Step 2: economy QR of the sketched matrix (only R₀ is needed).
     let r0 = prof.phase(Phase::Geqrf, || geqrf(device, &y_cm))?.r();
@@ -98,11 +114,18 @@ pub fn rand_cholqr_least_squares<S: SketchOperator + ?Sized>(
         trsv(device, Triangle::Upper, Op::NoTrans, &r0, &y2)
     })?;
 
-    Ok(LsqSolution {
-        x,
-        method: "rand_cholQR",
-        breakdown: prof.finish(),
-    })
+    // Splice the pooled matrix-sketch phase in after SketchGen.
+    let mut breakdown = prof.finish();
+    breakdown.phases.insert(1, sketch_phase);
+
+    Ok((
+        LsqSolution {
+            x,
+            method: "rand_cholQR",
+            breakdown,
+        },
+        run,
+    ))
 }
 
 #[cfg(test)]
@@ -158,12 +181,42 @@ mod tests {
         let dev = device();
         let p = LsqProblem::easy(&dev, 2048, 5, 5).unwrap();
         let qr = qr_direct(&dev, &p).unwrap();
-        let ms = multisketch_of(&dev, p.nrows(), 5, 6);
-        let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
+        let plan = Pipeline::count_gauss(
+            p.nrows(),
+            EmbeddingDim::Square(8),
+            EmbeddingDim::Ratio(8),
+            6,
+        );
+        let pool = DevicePool::unlimited(1);
+        let (rc, _run) =
+            rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
         for (a, b) in rc.x.iter().zip(&qr.x) {
             assert!((a - b).abs() < 1e-7, "{a} vs {b}");
         }
         assert_eq!(rc.method, "rand_cholQR");
+    }
+
+    #[test]
+    fn least_squares_is_bit_identical_across_pool_sizes() {
+        let dev = device();
+        let p = LsqProblem::easy(&dev, 1024, 4, 5).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(
+            p.nrows(),
+            EmbeddingDim::Square(8),
+            9,
+        ));
+        let pool1 = DevicePool::unlimited(1);
+        let (reference, _) =
+            rand_cholqr_least_squares(&pool1, &p, &plan, &ExecutorOptions::default()).unwrap();
+        for devices in [2usize, 4] {
+            let pool = DevicePool::unlimited(devices);
+            let (rc, run) =
+                rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
+            for (a, b) in rc.x.iter().zip(&reference.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "drifted on {devices} devices");
+            }
+            assert!(run.pipelined_seconds <= run.serial_seconds);
+        }
     }
 
     #[test]
@@ -174,10 +227,14 @@ mod tests {
             .unwrap()
             .relative_residual(&dev, &p)
             .unwrap();
-        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(8), 8)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let rc = rand_cholqr_least_squares(&dev, &p, cs.as_ref()).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(
+            p.nrows(),
+            EmbeddingDim::Square(8),
+            8,
+        ));
+        let pool = DevicePool::unlimited(1);
+        let (rc, _run) =
+            rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
         let res = rc.relative_residual(&dev, &p).unwrap();
         assert!(
             (res - best).abs() / best < 1e-6,
@@ -189,13 +246,21 @@ mod tests {
     fn breakdown_contains_trsm_and_gram_phases() {
         let dev = device();
         let p = LsqProblem::performance(&dev, 1024, 4, 9).unwrap();
-        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(4), 10)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let rc = rand_cholqr_least_squares(&dev, &p, cs.as_ref()).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(
+            p.nrows(),
+            EmbeddingDim::Square(4),
+            10,
+        ));
+        let pool = DevicePool::unlimited(2);
+        let (rc, _run) =
+            rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
         assert!(rc.breakdown.model_seconds_of(Phase::Trsm) > 0.0);
         assert!(rc.breakdown.model_seconds_of(Phase::GramMatrix) > 0.0);
         assert!(rc.breakdown.model_seconds_of(Phase::Potrf) > 0.0);
+        // The engine splices the pooled matrix sketch in after generation.
+        assert_eq!(rc.breakdown.phases[0].phase, Phase::SketchGen);
+        assert_eq!(rc.breakdown.phases[1].phase, Phase::MatrixSketch);
+        assert!(rc.breakdown.phases[1].model_seconds > 0.0);
     }
 
     #[test]
@@ -203,15 +268,15 @@ mod tests {
         // kappa = 1e8 breaks the normal equations but not rand_cholQR.
         let dev = device();
         let p = LsqProblem::conditioned(&dev, 2048, 4, 1e8, 11).unwrap();
-        let ms = Pipeline::count_gauss(
+        let plan = Pipeline::count_gauss(
             p.nrows(),
             EmbeddingDim::Square(16),
             EmbeddingDim::Ratio(16),
             12,
-        )
-        .build_multisketch(&dev, p.ncols())
-        .unwrap();
-        let rc = rand_cholqr_least_squares(&dev, &p, &ms).unwrap();
+        );
+        let pool = DevicePool::unlimited(1);
+        let (rc, _run) =
+            rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
         let res = rc.relative_residual(&dev, &p).unwrap();
         assert!(res < 1e-6, "residual {res}");
     }
@@ -220,10 +285,12 @@ mod tests {
     fn sketch_dimension_mismatch_is_an_error() {
         let dev = device();
         let p = LsqProblem::performance(&dev, 256, 4, 1).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(128, EmbeddingDim::Exact(64), 1));
+        let pool = DevicePool::unlimited(1);
+        assert!(rand_cholqr_least_squares(&pool, &p, &plan, &ExecutorOptions::default()).is_err());
         let wrong = SketchSpec::countsketch(128, EmbeddingDim::Exact(64), 1)
             .build(&dev)
             .unwrap();
-        assert!(rand_cholqr_least_squares(&dev, &p, wrong.as_ref()).is_err());
         assert!(rand_cholqr(&dev, &p.a, wrong.as_ref()).is_err());
     }
 }

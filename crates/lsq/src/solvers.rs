@@ -1,15 +1,26 @@
 //! The normal equations, sketch-and-solve (Algorithm 1) and direct QR solvers.
+//!
+//! Algorithm 1 runs through the **unified execution engine**: the expensive
+//! `W = S A` step goes to [`sketch_dist::pipelined_sketch`] across a
+//! [`DevicePool`], and the reduced `k x n` problem (vector sketch, QR,
+//! triangular solve) finishes on pool device 0.  Serial execution is simply a
+//! pool of one ([`DevicePool::single`]), which the executor runs as bare device
+//! launches — the solution is bit-for-bit identical to the retired
+//! single-device code path, and scaling out changes the modelled timeline,
+//! never the answer.
 
 use crate::error::LsqError;
 use crate::problem::LsqProblem;
-use sketch_core::SketchOperator;
-use sketch_gpu_sim::{Device, Phase, Profiler, RunBreakdown};
+use sketch_core::Pipeline;
+use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
+use sketch_gpu_sim::{Device, DevicePool, Phase, PhaseRecord, Profiler, RunBreakdown};
 use sketch_la::blas2::{gemv, trsv, Triangle};
 use sketch_la::blas3::gram_gemm;
 use sketch_la::chol::potrf_upper;
 use sketch_la::norms::relative_residual;
 use sketch_la::qr::geqrf;
-use sketch_la::Op;
+use sketch_la::{Layout, Op};
+use std::time::Instant;
 
 /// The result of a least squares solve: the solution vector plus the phase breakdown
 /// used by the Figure 5 harness.
@@ -65,30 +76,67 @@ pub fn normal_equations(device: &Device, problem: &LsqProblem) -> Result<LsqSolu
     })
 }
 
-/// Algorithm 1 — sketch-and-solve: sketch `A` and `b`, then QR-solve the reduced
-/// problem with GEQRF + ORMQR + TRSV (the cuSOLVER sequence of Section 6.1).
-///
-/// The sketch must already be generated; its generation cost is charged to the
-/// `Sketch gen` phase so the breakdown matches Figure 5.
-pub fn sketch_and_solve<S: SketchOperator + ?Sized>(
-    device: &Device,
-    problem: &LsqProblem,
-    sketch: &S,
-) -> Result<LsqSolution, LsqError> {
-    let mut prof = Profiler::new(device);
-    // Charge the (already incurred) generation cost as its own phase.
-    prof.phase(Phase::SketchGen, || device.record(sketch.generation_cost()));
+/// Run the matrix sketch on the pool and produce the [`PhaseRecord`] both
+/// engine-routed solvers splice into their breakdown right after `SketchGen`:
+/// pool-wide cost delta, wall-clock window, and the **pipelined** (not serial)
+/// modelled makespan, so multi-device speedups show up directly in
+/// Figure-5-style stacks.
+pub(crate) fn pooled_matrix_sketch(
+    pool: &DevicePool,
+    a: &sketch_la::Matrix,
+    plan: &Pipeline,
+    opts: &ExecutorOptions,
+) -> Result<(PipelinedRun, PhaseRecord), LsqError> {
+    let total_before = pool.total_cost();
+    let wall_start = Instant::now();
+    let run = pipelined_sketch(pool, a, plan, opts)?;
+    let record = PhaseRecord {
+        phase: Phase::MatrixSketch,
+        cost: pool.total_cost() - total_before,
+        model_seconds: run.pipelined_seconds,
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    };
+    Ok((run, record))
+}
 
-    let w = prof.phase(Phase::MatrixSketch, || {
-        sketch.apply_matrix(device, &problem.a)
-    })?;
+/// Algorithm 1 — sketch-and-solve — on the unified execution engine: sketch `A`
+/// across the pool with [`pipelined_sketch`], sketch `b` and QR-solve the reduced
+/// problem with GEQRF + ORMQR + TRSV (the cuSOLVER sequence of Section 6.1) on
+/// pool device 0.
+///
+/// Serial execution is a pool of one (e.g. [`DevicePool::single`]); the solution
+/// is **bit-identical** for every pool size and shard count because the
+/// executor's sketch is bit-identical to the single-device kernel.  The returned
+/// [`PipelinedRun`] exposes the multi-device timeline; the solution's breakdown
+/// charges the matrix-sketch phase at the *pipelined* makespan, so multi-device
+/// speedups show up directly in Figure-5-style stacks.
+pub fn sketch_and_solve(
+    pool: &DevicePool,
+    problem: &LsqProblem,
+    plan: &Pipeline,
+    opts: &ExecutorOptions,
+) -> Result<(LsqSolution, PipelinedRun), LsqError> {
+    let device = pool.device(0);
+    let mut prof = Profiler::new(device);
+
+    // Build the vector-sketch operator first, inside its own SketchGen phase.
+    // The executor regenerates its stage operators internally (deterministic:
+    // same specs, same seeds, same bits), so this build exists only to sketch
+    // `b`; charging it up front keeps every generation the tracker sees inside
+    // a named phase, mirroring the paper's explicit "Sketch gen" stack segment.
+    let sketch = prof.phase(Phase::SketchGen, || plan.build_for(device, problem.ncols()))?;
+
+    // Matrix sketch on the pool, wall-clock timed like a Profiler phase.
+    let (run, sketch_phase) = pooled_matrix_sketch(pool, &problem.a, plan, opts)?;
+
+    // The remaining Algorithm-1 steps run on device 0: the reduced problem is
+    // k x n with k = O(n²) at most — not worth sharding.
     let z = prof.phase(Phase::VectorSketch, || {
         sketch.apply_vector(device, &problem.b)
     })?;
-
-    // The sketched matrix arrives row-major from the CountSketch-style kernels; the QR
-    // wants column-major, mirroring the conversion the paper performs.
-    let w_cm = w.to_layout(device, sketch_la::Layout::ColMajor);
+    // The sketched matrix arrives row-major from the CountSketch-style kernels;
+    // the QR wants column-major, mirroring the conversion the paper performs.
+    let w_cm = run.result.to_layout(device, Layout::ColMajor);
     let factors = prof.phase(Phase::Geqrf, || geqrf(device, &w_cm))?;
     let qtz = prof.phase(Phase::Ormqr, || factors.apply_qt_vec(device, &z))?;
     let r = factors.r();
@@ -102,11 +150,18 @@ pub fn sketch_and_solve<S: SketchOperator + ?Sized>(
         )
     })?;
 
-    Ok(LsqSolution {
-        x,
-        method: "Sketch-and-solve",
-        breakdown: prof.finish(),
-    })
+    // Splice the pooled matrix-sketch phase in after SketchGen.
+    let mut breakdown = prof.finish();
+    breakdown.phases.insert(1, sketch_phase);
+
+    Ok((
+        LsqSolution {
+            x,
+            method: "Sketch-and-solve",
+            breakdown,
+        },
+        run,
+    ))
 }
 
 /// Direct Householder QR on the full matrix — the accuracy reference ("QR" in Figures
@@ -194,15 +249,22 @@ mod tests {
         }
     }
 
+    fn pool1() -> DevicePool {
+        DevicePool::unlimited(1)
+    }
+
     #[test]
     fn countsketch_sketch_and_solve_residual_is_close_to_optimal() {
         let dev = device();
         let p = problem(4096, 6, 4);
         let best = best_residual(&dev, &p).unwrap();
-        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(2), 11)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let sol = sketch_and_solve(&dev, &p, cs.as_ref()).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(
+            p.nrows(),
+            EmbeddingDim::Square(2),
+            11,
+        ));
+        let (sol, _run) =
+            sketch_and_solve(&pool1(), &p, &plan, &ExecutorOptions::default()).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res >= best * (1.0 - 1e-12));
         assert!(res < 1.5 * best, "sketched {res} vs best {best}");
@@ -214,17 +276,15 @@ mod tests {
         let p = problem(2048, 4, 5);
         let best = best_residual(&dev, &p).unwrap();
 
-        let g = SketchSpec::gaussian(p.nrows(), EmbeddingDim::Ratio(8), 7)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let sol_g = sketch_and_solve(&dev, &p, g.as_ref()).unwrap();
-        assert!(sol_g.relative_residual(&dev, &p).unwrap() < 1.6 * best);
-
-        let s = SketchSpec::srht(p.nrows(), EmbeddingDim::Ratio(8), 8)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let sol_s = sketch_and_solve(&dev, &p, s.as_ref()).unwrap();
-        assert!(sol_s.relative_residual(&dev, &p).unwrap() < 1.6 * best);
+        for spec in [
+            SketchSpec::gaussian(p.nrows(), EmbeddingDim::Ratio(8), 7),
+            SketchSpec::srht(p.nrows(), EmbeddingDim::Ratio(8), 8),
+        ] {
+            let plan = Pipeline::single(spec);
+            let (sol, _run) =
+                sketch_and_solve(&pool1(), &p, &plan, &ExecutorOptions::default()).unwrap();
+            assert!(sol.relative_residual(&dev, &p).unwrap() < 1.6 * best);
+        }
     }
 
     #[test]
@@ -232,15 +292,14 @@ mod tests {
         let dev = device();
         let p = problem(4096, 6, 6);
         let best = best_residual(&dev, &p).unwrap();
-        let ms = Pipeline::count_gauss(
+        let plan = Pipeline::count_gauss(
             p.nrows(),
             EmbeddingDim::Square(8),
             EmbeddingDim::Ratio(8),
             9,
-        )
-        .build_multisketch(&dev, p.ncols())
-        .unwrap();
-        let sol = sketch_and_solve(&dev, &p, &ms).unwrap();
+        );
+        let (sol, _run) =
+            sketch_and_solve(&pool1(), &p, &plan, &ExecutorOptions::default()).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res < 1.6 * best, "multisketch {res} vs best {best}");
         for phase in [
@@ -256,6 +315,9 @@ mod tests {
                 "missing phase {phase:?}"
             );
         }
+        // The engine splices the matrix sketch in right after generation.
+        assert_eq!(sol.breakdown.phases[0].phase, Phase::SketchGen);
+        assert_eq!(sol.breakdown.phases[1].phase, Phase::MatrixSketch);
     }
 
     #[test]
@@ -263,10 +325,13 @@ mod tests {
         let dev = device();
         let p = LsqProblem::hard(&dev, 2048, 4, 7).unwrap();
         let best = best_residual(&dev, &p).unwrap();
-        let cs = SketchSpec::countsketch(p.nrows(), EmbeddingDim::Square(4), 3)
-            .build_for(&dev, p.ncols())
-            .unwrap();
-        let sol = sketch_and_solve(&dev, &p, cs.as_ref()).unwrap();
+        let plan = Pipeline::single(SketchSpec::countsketch(
+            p.nrows(),
+            EmbeddingDim::Square(4),
+            3,
+        ));
+        let (sol, _run) =
+            sketch_and_solve(&pool1(), &p, &plan, &ExecutorOptions::default()).unwrap();
         let res = sol.relative_residual(&dev, &p).unwrap();
         assert!(res + 1e-12 >= best);
         // And it obeys the theoretical distortion bound for a generous eps.
@@ -281,14 +346,61 @@ mod tests {
 
     #[test]
     fn sketch_dimension_mismatch_propagates_as_error() {
-        let dev = device();
         let p = problem(256, 4, 8);
-        let wrong = SketchSpec::countsketch(128, EmbeddingDim::Exact(32), 1)
-            .build(&dev)
-            .unwrap();
-        let err = sketch_and_solve(&dev, &p, wrong.as_ref()).unwrap_err();
+        let plan = Pipeline::single(SketchSpec::countsketch(128, EmbeddingDim::Exact(32), 1));
+        let err = sketch_and_solve(&pool1(), &p, &plan, &ExecutorOptions::default()).unwrap_err();
         assert!(err.is_dimension_mismatch(), "{err}");
-        // The unified error names the rejecting operator and the operand shape.
-        assert!(err.to_string().contains("CountSketch"));
+        // The unified error carries the rejecting stage and the operand shape.
+        assert!(err.to_string().contains("dense 256x4"), "{err}");
+    }
+
+    /// The acceptance pin of the engine unification: a 1-device pool reproduces
+    /// the retired serial Algorithm-1 implementation **bit for bit** — here the
+    /// serial path is written out by hand (build, apply, QR, solve) exactly as
+    /// `sketch_and_solve(&device, …)` used to execute it.
+    #[test]
+    fn pool_of_one_is_bit_identical_to_the_retired_serial_algorithm1() {
+        let p = problem(1 << 10, 8, 42);
+        for plan in [
+            Pipeline::single(SketchSpec::countsketch(
+                p.nrows(),
+                EmbeddingDim::Square(2),
+                7,
+            )),
+            Pipeline::count_gauss(
+                p.nrows(),
+                EmbeddingDim::Square(2),
+                EmbeddingDim::Ratio(2),
+                7,
+            ),
+        ] {
+            // The pre-refactor serial sequence, inlined.
+            let dev = device();
+            let sketch = plan.build_for(&dev, p.ncols()).unwrap();
+            let w = sketch.apply_matrix(&dev, &p.a).unwrap();
+            let z = sketch.apply_vector(&dev, &p.b).unwrap();
+            let w_cm = w.to_layout(&dev, Layout::ColMajor);
+            let factors = geqrf(&dev, &w_cm).unwrap();
+            let qtz = factors.apply_qt_vec(&dev, &z).unwrap();
+            let r = factors.r();
+            let reference =
+                trsv(&dev, Triangle::Upper, Op::NoTrans, &r, &qtz[..p.ncols()]).unwrap();
+
+            // The engine, on pools of 1 and 3 devices.
+            for devices in [1usize, 3] {
+                let pool = DevicePool::unlimited(devices);
+                let (sol, run) =
+                    sketch_and_solve(&pool, &p, &plan, &ExecutorOptions::default()).unwrap();
+                assert_eq!(sol.x.len(), reference.len());
+                for (a, b) in sol.x.iter().zip(reference.iter()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "solution drifted on {devices} devices"
+                    );
+                }
+                assert!(run.pipelined_seconds <= run.serial_seconds);
+            }
+        }
     }
 }

@@ -171,6 +171,49 @@ impl CsrMatrix {
         }
     }
 
+    /// A zero-copy view of the contiguous row range `rows` of this matrix.
+    ///
+    /// The view borrows a window of `row_ptr` (plus the matching `col_idx`/`values`
+    /// span) — no index or value is copied, which is what makes block-row sharding
+    /// of CSR operands free.
+    ///
+    /// # Panics
+    /// Panics if `rows.end > nrows` or the range is backwards.
+    pub fn slice_rows(&self, rows: std::ops::Range<usize>) -> CsrRowsView<'_> {
+        assert!(rows.start <= rows.end, "row range must be forward");
+        assert!(
+            rows.end <= self.nrows,
+            "row range {}..{} out of bounds for {} rows",
+            rows.start,
+            rows.end,
+            self.nrows
+        );
+        let lo = self.row_ptr[rows.start];
+        let hi = self.row_ptr[rows.end];
+        CsrRowsView {
+            ncols: self.ncols,
+            base: lo,
+            row_ptr: &self.row_ptr[rows.start..=rows.end],
+            col_idx: &self.col_idx[lo..hi],
+            values: &self.values[lo..hi],
+        }
+    }
+
+    /// Materialise the contiguous column range `cols` as a new CSR matrix whose
+    /// column indices are rebased to start at zero.
+    ///
+    /// Unlike [`slice_rows`](Self::slice_rows) this cannot be a view — CSR stores
+    /// rows contiguously, so carving a column panel builds per-panel CSC-style
+    /// buffers (one `O(nnz)` filtering pass).  Callers that model device traffic
+    /// must charge the copy; `sketch_core::Operand::slice_cols` does so.
+    ///
+    /// # Panics
+    /// Panics if `cols.end > ncols` or the range is backwards.
+    pub fn slice_cols(&self, cols: std::ops::Range<usize>) -> CsrMatrix {
+        // The whole-range row view shares the filtering loop with the view type.
+        self.slice_rows(0..self.nrows).slice_cols(cols)
+    }
+
     /// Bytes occupied by the index + value arrays (used by traffic modelling).
     pub fn size_bytes(&self) -> u64 {
         (self.row_ptr.len() * std::mem::size_of::<usize>()
@@ -187,6 +230,133 @@ impl CsrMatrix {
             }
         }
         dense
+    }
+}
+
+/// A borrowed, zero-copy view over a contiguous row range of a [`CsrMatrix`]
+/// (the sparse analogue of a block-row slice).
+///
+/// `row_ptr` is a window of the parent's row pointer array, so local offsets are
+/// recovered by subtracting `base` (= the parent's `row_ptr` at the window start).
+/// The view is `Copy` — three slices and two integers — which lets the executor
+/// hand row shards to devices without touching the nonzeros.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrRowsView<'a> {
+    ncols: usize,
+    base: usize,
+    row_ptr: &'a [usize],
+    col_idx: &'a [usize],
+    values: &'a [f64],
+}
+
+impl<'a> CsrRowsView<'a> {
+    /// Number of rows in the view.
+    pub fn nrows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns (inherited from the parent matrix).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros inside the viewed rows.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over `(col, value)` pairs of local row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + 'a {
+        let start = self.row_ptr[i] - self.base;
+        let end = self.row_ptr[i + 1] - self.base;
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Narrow the view to a sub-range of its rows — still zero-copy (the
+    /// window over the parent's arrays just shrinks).
+    ///
+    /// # Panics
+    /// Panics if `rows.end > self.nrows()` or the range is backwards.
+    pub fn slice_rows(&self, rows: std::ops::Range<usize>) -> CsrRowsView<'a> {
+        assert!(rows.start <= rows.end, "row range must be forward");
+        assert!(
+            rows.end <= self.nrows(),
+            "row range {}..{} out of bounds for {} rows",
+            rows.start,
+            rows.end,
+            self.nrows()
+        );
+        let lo = self.row_ptr[rows.start] - self.base;
+        let hi = self.row_ptr[rows.end] - self.base;
+        CsrRowsView {
+            ncols: self.ncols,
+            base: self.row_ptr[rows.start],
+            row_ptr: &self.row_ptr[rows.start..=rows.end],
+            col_idx: &self.col_idx[lo..hi],
+            values: &self.values[lo..hi],
+        }
+    }
+
+    /// Materialise the contiguous column range `cols` of the viewed rows as a new
+    /// CSR matrix with rebased column indices — the one `O(nnz)` column-panel
+    /// filtering pass of the workspace ([`CsrMatrix::slice_cols`] delegates here
+    /// through its whole-range row view).
+    ///
+    /// # Panics
+    /// Panics if `cols.end > self.ncols()` or the range is backwards.
+    pub fn slice_cols(&self, cols: std::ops::Range<usize>) -> CsrMatrix {
+        assert!(cols.start <= cols.end, "column range must be forward");
+        assert!(
+            cols.end <= self.ncols,
+            "column range {}..{} out of bounds for {} columns",
+            cols.start,
+            cols.end,
+            self.ncols
+        );
+        let nrows = self.nrows();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..nrows {
+            for (j, v) in self.row(i) {
+                if cols.contains(&j) {
+                    col_idx.push(j - cols.start);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols: cols.len(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materialise the view as an owned [`CsrMatrix`] (used by the generic
+    /// matrix-product fallbacks; the sketching hot paths iterate the view
+    /// directly).
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix {
+            nrows: self.nrows(),
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.iter().map(|&p| p - self.base).collect(),
+            col_idx: self.col_idx.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
+
+    /// Bytes occupied by the viewed index + value spans.
+    pub fn size_bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.row_ptr)
+            + std::mem::size_of_val(self.col_idx)
+            + std::mem::size_of_val(self.values)) as u64
     }
 }
 
@@ -302,6 +472,69 @@ mod tests {
         let t = CsrMatrix::from_coo(&coo).transpose();
         assert_eq!(t.row_ptr(), &[0, 0, 1]);
         assert_eq!(t.row(1).collect::<Vec<_>>(), vec![(3, 7.0)]);
+    }
+
+    #[test]
+    fn row_slices_are_views_and_tile_the_matrix() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let dense = csr.to_dense();
+        for split in [1usize, 2] {
+            let mid = split;
+            let top = csr.slice_rows(0..mid);
+            let bottom = csr.slice_rows(mid..3);
+            assert_eq!(top.nrows() + bottom.nrows(), 3);
+            assert_eq!(top.nnz() + bottom.nnz(), csr.nnz());
+            assert_eq!(top.ncols(), 4);
+            for (view, offset) in [(&top, 0usize), (&bottom, mid)] {
+                for i in 0..view.nrows() {
+                    let got: Vec<(usize, f64)> = view.row(i).collect();
+                    let want: Vec<(usize, f64)> = csr.row(offset + i).collect();
+                    assert_eq!(got, want);
+                }
+                let owned = view.to_csr();
+                for (i, row) in owned.to_dense().iter().enumerate() {
+                    assert_eq!(row, &dense[offset + i]);
+                }
+                assert!(view.size_bytes() > 0);
+            }
+        }
+        // Whole-range view round-trips exactly.
+        assert_eq!(csr.slice_rows(0..3).to_csr(), csr);
+        // Empty view is fine.
+        assert_eq!(csr.slice_rows(1..1).nrows(), 0);
+        // Re-slicing a view stays zero-copy and matches slicing the parent.
+        let nested = csr.slice_rows(1..3).slice_rows(1..2);
+        assert_eq!(nested.to_csr(), csr.slice_rows(2..3).to_csr());
+    }
+
+    #[test]
+    fn col_slices_rebase_indices_and_tile_the_matrix() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let dense = csr.to_dense();
+        let left = csr.slice_cols(0..2);
+        let right = csr.slice_cols(2..4);
+        assert_eq!(left.ncols(), 2);
+        assert_eq!(right.ncols(), 2);
+        assert_eq!(left.nnz() + right.nnz(), csr.nnz());
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(left.to_dense()[i][j], dense[i][j]);
+                assert_eq!(right.to_dense()[i][j], dense[i][j + 2]);
+            }
+        }
+        assert_eq!(csr.slice_cols(0..4), csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_slice_out_of_bounds_is_rejected() {
+        CsrMatrix::from_coo(&sample_coo()).slice_rows(0..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_slice_out_of_bounds_is_rejected() {
+        CsrMatrix::from_coo(&sample_coo()).slice_cols(3..5);
     }
 
     #[test]

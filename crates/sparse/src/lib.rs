@@ -12,6 +12,8 @@
 //!
 //! * [`CooMatrix`] — triplet assembly format,
 //! * [`CsrMatrix`] — compressed sparse row storage with conversion from COO,
+//! * [`CsrRowsView`] — a zero-copy block-row window over a CSR matrix (the sparse
+//!   side of the executor's `ShardAxis::Rows` contract),
 //! * [`spmv`] / [`spmm`] — row-parallel sparse kernels with device cost accounting,
 //!   including the *gather penalty* that models the uncoalesced row accesses a generic
 //!   SpMM performs when its sparsity pattern is random.
@@ -21,5 +23,5 @@ pub mod csr;
 pub mod ops;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, CsrRowsView};
 pub use ops::{spmm, spmm_into, spmv, SPMM_GATHER_PENALTY};

@@ -16,9 +16,10 @@ fn main() {
 
     for exponent in (0..=16).step_by(2) {
         let kappa = 10f64.powi(exponent);
-        let device = Device::unlimited();
+        let pool = DevicePool::unlimited(1);
+        let device = pool.device(0);
         let problem =
-            LsqProblem::conditioned(&device, d, n, kappa, 42 + exponent as u64).expect("valid");
+            LsqProblem::conditioned(device, d, n, kappa, 42 + exponent as u64).expect("valid");
         let mut cells = Vec::new();
         for method in [
             Method::NormalEquations,
@@ -26,8 +27,8 @@ fn main() {
             Method::MultiSketch,
             Method::Qr,
         ] {
-            let cell = match solve(&device, &problem, method, 7) {
-                Ok(sol) => match sol.relative_residual(&device, &problem) {
+            let cell = match solve(&pool, &problem, method, 7) {
+                Ok(sol) => match sol.relative_residual(device, &problem) {
                     Ok(r) if r.is_finite() => format!("{r:.3e}"),
                     _ => "NaN".to_string(),
                 },

@@ -17,11 +17,12 @@ fn main() {
     );
 
     for method in Method::ALL {
-        let device = Device::h100();
-        match solve(&device, &problem, method, 7) {
+        // Serial = pool of one on the unified engine.
+        let pool = DevicePool::h100(1);
+        match solve(&pool, &problem, method, 7) {
             Ok(sol) => {
                 let residual = sol
-                    .relative_residual(&device, &problem)
+                    .relative_residual(pool.device(0), &problem)
                     .expect("residual is computable");
                 let dominant = sol
                     .breakdown

@@ -97,7 +97,13 @@ fn main() {
     println!("Adaptive rangefinder: grow k until the posterior estimate drops below {tol:.0e}");
     loop {
         let params = LowRankParams::new(rank).with_oversample(4).with_seed(3, 0);
-        let q = range_finder(&device, &a, &params).expect("rangefinder succeeds");
+        let q = range_finder(
+            &DevicePool::h100(1),
+            &a,
+            &params,
+            &ExecutorOptions::default(),
+        )
+        .expect("rangefinder succeeds");
         let est = estimate_range_error(&device, &a, &q, 6, 1234, 0).expect("probes fit");
         println!("  k = {rank:>2}  ->  estimated ‖A − QQᵀA‖₂ ≲ {est:.3e}");
         if est < tol || rank >= n {

@@ -29,10 +29,14 @@ fn main() {
         .and_then(JsonValue::as_f64)
         .unwrap_or(1e2);
 
-    let device = Device::h100();
+    // Serial execution through the unified engine: a pool of one H100 (swap in
+    // DevicePool::h100(4) to shard every sketch below across four devices — the
+    // solutions stay bit-identical).
+    let pool = DevicePool::single(DeviceSpec::h100());
+    let device = pool.device(0);
     // The Figure 5 performance problem: cond(A) = kappa, b = A·1 + N(0, 0.1²) noise.
     let problem =
-        LsqProblem::with_noise(&device, d, n, kappa, 0.0, 0.1, seed).expect("valid problem");
+        LsqProblem::with_noise(device, d, n, kappa, 0.0, 0.1, seed).expect("valid problem");
     println!("Figure 5 sweep from {path}");
     println!("problem: A is {d} x {n}, cond(A) = {kappa:.1e}, seed {seed}\n");
     println!(
@@ -42,7 +46,7 @@ fn main() {
 
     let report = |sol: &LsqSolution| {
         let residual = sol
-            .relative_residual(&device, &problem)
+            .relative_residual(device, &problem)
             .expect("residual is computable");
         let dominant = sol
             .breakdown
@@ -61,7 +65,7 @@ fn main() {
     };
 
     // The deterministic baseline is not in the JSON — it has no sketch to describe.
-    let baseline = normal_equations(&device, &problem).expect("well conditioned");
+    let baseline = normal_equations(device, &problem).expect("well conditioned");
     report(&baseline);
 
     for entry in doc
@@ -79,13 +83,14 @@ fn main() {
             .expect("method has a solver");
         let plan = Pipeline::from_json_value(entry.get("pipeline").expect("method has a pipeline"))
             .expect("pipeline parses");
-        let sketch = plan.build_for(&device, n).expect("pipeline builds");
 
-        let mut sol = match solver {
+        let (mut sol, _run) = match solver {
             "rand-cholqr" => {
-                rand_cholqr_least_squares(&device, &problem, sketch.as_ref()).expect("solvable")
+                rand_cholqr_least_squares(&pool, &problem, &plan, &ExecutorOptions::default())
+                    .expect("solvable")
             }
-            _ => sketch_and_solve(&device, &problem, sketch.as_ref()).expect("solvable"),
+            _ => sketch_and_solve(&pool, &problem, &plan, &ExecutorOptions::default())
+                .expect("solvable"),
         };
         // Report under the JSON's label; leak is fine for a handful of labels in an
         // example process.

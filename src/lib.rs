@@ -50,12 +50,16 @@
 //!          device.model_time(&device.tracker().snapshot()) * 1e3);
 //! ```
 //!
-//! ## Multi-device quickstart
+//! ## One engine, any pool size, dense or sparse
 //!
-//! The same pipeline scales across a pool of simulated GPUs through the pipelined
-//! executor: shards are dispatched round-robin, collectives overlap the next shard's
-//! compute, and the result stays **bit-for-bit identical** to single-device
-//! execution (see `ARCHITECTURE.md` for the `ShardAxis` contract behind that).
+//! Every driver in the workspace targets a single execution engine: the pipelined
+//! executor of `sketch-dist`, fed by a [`DevicePool`](sketch_gpu_sim::DevicePool).
+//! *Serial execution is a pool of one* ([`DevicePool::single`](sketch_gpu_sim::DevicePool::single)
+//! runs each stage as one bare device launch with zero communication); larger
+//! pools shard each stage along its `ShardAxis`, dispatch round-robin, and
+//! overlap collectives with the next shard's compute.  The result stays
+//! **bit-for-bit identical** at every pool size, for dense *and* CSR operands
+//! (see `ARCHITECTURE.md` for the `ShardAxis` contract behind that).
 //!
 //! ```
 //! use gpu_countsketch::prelude::*;
@@ -68,11 +72,18 @@
 //! let pool = DevicePool::h100(4);
 //! let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
 //!
-//! let device = Device::h100();
-//! let single = plan.build_for(&device, 8).unwrap().apply_matrix(&device, &a).unwrap();
-//! assert_eq!(run.result.max_abs_diff(&single).unwrap(), 0.0);   // same bits
-//! assert!(run.pipelined_seconds < run.serial_seconds);          // overlap won
+//! // Serial is just the degenerate pool: same engine, same bits.
+//! let serial_pool = DevicePool::single(DeviceSpec::h100());
+//! let serial = pipelined_sketch(&serial_pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+//! assert_eq!(run.result.max_abs_diff(&serial.result).unwrap(), 0.0); // same bits
+//! assert!(run.pipelined_seconds < run.serial_seconds);               // overlap won
 //! assert_eq!(run.utilizations().len(), 4);
+//!
+//! // The workload drivers ride the same engine with a `pool` argument.
+//! let problem = LsqProblem::easy(pool.device(0), 1 << 12, 4, 3).unwrap();
+//! let big = solve(&pool, &problem, Method::CountSketch, 3).unwrap();
+//! let one = solve(&serial_pool, &problem, Method::CountSketch, 3).unwrap();
+//! assert_eq!(big.x, one.x); // bit-identical across pool sizes
 //! ```
 
 pub use sketch_core as sketch;
@@ -101,10 +112,12 @@ pub mod prelude {
     };
     pub use sketch_la::{Layout, Matrix, Op};
     pub use sketch_lowrank::{
-        estimate_range_error, nystrom, range_finder, range_finder_pooled, rsvd, streaming_svd,
-        CountingBlockSource, LowRankParams, MatVecLike, NystromResult, RangeSketch, SvdResult,
+        estimate_range_error, nystrom, range_finder, rsvd, streaming_svd, CountingBlockSource,
+        LowRankParams, MatVecLike, NystromResult, RangeSketch, SvdResult,
     };
-    pub use sketch_lsq::{sketch_and_solve_pooled, solve, LsqProblem, LsqSolution, Method};
+    pub use sketch_lsq::{
+        rand_cholqr_least_squares, sketch_and_solve, solve, LsqProblem, LsqSolution, Method,
+    };
     pub use sketch_rng::{PhiloxRng, StreamFactory};
 }
 
@@ -114,13 +127,11 @@ mod tests {
 
     #[test]
     fn prelude_exposes_a_working_end_to_end_pipeline() {
-        let device = Device::h100();
-        let problem = LsqProblem::easy(&device, 1024, 4, 1).unwrap();
-        let sol = solve(&device, &problem, Method::MultiSketch, 2).unwrap();
+        let pool = DevicePool::single(DeviceSpec::h100());
+        let device = pool.device(0);
+        let problem = LsqProblem::easy(device, 1024, 4, 1).unwrap();
+        let sol = solve(&pool, &problem, Method::MultiSketch, 2).unwrap();
         assert_eq!(sol.x.len(), 4);
-        assert!(sol
-            .relative_residual(&device, &problem)
-            .unwrap()
-            .is_finite());
+        assert!(sol.relative_residual(device, &problem).unwrap().is_finite());
     }
 }

@@ -75,12 +75,13 @@ proptest! {
     /// theoretical distortion envelope.
     #[test]
     fn prop_sketch_and_solve_residual_bounds(seed in 0u64..50) {
-        let device = Device::unlimited();
-        let problem = LsqProblem::easy(&device, 2048, 6, seed).unwrap();
-        let best = solve(&device, &problem, Method::Qr, seed).unwrap()
-            .relative_residual(&device, &problem).unwrap();
-        let sol = solve(&device, &problem, Method::CountSketch, seed + 1).unwrap();
-        let res = sol.relative_residual(&device, &problem).unwrap();
+        let pool = DevicePool::unlimited(1);
+        let device = pool.device(0);
+        let problem = LsqProblem::easy(device, 2048, 6, seed).unwrap();
+        let best = solve(&pool, &problem, Method::Qr, seed).unwrap()
+            .relative_residual(device, &problem).unwrap();
+        let sol = solve(&pool, &problem, Method::CountSketch, seed + 1).unwrap();
+        let res = sol.relative_residual(device, &problem).unwrap();
         prop_assert!(res + 1e-12 >= best);
         prop_assert!(res <= 2.5 * best, "residual {res} vs best {best}");
     }

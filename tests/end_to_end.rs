@@ -8,10 +8,11 @@ use gpu_countsketch::prelude::*;
 /// solution up to the documented O(1) distortion, and never beats it.
 #[test]
 fn sketch_and_solve_pipeline_respects_the_distortion_envelope() {
-    let device = Device::unlimited();
-    let problem = LsqProblem::easy(&device, 1 << 13, 12, 1).unwrap();
-    let qr = solve(&device, &problem, Method::Qr, 1).unwrap();
-    let best = qr.relative_residual(&device, &problem).unwrap();
+    let pool = DevicePool::unlimited(1);
+    let device = pool.device(0);
+    let problem = LsqProblem::easy(device, 1 << 13, 12, 1).unwrap();
+    let qr = solve(&pool, &problem, Method::Qr, 1).unwrap();
+    let best = qr.relative_residual(device, &problem).unwrap();
 
     for method in [
         Method::Gaussian,
@@ -19,8 +20,8 @@ fn sketch_and_solve_pipeline_respects_the_distortion_envelope() {
         Method::MultiSketch,
         Method::Srht,
     ] {
-        let sol = solve(&device, &problem, method, 3).unwrap();
-        let res = sol.relative_residual(&device, &problem).unwrap();
+        let sol = solve(&pool, &problem, method, 3).unwrap();
+        let res = sol.relative_residual(device, &problem).unwrap();
         assert!(res + 1e-12 >= best, "{}: beat the optimum", method.label());
         assert!(
             res < 2.0 * best,
@@ -34,10 +35,10 @@ fn sketch_and_solve_pipeline_respects_the_distortion_envelope() {
 /// completely different path than Householder QR.
 #[test]
 fn rand_cholqr_matches_householder_qr() {
-    let device = Device::unlimited();
-    let problem = LsqProblem::hard(&device, 1 << 12, 8, 2).unwrap();
-    let qr = solve(&device, &problem, Method::Qr, 1).unwrap();
-    let rc = solve(&device, &problem, Method::RandCholQr, 1).unwrap();
+    let pool = DevicePool::unlimited(1);
+    let problem = LsqProblem::hard(pool.device(0), 1 << 12, 8, 2).unwrap();
+    let qr = solve(&pool, &problem, Method::Qr, 1).unwrap();
+    let rc = solve(&pool, &problem, Method::RandCholQr, 1).unwrap();
     for (a, b) in rc.x.iter().zip(&qr.x) {
         assert!((a - b).abs() < 1e-7, "{a} vs {b}");
     }
@@ -47,17 +48,18 @@ fn rand_cholqr_matches_householder_qr() {
 /// lose many digits, the multisketched solver does not.
 #[test]
 fn ill_conditioning_breaks_normal_equations_but_not_multisketch() {
-    let device = Device::unlimited();
-    let problem = LsqProblem::conditioned(&device, 1 << 12, 8, 1e10, 3).unwrap();
+    let pool = DevicePool::unlimited(1);
+    let device = pool.device(0);
+    let problem = LsqProblem::conditioned(device, 1 << 12, 8, 1e10, 3).unwrap();
 
-    let multi = solve(&device, &problem, Method::MultiSketch, 5).unwrap();
-    let multi_res = multi.relative_residual(&device, &problem).unwrap();
+    let multi = solve(&pool, &problem, Method::MultiSketch, 5).unwrap();
+    let multi_res = multi.relative_residual(device, &problem).unwrap();
     assert!(multi_res < 1e-5, "multisketch residual {multi_res}");
 
-    match solve(&device, &problem, Method::NormalEquations, 5) {
+    match solve(&pool, &problem, Method::NormalEquations, 5) {
         Err(e) => assert!(e.is_gram_breakdown()),
         Ok(sol) => {
-            let res = sol.relative_residual(&device, &problem).unwrap();
+            let res = sol.relative_residual(device, &problem).unwrap();
             assert!(
                 res > 10.0 * multi_res,
                 "normal equations should be much less accurate: {res} vs {multi_res}"
@@ -70,10 +72,11 @@ fn ill_conditioning_breaks_normal_equations_but_not_multisketch() {
 /// phases sum to the tracker totals for a full solve.
 #[test]
 fn breakdown_phases_cover_the_tracked_device_costs() {
-    let device = Device::h100();
-    let problem = LsqProblem::performance(&device, 1 << 12, 8, 4).unwrap();
+    let pool = DevicePool::h100(1);
+    let device = pool.device(0);
+    let problem = LsqProblem::performance(device, 1 << 12, 8, 4).unwrap();
     device.tracker().reset();
-    let sol = solve(&device, &problem, Method::CountSketch, 6).unwrap();
+    let sol = solve(&pool, &problem, Method::CountSketch, 6).unwrap();
     let tracked = device.tracker().snapshot();
     let from_phases = sol.breakdown.total_cost();
     // The phases must account for at least the large majority of the device traffic
@@ -88,9 +91,9 @@ fn breakdown_phases_cover_the_tracked_device_costs() {
 #[test]
 fn full_pipeline_is_reproducible() {
     let run = || {
-        let device = Device::unlimited();
-        let problem = LsqProblem::easy(&device, 1 << 12, 8, 9).unwrap();
-        solve(&device, &problem, Method::MultiSketch, 11).unwrap().x
+        let pool = DevicePool::unlimited(1);
+        let problem = LsqProblem::easy(pool.device(0), 1 << 12, 8, 9).unwrap();
+        solve(&pool, &problem, Method::MultiSketch, 11).unwrap().x
     };
     let (a, b) = (run(), run());
     for (x, y) in a.iter().zip(&b) {

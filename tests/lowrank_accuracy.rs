@@ -65,7 +65,13 @@ fn rangefinder_satisfies_hmt_spectral_bound() {
     let sigma = geometric_singular_values(n, 1e4);
     let a = matrix_with_singular_values(&d, m, n, &sigma, 3).expect("valid spectrum");
     let params = LowRankParams::new(k).with_oversample(p).with_seed(5, 0);
-    let q = range_finder(&d, &a, &params).expect("rangefinder succeeds");
+    let q = range_finder(
+        &DevicePool::unlimited(1),
+        &a,
+        &params,
+        &ExecutorOptions::default(),
+    )
+    .expect("rangefinder succeeds");
 
     // Residual A − QQᵀA, materialised densely.
     let qta = gemm_op(&d, 1.0, Op::Trans, &q, Op::NoTrans, &a, 0.0, None).expect("QᵀA");
@@ -213,7 +219,13 @@ fn error_estimator_supports_adaptive_rank_growth() {
     let mut accepted = 0;
     for k in [2, 4, 6] {
         let params = LowRankParams::new(k).with_oversample(0).with_seed(3, 0);
-        let q = range_finder(&d, &a, &params).expect("rangefinder succeeds");
+        let q = range_finder(
+            &DevicePool::unlimited(1),
+            &a,
+            &params,
+            &ExecutorOptions::default(),
+        )
+        .expect("rangefinder succeeds");
         let est = estimate_range_error(&d, &a, &q, 6, 999, 0).expect("probes fit");
         if est < 1e-5 {
             accepted = k;

@@ -9,7 +9,8 @@
 use gpu_countsketch::dist::{pipelined_sketch, ExecutorOptions};
 use gpu_countsketch::gpu::{Device, DevicePool};
 use gpu_countsketch::la::{Layout, Matrix};
-use gpu_countsketch::sketch::{EmbeddingDim, Pipeline, SketchSpec};
+use gpu_countsketch::sketch::{EmbeddingDim, Operand, Pipeline, SketchSpec};
+use gpu_countsketch::sparse::{CooMatrix, CsrMatrix};
 
 /// Bitwise equality, element by element (stricter than `max_abs_diff == 0.0`,
 /// which cannot distinguish `-0.0` from `0.0`).
@@ -106,6 +107,94 @@ fn count_gauss_pipeline_is_bit_identical_across_device_counts() {
         13,
     );
     check_across_devices("Count-Gauss", &plan, &a);
+}
+
+/// A sparse 1000 x 9 operand with an irregular pattern (~2.5 nnz per row) built
+/// from the dense odd operand, so the values are generic Gaussians.
+fn odd_csr_operand() -> CsrMatrix {
+    let dense = odd_operand();
+    let mut coo = CooMatrix::new(dense.nrows(), dense.ncols());
+    for i in 0..dense.nrows() {
+        coo.push(i, i % 9, dense.get(i, i % 9));
+        coo.push(i, (i * 5 + 2) % 9, dense.get(i, (i * 5 + 2) % 9));
+        if i % 2 == 0 {
+            coo.push(i, (i * 3 + 7) % 9, dense.get(i, (i * 3 + 7) % 9));
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+fn check_csr_across_devices(label: &str, plan: &Pipeline, a: &CsrMatrix) {
+    let device = Device::unlimited();
+    let reference = plan
+        .build_for(&device, a.ncols())
+        .expect("plan builds")
+        .apply_operand(&device, Operand::Csr(a))
+        .expect("plan applies to CSR");
+    for devices in DEVICE_COUNTS {
+        let pool = DevicePool::unlimited(devices);
+        let run = pipelined_sketch(&pool, a, plan, &ExecutorOptions::default())
+            .unwrap_or_else(|e| panic!("{label} failed on {devices} devices: {e}"));
+        assert_bits_equal(
+            &format!("{label}/CSR @ {devices} devices"),
+            &run.result,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn csr_operands_are_bit_identical_across_device_counts() {
+    let a = odd_csr_operand();
+    let d = a.nrows();
+    for (label, plan) in [
+        (
+            "CountSketch",
+            Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), 7)),
+        ),
+        (
+            "HashCountSketch",
+            Pipeline::single(SketchSpec::hash_countsketch(d, EmbeddingDim::Exact(48), 11)),
+        ),
+        (
+            "Gaussian",
+            Pipeline::single(SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), 5)),
+        ),
+        (
+            "SRHT",
+            Pipeline::single(SketchSpec::srht(d, EmbeddingDim::Ratio(2), 3)),
+        ),
+        (
+            "Count-Gauss",
+            Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 13),
+        ),
+    ] {
+        check_csr_across_devices(label, &plan, &a);
+    }
+}
+
+#[test]
+fn csr_and_dense_operands_shard_to_the_same_schedule() {
+    // The engine must not special-case sparsity in its scheduling: the same
+    // plan over a CSR operand and its dense counterpart cuts identical shards.
+    let csr = odd_csr_operand();
+    let plan = Pipeline::single(SketchSpec::countsketch(
+        csr.nrows(),
+        EmbeddingDim::Exact(32),
+        3,
+    ));
+    let dense = {
+        let rows = csr.to_dense();
+        Matrix::from_fn(csr.nrows(), csr.ncols(), Layout::RowMajor, |i, j| {
+            rows[i][j]
+        })
+    };
+    let pool = DevicePool::unlimited(4);
+    let run_csr = pipelined_sketch(&pool, &csr, &plan, &ExecutorOptions::default()).unwrap();
+    let pool2 = DevicePool::unlimited(4);
+    let run_dense = pipelined_sketch(&pool2, &dense, &plan, &ExecutorOptions::default()).unwrap();
+    assert_eq!(run_csr.schedules, run_dense.schedules);
+    assert_bits_equal("CSR vs dense operand", &run_csr.result, &run_dense.result);
 }
 
 #[test]
