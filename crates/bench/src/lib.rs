@@ -6,8 +6,8 @@
 //! Every figure is regenerated at two scales:
 //!
 //! * **measured** — the kernels actually run on this machine at a reduced problem size
-//!   (the container has two cores and no GPU); both the modelled H100 time and the
-//!   wall-clock time are reported,
+//!   (no GPU; the rayon shim schedules real host threads); both the modelled H100 time
+//!   and the wall-clock time are reported,
 //! * **paper scale** — the same cost formulas evaluated analytically at the paper's
 //!   `d ∈ {2²¹, 2²², 2²³}`, `n ∈ {32 … 256}` and pushed through the H100 roofline model.
 //!   A unit test (`analytic::tests`) checks the analytic formulas against the costs the
@@ -28,6 +28,8 @@
 //! | `fig8_stability` | Figure 8 (residual vs condition number) |
 //! | `dist_comm` | Section 7 communication-volume comparison |
 //! | `ablations` | design-choice ablations (atomic vs gather, layouts, radix, SyRK) |
+//! | `fig_scaling` | multi-device strong/weak scaling + overlap ablation (modelled) |
+//! | `fig_walltime` | measured wall-clock across thread counts + bitwise gate |
 //! | `all_experiments` | everything above in sequence |
 
 pub mod analytic;
@@ -35,6 +37,7 @@ pub mod config;
 pub mod lsq_experiments;
 pub mod report;
 pub mod sketch_experiments;
+pub mod walltime;
 
 pub use config::{ExperimentScale, SweepPoint};
 pub use report::Table;

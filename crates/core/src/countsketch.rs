@@ -11,6 +11,13 @@
 //!     atomicAdd(Y[r_j, :],  s_j ? A[j, :] : -A[j, :])
 //! ```
 //!
+//! The *cost model* charges exactly that atomic kernel.  The host *execution*,
+//! however, inverts the row map and gathers over output rows (`invert_row_map`),
+//! because atomic f64 adds have a scheduling-dependent fold order under the real
+//! thread pool and would break the workspace's bit-exactness contract.  The gather
+//! folds each output cell's contributions in ascending input-row order — the serial
+//! scatter's order — so results are bit-identical for any `RAYON_NUM_THREADS`.
+//!
 //! Three ways of applying the same operator are provided:
 //!
 //! * [`SketchOperator::apply_into`] / [`SketchOperator::apply_matrix`] — the paper's
@@ -28,7 +35,7 @@
 use crate::error::Error;
 use crate::operand::Operand;
 use crate::traits::SketchOperator;
-use sketch_gpu_sim::{parallel_for_chunks, AtomicF64View, Device, KernelCost};
+use sketch_gpu_sim::{Device, KernelCost};
 use sketch_la::{Layout, Matrix, MatrixViewMut};
 use sketch_rng::fill;
 use sketch_sparse::{spmm, CooMatrix, CsrMatrix};
@@ -152,21 +159,7 @@ impl CountSketch {
         let n = a.ncols();
         let _reservation = device.try_reserve(KernelCost::f64_bytes((self.k * n) as u64))?;
 
-        // Build the inverse map: counting sort of input rows by target row.
-        let mut counts = vec![0usize; self.k + 1];
-        for &r in &self.rows {
-            counts[r + 1] += 1;
-        }
-        for i in 0..self.k {
-            counts[i + 1] += counts[i];
-        }
-        let mut members = vec![0usize; self.d];
-        let mut cursor = counts.clone();
-        for (j, &r) in self.rows.iter().enumerate() {
-            members[cursor[r]] = j;
-            cursor[r] += 1;
-        }
-
+        let (counts, members) = invert_row_map(self.k, &self.rows);
         let mut y = Matrix::zeros_with_layout(self.k, n, Layout::RowMajor);
         {
             let data = y.as_mut_slice();
@@ -228,13 +221,41 @@ impl ParChunksOuter for [f64] {
     }
 }
 
+/// Invert a CountSketch row map by counting sort: returns `(counts, members)`
+/// where `members[counts[r]..counts[r + 1]]` lists, **in ascending input-row
+/// order**, every `j` with `target(j) == r`.
+///
+/// The ascending order inside each bucket is load-bearing: the gather kernels
+/// below fold each output cell's contributions in exactly the order the serial
+/// scatter would, so their results are bit-for-bit identical for any thread
+/// count — the same ascending-global-row-order contract the distributed driver
+/// proves at the shard level.
+fn invert_row_map(k: usize, targets: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut counts = vec![0usize; k + 1];
+    for &r in targets {
+        counts[r + 1] += 1;
+    }
+    for i in 0..k {
+        counts[i + 1] += counts[i];
+    }
+    let mut members = vec![0usize; targets.len()];
+    let mut cursor = counts.clone();
+    for (j, &r) in targets.iter().enumerate() {
+        members[cursor[r]] = j;
+        cursor[r] += 1;
+    }
+    (counts, members)
+}
+
 /// Shared Algorithm-2 scatter used by both the explicit and the hash-based operator:
 /// zero `out`, then add `sign(j) * A[j, :]` into row `row_of(j)` of `out`.
 ///
-/// The row-major fast path uses the atomic view exactly like the CUDA kernel; other
-/// output layouts fall back to element-indexed accumulation with the identical
-/// per-element order, so the results are bit-for-bit equal under the deterministic
-/// (sequential-shim) execution the workspace tests rely on.
+/// On the GPU this is the atomic scatter of Algorithm 2 (and the cost model
+/// charges it as such); on the host the row map is inverted first and every
+/// *output* row gathers its inputs in ascending `j`.  Disjoint output rows make
+/// the parallel loop scheduling-order-immune, and the ascending fold reproduces
+/// the serial scatter's per-cell accumulation order — so the result is
+/// bit-for-bit identical for 1 or N threads.
 fn scatter_rows_into(
     d: usize,
     out: &mut MatrixViewMut<'_>,
@@ -242,38 +263,61 @@ fn scatter_rows_into(
     target_of: impl Fn(usize) -> (usize, f64) + Sync,
 ) {
     let n = a.ncols();
+    let k = out.nrows();
     out.fill(0.0);
-    match a {
-        Operand::Dense(m) => {
-            if out.layout() == Layout::RowMajor {
-                let view = AtomicF64View::new(out.as_mut_slice());
-                match m.layout() {
-                    Layout::RowMajor => {
-                        let data = m.as_slice();
-                        parallel_for_chunks(d, 2048, |start, end| {
-                            for j in start..end {
-                                let (row_idx, sign) = target_of(j);
-                                let target = row_idx * n;
-                                let row = &data[j * n..(j + 1) * n];
-                                for (c, &v) in row.iter().enumerate() {
-                                    view.add(target + c, sign * v);
-                                }
-                            }
-                        });
+    if out.layout() == Layout::RowMajor {
+        let targets: Vec<usize> = (0..d).map(|j| target_of(j).0).collect();
+        let (counts, members) = invert_row_map(k, &targets);
+        let data = out.as_mut_slice();
+        match a {
+            Operand::Dense(m) if m.layout() == Layout::RowMajor => {
+                let a_data = m.as_slice();
+                data.par_chunks_mut_outer(n, |r, out_row| {
+                    for &j in &members[counts[r]..counts[r + 1]] {
+                        let (_, sign) = target_of(j);
+                        let row = &a_data[j * n..(j + 1) * n];
+                        for (slot, &v) in out_row.iter_mut().zip(row) {
+                            *slot += sign * v;
+                        }
                     }
-                    Layout::ColMajor => {
-                        parallel_for_chunks(d, 2048, |start, end| {
-                            for j in start..end {
-                                let (row_idx, sign) = target_of(j);
-                                let target = row_idx * n;
-                                for c in 0..n {
-                                    view.add(target + c, sign * m.get(j, c));
-                                }
-                            }
-                        });
+                });
+            }
+            Operand::Dense(m) => {
+                data.par_chunks_mut_outer(n, |r, out_row| {
+                    for &j in &members[counts[r]..counts[r + 1]] {
+                        let (_, sign) = target_of(j);
+                        for (c, slot) in out_row.iter_mut().enumerate() {
+                            *slot += sign * m.get(j, c);
+                        }
                     }
-                }
-            } else {
+                });
+            }
+            Operand::Csr(s) => {
+                data.par_chunks_mut_outer(n, |r, out_row| {
+                    for &j in &members[counts[r]..counts[r + 1]] {
+                        let (_, sign) = target_of(j);
+                        for (c, v) in s.row(j) {
+                            out_row[c] += sign * v;
+                        }
+                    }
+                });
+            }
+            Operand::CsrRows(v) => {
+                data.par_chunks_mut_outer(n, |r, out_row| {
+                    for &j in &members[counts[r]..counts[r + 1]] {
+                        let (_, sign) = target_of(j);
+                        for (c, val) in v.row(j) {
+                            out_row[c] += sign * val;
+                        }
+                    }
+                });
+            }
+        }
+    } else {
+        // Column-major output: strided rows cannot be handed out as disjoint
+        // slices, so keep the serial ascending-j scatter (identical fold order).
+        match a {
+            Operand::Dense(m) => {
                 for j in 0..d {
                     let (target, sign) = target_of(j);
                     for c in 0..n {
@@ -281,20 +325,20 @@ fn scatter_rows_into(
                     }
                 }
             }
-        }
-        Operand::Csr(s) => {
-            for j in 0..d {
-                let (target, sign) = target_of(j);
-                for (c, v) in s.row(j) {
-                    out.add_to(target, c, sign * v);
+            Operand::Csr(s) => {
+                for j in 0..d {
+                    let (target, sign) = target_of(j);
+                    for (c, v) in s.row(j) {
+                        out.add_to(target, c, sign * v);
+                    }
                 }
             }
-        }
-        Operand::CsrRows(v) => {
-            for j in 0..d {
-                let (target, sign) = target_of(j);
-                for (c, val) in v.row(j) {
-                    out.add_to(target, c, sign * val);
+            Operand::CsrRows(v) => {
+                for j in 0..d {
+                    let (target, sign) = target_of(j);
+                    for (c, val) in v.row(j) {
+                        out.add_to(target, c, sign * val);
+                    }
                 }
             }
         }
@@ -314,12 +358,13 @@ impl SketchOperator for CountSketch {
         "CountSketch (Alg 2)"
     }
 
-    /// Apply via **Algorithm 2**: one parallel task per input row, atomic adds into
-    /// the caller-owned output.
+    /// Apply via **Algorithm 2**: modelled as one parallel task per input row with
+    /// atomic adds, executed on the host as a deterministic ordered gather into the
+    /// caller-owned output (see the module docs).
     ///
     /// Dense `A` should be row-major for coalesced reads (Section 6.1); a column-major
     /// operand is accepted but charged the uncoalesced-read penalty.  CSR operands are
-    /// scattered non-zero by non-zero.  No intermediate matrix is allocated.
+    /// scattered non-zero by non-zero.  No intermediate output matrix is allocated.
     fn apply_into(
         &self,
         device: &Device,
@@ -352,13 +397,12 @@ impl SketchOperator for CountSketch {
         self.check_input_dim(x.len())?;
         let mut y = vec![0.0; self.k];
         {
-            let view = AtomicF64View::new(&mut y);
-            let rows = &self.rows;
+            use rayon::prelude::*;
+            let (counts, members) = invert_row_map(self.k, &self.rows);
             let signs = &self.signs;
-            parallel_for_chunks(self.d, 8192, |start, end| {
-                for j in start..end {
-                    let v = if signs[j] { x[j] } else { -x[j] };
-                    view.add(rows[j], v);
+            y.par_iter_mut().enumerate().for_each(|(r, slot)| {
+                for &j in &members[counts[r]..counts[r + 1]] {
+                    *slot += if signs[j] { x[j] } else { -x[j] };
                 }
             });
         }
@@ -495,11 +539,13 @@ impl SketchOperator for HashCountSketch {
         self.check_input_dim(x.len())?;
         let mut y = vec![0.0; self.k];
         {
-            let view = AtomicF64View::new(&mut y);
-            parallel_for_chunks(self.d, 8192, |start, end| {
-                for j in start..end {
-                    let (r, sign) = self.hash(j);
-                    view.add(r, sign * x[j]);
+            use rayon::prelude::*;
+            let targets: Vec<usize> = (0..self.d).map(|j| self.hash(j).0).collect();
+            let (counts, members) = invert_row_map(self.k, &targets);
+            y.par_iter_mut().enumerate().for_each(|(r, slot)| {
+                for &j in &members[counts[r]..counts[r + 1]] {
+                    let (_, sign) = self.hash(j);
+                    *slot += sign * x[j];
                 }
             });
         }

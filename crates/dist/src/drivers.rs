@@ -78,14 +78,12 @@ pub fn distributed_sketch(
 ///
 /// Rank `r` owns global rows `[r0, r1)` and therefore the columns `[r0, r1)`
 /// of `S`: it streams its local rows into the shared `k x n` accumulator in
-/// increasing global row order.  When the single-device kernel folds its
-/// contributions in that same deterministic order — which it does under the
-/// workspace's sequential rayon shim — the reduced result is **bit-for-bit
-/// identical** to `sketch.apply_matrix(device, a)`, the property the
-/// `distributed_equivalence` integration test pins down.  With a genuinely
-/// parallel rayon the single-device kernel's atomic-add order (and hence its
-/// last few bits) is nondeterministic, and the guarantee weakens to
-/// equality up to floating-point reassociation.
+/// increasing global row order.  The single-device kernel folds each output
+/// cell's contributions in that same ascending order — by construction of its
+/// ordered gather, for **any** thread count of the workspace's threaded rayon
+/// shim — so the reduced result is **bit-for-bit identical** to
+/// `sketch.apply_matrix(device, a)`, the property the
+/// `distributed_equivalence` integration test pins down.
 pub fn distributed_countsketch(
     device: &Device,
     dist: &BlockRowMatrix,

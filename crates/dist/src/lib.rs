@@ -21,11 +21,11 @@
 //!   [`KernelCost`](sketch_gpu_sim::KernelCost)s and the modelled [`CommCost`]
 //!   of the allreduce.
 //!
-//! The distributed CountSketch folds contributions in global row order, so as
-//! long as the single-device kernel is deterministic and uses that same order
-//! (true under the workspace's sequential rayon shim) the two results are
-//! **bit-for-bit identical**; with a genuinely parallel rayon the guarantee
-//! weakens to equality up to floating-point reassociation.
+//! The distributed CountSketch folds contributions in global row order, and the
+//! single-device kernel folds each output cell in that same ascending order by
+//! construction (an ordered gather, independent of thread count under the
+//! workspace's threaded rayon shim) — so the two results are **bit-for-bit
+//! identical**.
 //!
 //! On top of the volume model sits the **multi-device pipelined executor**
 //! ([`executor`]): a [`Pipeline`](sketch_core::Pipeline) of sketch stages runs

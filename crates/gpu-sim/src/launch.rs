@@ -5,6 +5,15 @@
 //! `atomicAdd(double*, double)` is a compare-and-swap loop over the bit pattern — the
 //! exact strategy CUDA used before native double atomics existed, and semantically
 //! identical to the hardware instruction.
+//!
+//! **Determinism caveat.**  The workspace's rayon shim runs on real threads, so
+//! the *order* in which concurrent [`AtomicF64`] adds land on one cell is
+//! scheduling-dependent; f64 addition is not associative, so a sum accumulated
+//! through atomics is reproducible only up to rounding.  That mirrors the GPU
+//! exactly — and is why the workspace's bit-exact kernels (CountSketch, SpMM)
+//! are structured as ordered gathers over *disjoint* outputs instead of atomic
+//! scatters.  [`parallel_for`] / [`parallel_for_chunks`] themselves cut blocks
+//! by length only and stay deterministic whenever block writes are disjoint.
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};

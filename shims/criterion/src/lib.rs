@@ -1,15 +1,29 @@
-//! Single-shot timing shim for the subset of `criterion` this workspace uses.
+//! Sampling timing shim for the subset of `criterion` this workspace uses.
 //!
-//! Each `bench_function` runs its routine once to warm up and twice timed,
-//! printing the mean wall-clock time.  That is enough for the CI smoke pass
-//! (`cargo bench -- --test` semantics: every bench executes, no statistics)
-//! and for eyeballing relative kernel costs locally.
+//! Each `bench_function` runs its routine [`WARMUP_ITERS`] times untimed (cache
+//! and pool warm-up, discarded), then collects per-iteration wall-clock samples:
+//! at least [`MIN_SAMPLES`], continuing until either [`MAX_SAMPLES`] or the
+//! [`SAMPLE_BUDGET`] time budget is reached.  Both the **minimum** (the least
+//! noise-contaminated estimate of the routine's true cost) and the **median**
+//! (robust central tendency) are reported; `nanos_per_iter` is the median.
+//! This replaces the old mean-of-2, which was too noisy for wall-clock gating
+//! in `BENCH_walltime.json`.
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Number of timed executions per benchmark (after one warm-up run).
-const TIMED_ITERS: u32 = 2;
+/// Untimed executions before sampling starts (results discarded).
+pub const WARMUP_ITERS: u32 = 2;
+
+/// Minimum number of timed samples per benchmark.
+pub const MIN_SAMPLES: usize = 5;
+
+/// Maximum number of timed samples per benchmark.
+pub const MAX_SAMPLES: usize = 31;
+
+/// Soft time budget for the sampling loop; once `MIN_SAMPLES` have been taken,
+/// sampling stops when the budget is exhausted.
+pub const SAMPLE_BUDGET: Duration = Duration::from_millis(100);
 
 /// Identifier for one benchmark within a group: `function/parameter`.
 pub struct BenchmarkId {
@@ -37,17 +51,45 @@ impl fmt::Display for BenchmarkId {
 #[derive(Default)]
 pub struct Bencher {
     nanos_per_iter: f64,
+    min_nanos: f64,
+    samples: usize,
 }
 
 impl Bencher {
-    /// Run `routine` once for warm-up and `TIMED_ITERS` times timed.
+    /// Run `routine` [`WARMUP_ITERS`] times untimed, then sample it per
+    /// iteration until the sample count/budget rules are met.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        std::hint::black_box(routine());
-        let start = Instant::now();
-        for _ in 0..TIMED_ITERS {
+        for _ in 0..WARMUP_ITERS {
             std::hint::black_box(routine());
         }
-        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / TIMED_ITERS as f64;
+        let mut samples: Vec<f64> = Vec::with_capacity(MIN_SAMPLES);
+        let budget_start = Instant::now();
+        while samples.len() < MAX_SAMPLES
+            && (samples.len() < MIN_SAMPLES || budget_start.elapsed() < SAMPLE_BUDGET)
+        {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.samples = samples.len();
+        self.min_nanos = samples[0];
+        self.nanos_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Median nanoseconds per iteration over the timed samples.
+    pub fn median_nanos(&self) -> f64 {
+        self.nanos_per_iter
+    }
+
+    /// Minimum nanoseconds per iteration over the timed samples.
+    pub fn min_nanos(&self) -> f64 {
+        self.min_nanos
+    }
+
+    /// Number of timed samples taken.
+    pub fn sample_count(&self) -> usize {
+        self.samples
     }
 }
 
@@ -64,7 +106,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Run one benchmark and print its mean time.
+    /// Run one benchmark and print its median and minimum times.
     pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -72,9 +114,11 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher::default();
         f(&mut bencher);
         println!(
-            "bench {:<50} {:>12.1} ns/iter",
+            "bench {:<50} {:>12.1} ns/iter (median, min {:.1}, n={})",
             format!("{}/{}", self.name, id),
-            bencher.nanos_per_iter
+            bencher.median_nanos(),
+            bencher.min_nanos(),
+            bencher.sample_count()
         );
         self
     }
@@ -147,8 +191,19 @@ mod tests {
             count += 1;
             std::thread::sleep(std::time::Duration::from_micros(50));
         });
-        assert_eq!(count, 1 + TIMED_ITERS);
-        assert!(b.nanos_per_iter > 0.0);
+        assert_eq!(count as usize, WARMUP_ITERS as usize + b.sample_count());
+        assert!(b.sample_count() >= MIN_SAMPLES);
+        assert!(b.sample_count() <= MAX_SAMPLES);
+        assert!(b.min_nanos() > 0.0);
+        assert!(b.median_nanos() >= b.min_nanos());
+    }
+
+    #[test]
+    fn long_routines_stop_at_the_budget() {
+        let mut b = Bencher::default();
+        b.iter(|| std::thread::sleep(std::time::Duration::from_millis(25)));
+        // 25 ms per sample blows the 100 ms budget right after MIN_SAMPLES.
+        assert_eq!(b.sample_count(), MIN_SAMPLES);
     }
 
     #[test]

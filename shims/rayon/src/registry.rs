@@ -1,0 +1,387 @@
+//! The thread pool behind the parallel iterators: worker threads, the shared
+//! injector deque, and the lifetime-erased batch jobs they claim work from.
+//!
+//! # Design
+//!
+//! Every data-parallel operation in this crate bottoms out in
+//! [`Registry::run_batch`]: a *batch* of `n_tasks` indexed tasks whose body is
+//! a `Fn(usize)` closure.  The calling thread publishes the batch on a shared
+//! injector deque, wakes the pool's workers, and then **participates itself**,
+//! so a pool of `t` threads always has `t` claimants (the caller plus `t - 1`
+//! workers).  Tasks are claimed with a single `fetch_add` on the batch's claim
+//! cursor — the chunk-deque discipline: whichever thread is idle steals the
+//! next unclaimed chunk, so load balancing is dynamic while the *chunk
+//! boundaries themselves* are fixed by the caller and never depend on the
+//! thread count (the determinism contract of the iterator layer).
+//!
+//! The caller blocks until every claimed task has completed, which is what
+//! makes the lifetime erasure of the task body sound: the closure (and
+//! everything it borrows) outlives all uses.  Worker panics are caught,
+//! forwarded, and re-raised on the calling thread.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// The body of a batch, lifetime-erased.
+///
+/// # Safety invariant
+///
+/// The reference is only dereferenced for task indices claimed while the
+/// originating [`Registry::run_batch`] call is still blocked; that call does
+/// not return until `pending` reaches zero, so the borrow is always live.
+struct TaskBody(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine) and
+// the pointer itself is only shipped between threads, never mutated.
+unsafe impl Send for TaskBody {}
+unsafe impl Sync for TaskBody {}
+
+/// One fork-join batch: `n_tasks` indexed tasks claimed via `next`.
+struct Batch {
+    /// Claim cursor: `fetch_add(1)` hands out task indices.
+    next: AtomicUsize,
+    /// Tasks not yet *completed* (claimed-and-finished decrements this).
+    pending: AtomicUsize,
+    /// Total number of tasks.
+    n_tasks: usize,
+    /// The erased task body.
+    body: TaskBody,
+    /// Completion signal: `done_cv` is notified under `done` when `pending`
+    /// hits zero.
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// First panic payload raised by any task, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    /// Claim and run tasks until the cursor is exhausted.  Returns once this
+    /// thread can contribute nothing further (other claimants may still be
+    /// running their tasks).
+    fn work(&self) {
+        loop {
+            let t = self.next.fetch_add(1, Ordering::Relaxed);
+            if t >= self.n_tasks {
+                return;
+            }
+            // SAFETY: `t < n_tasks` means the owning `run_batch` is still
+            // blocked waiting for this task, so the body is live.
+            let body = unsafe { &*self.body.0 };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(t))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task: wake the owner.  Taking the lock orders the
+                // notification after the owner's pending-check-then-wait.
+                let _guard = self.done.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Shared state of one thread pool: the injector deque plus worker plumbing.
+pub(crate) struct Registry {
+    /// Total parallelism: the calling thread plus `threads - 1` workers.
+    threads: usize,
+    /// Batches with potentially unclaimed tasks, oldest first.
+    injector: Mutex<VecDeque<Arc<Batch>>>,
+    /// Workers sleep here when the injector is empty.
+    work_available: Condvar,
+    /// Set by [`ThreadPool`]'s drop; workers exit at the next wakeup.
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(Self {
+            threads: threads.max(1),
+            injector: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Total parallelism of this registry (callers + workers).
+    pub(crate) fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pop one batch that may still have unclaimed tasks.
+    fn try_steal(&self) -> Option<Arc<Batch>> {
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// Run `body(t)` for every `t in 0..n_tasks` across the pool, returning
+    /// when all tasks have completed.  Task-index claiming is dynamic
+    /// (work-stealing); completion and panic propagation are synchronous.
+    pub(crate) fn run_batch(self: &Arc<Self>, n_tasks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // Serial fast path: a pool of one (or a single task) runs inline with
+        // no queueing, no atomics and undisturbed panic semantics.
+        if self.threads <= 1 || n_tasks == 1 {
+            for t in 0..n_tasks {
+                body(t);
+            }
+            return;
+        }
+
+        // SAFETY: `run_batch` does not return until every task has completed,
+        // so the erased borrow can never be used after it expires.
+        let body: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        let batch = Arc::new(Batch {
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_tasks),
+            n_tasks,
+            body: TaskBody(body as *const _),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        // Publish one claim ticket per worker that could usefully join in.
+        {
+            let mut q = self.injector.lock().unwrap();
+            for _ in 0..(self.threads - 1).min(n_tasks) {
+                q.push_back(Arc::clone(&batch));
+            }
+        }
+        self.work_available.notify_all();
+
+        // The caller is a claimant too.
+        batch.work();
+
+        // Wait for stragglers, helping with *other* queued batches while the
+        // last tasks of this one finish elsewhere (keeps nested parallelism
+        // from idling the pool).
+        loop {
+            if batch.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if let Some(other) = self.try_steal() {
+                other.work();
+                continue;
+            }
+            let guard = batch.done.lock().unwrap();
+            if batch.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // The timeout is a belt-and-braces fallback; the notify under
+            // `done` makes lost wakeups impossible.
+            let _ = batch
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Worker main loop: sleep on the injector, claim chunks from published
+/// batches, repeat until shutdown.
+fn worker_loop(registry: Arc<Registry>) {
+    // Parallel operations issued from inside a task (nested parallelism) must
+    // target this worker's own pool.
+    CURRENT.with(|current| *current.borrow_mut() = Some(Arc::clone(&registry)));
+    loop {
+        let batch = {
+            let mut q = registry.injector.lock().unwrap();
+            loop {
+                if registry.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(batch) = q.pop_front() {
+                    break batch;
+                }
+                q = registry.work_available.wait(q).unwrap();
+            }
+        };
+        batch.work();
+    }
+}
+
+thread_local! {
+    /// The registry parallel operations on this thread dispatch to: set for
+    /// the duration of [`ThreadPool::install`] and permanently on workers.
+    static CURRENT: std::cell::RefCell<Option<Arc<Registry>>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The process-global registry, built lazily from `RAYON_NUM_THREADS` (or the
+/// host's available parallelism) on first use.
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Thread count for the lazily-built global pool.
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Build a registry and spawn its `threads - 1` workers.
+fn build_registry(
+    threads: usize,
+) -> std::io::Result<(Arc<Registry>, Vec<std::thread::JoinHandle<()>>)> {
+    let registry = Registry::new(threads);
+    let mut workers = Vec::with_capacity(threads.saturating_sub(1));
+    for idx in 0..threads.saturating_sub(1) {
+        let reg = Arc::clone(&registry);
+        let handle = std::thread::Builder::new()
+            .name(format!("rayon-shim-{idx}"))
+            .spawn(move || worker_loop(reg))?;
+        workers.push(handle);
+    }
+    Ok((registry, workers))
+}
+
+/// The registry the current thread should dispatch to: the installed pool if
+/// inside [`ThreadPool::install`] (or on a worker), otherwise the global one.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    if let Some(registry) = CURRENT.with(|c| c.borrow().clone()) {
+        return registry;
+    }
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let (registry, workers) = build_registry(default_num_threads())
+            .expect("failed to spawn global thread-pool workers");
+        // Global workers live for the whole process; their handles are
+        // intentionally detached.
+        drop(workers);
+        registry
+    }))
+}
+
+/// Error returned when a [`ThreadPoolBuilder`] cannot construct a pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicit [`ThreadPool`], mirroring rayon's API surface:
+/// `ThreadPoolBuilder::new().num_threads(4).build()`.
+///
+/// A thread count of zero (the default) means "use `RAYON_NUM_THREADS`, or the
+/// host's available parallelism".
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with the default (environment-driven) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the pool's total parallelism (the installing thread counts as one
+    /// of the `n`).  Zero restores the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build an explicit pool with its own worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let (registry, workers) = build_registry(threads).map_err(|e| ThreadPoolBuildError {
+            message: e.to_string(),
+        })?;
+        Ok(ThreadPool { registry, workers })
+    }
+
+    /// Install the built pool as the process-global one.  Fails if the global
+    /// pool was already initialised (by an earlier call or lazily by a
+    /// parallel operation).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let (registry, workers) = build_registry(threads).map_err(|e| ThreadPoolBuildError {
+            message: e.to_string(),
+        })?;
+        drop(workers); // global workers are detached
+        GLOBAL.set(registry).map_err(|_| ThreadPoolBuildError {
+            message: "the global thread pool has already been initialized".into(),
+        })
+    }
+}
+
+/// An explicit thread pool with its own workers, shut down on drop.
+///
+/// [`ThreadPool::install`] redirects every parallel operation issued from the
+/// closure (on this thread) to this pool — the mechanism the determinism suite
+/// uses to compare 1-thread and N-thread executions bitwise within a single
+/// process.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Run `op` on the calling thread with this pool receiving all parallel
+    /// work dispatched during the call.
+    ///
+    /// Divergence from rayon: the closure runs on the *calling* thread (rayon
+    /// moves it onto a worker), so no `Send` bound is required — strictly more
+    /// code compiles, with identical results.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<Registry>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+            }
+        }
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.registry)));
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// This pool's total parallelism.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown.store(true, Ordering::Relaxed);
+        // Wake sleepers so they observe the flag.
+        {
+            let _q = self.registry.injector.lock().unwrap();
+            self.registry.work_available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
