@@ -8,12 +8,12 @@ use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
 use sketch_gpu_sim::Device;
 use sketch_la::blas3::{gram_gemm, syrk_gram};
 use sketch_la::{Layout, Matrix};
-use std::time::Instant;
+use sketch_obs::Stopwatch;
 
 fn time_wall<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let out = f();
-    (out, start.elapsed().as_secs_f64() * 1e3)
+    (out, start.elapsed_seconds() * 1e3)
 }
 
 fn main() {

@@ -1,9 +1,27 @@
 //! Regenerates Figure 5: the per-phase runtime breakdown of each least squares solver.
+//!
+//! With `--trace PATH` the binary additionally records one representative
+//! solve (the largest measured point, multisketch method) end to end and
+//! writes a Perfetto-loadable Chrome trace: profiler phases, kernel spans and
+//! the executor's stream schedule, with the metrics summary attached.
+//!
+//! Run with: `cargo run --release -p sketch-bench --bin fig5_lsq_breakdown [-- --trace PATH]`
 
+use sketch_bench::config::ExperimentScale;
 use sketch_bench::lsq_experiments::{lsq_breakdown_measured_rows, lsq_breakdown_paper_rows};
 use sketch_bench::report::{ms, Table};
+use sketch_gpu_sim::DevicePool;
+use sketch_lsq::{solve, LsqProblem, Method};
+use sketch_obs::{chrome_trace_with_metrics, write_json, MetricsRegistry, TraceCollector};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     let mut paper = Table::new(
         "Figure 5 — paper scale (modelled H100 ms per phase)",
         &["d", "n", "method", "total ms", "phases"],
@@ -47,4 +65,37 @@ fn main() {
         ]);
     }
     measured.print();
+
+    // One traced solve: a single pool and a single profiler keep every trace
+    // track's modelled timestamps monotone, and the modelled half of the trace
+    // is deterministic (same bytes on every host and thread count).
+    if let Some(path) = &trace_path {
+        let point = *ExperimentScale::Measured
+            .sweep()
+            .last()
+            .expect("the measured sweep is never empty");
+        let collector = TraceCollector::shared();
+        let pool = DevicePool::h100(1);
+        pool.attach_recorder(collector.clone());
+        let problem = LsqProblem::performance(pool.device(0), point.d, point.n, 42)
+            .expect("measured sweep sizes are always valid");
+        let sol = solve(&pool, &problem, Method::MultiSketch, 42)
+            .expect("the multisketch solve succeeds at measured sizes");
+
+        let metrics = MetricsRegistry::new();
+        let total = pool.total_cost();
+        metrics.add("lsq.kernel_launches", total.launches);
+        metrics.add("lsq.bytes_read", total.bytes_read);
+        metrics.add("lsq.bytes_written", total.bytes_written);
+        metrics.add("lsq.flops", total.flops);
+        metrics.add("lsq.phases", sol.breakdown.phases.len() as u64);
+
+        let trace_doc = chrome_trace_with_metrics(&collector.snapshot(), Some(&metrics));
+        write_json(std::path::Path::new(path), &trace_doc).expect("write trace JSON");
+        println!(
+            "wrote {path} ({} events, method {})",
+            collector.len(),
+            sol.method
+        );
+    }
 }

@@ -28,6 +28,7 @@ use sketch_core::{EmbeddingDim, JsonValue, Operand, Pipeline, SketchSpec};
 use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
 use sketch_gpu_sim::DevicePool;
 use sketch_la::{Layout, Matrix};
+use sketch_obs::{chrome_trace_with_metrics, write_json, MetricsRegistry, TraceCollector};
 use sketch_rng::fill;
 use sketch_sparse::{CooMatrix, CsrMatrix};
 
@@ -169,6 +170,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_scaling.json", String::as_str)
         .to_string();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let (d_strong, n) = if smoke { (1 << 12, 8) } else { (1 << 16, 16) };
     let d_weak_base = if smoke { 1 << 11 } else { 1 << 14 };
@@ -294,6 +300,34 @@ fn main() {
     ]);
     std::fs::write(&out_path, doc.render()).expect("write scaling JSON");
     println!("wrote {out_path}");
+
+    // Perfetto-compatible trace of one representative execution: the strong
+    // scaling problem on a 4-device pool, recorded end to end.  A single traced
+    // run keeps every track's sim timestamps monotone (each pool starts its
+    // modelled clocks at zero), and the modelled half of the trace is fully
+    // deterministic — same bytes on every host and thread count.
+    if let Some(path) = &trace_path {
+        let trace_devices = 4usize;
+        let collector = TraceCollector::shared();
+        let a = Matrix::random_gaussian(d_strong, n, Layout::RowMajor, 42, 0);
+        let pool = DevicePool::h100(trace_devices);
+        pool.attach_recorder(collector.clone());
+        let run = pipelined_sketch(
+            &pool,
+            &a,
+            &count_plan(d_strong),
+            &ExecutorOptions::default(),
+        )
+        .expect("traced run fits the modelled device");
+        let metrics = MetricsRegistry::new();
+        run.record_metrics(&metrics, &pool);
+        let trace_doc = chrome_trace_with_metrics(&collector.snapshot(), Some(&metrics));
+        write_json(std::path::Path::new(path), &trace_doc).expect("write trace JSON");
+        println!(
+            "wrote {path} ({} events, {trace_devices} devices)",
+            collector.len()
+        );
+    }
 
     // Gate: on >= 2 devices the pipelined makespan must beat the serial one.
     let mut violations = 0usize;

@@ -24,7 +24,9 @@
 //! Run with: `cargo run --release -p sketch-bench --bin fig_walltime [-- --smoke] [--out PATH]`
 
 use sketch_bench::report::{ms, Table};
-use sketch_bench::walltime::{bits_of, host_cores, time_fn, with_thread_pool, Sample};
+use sketch_bench::walltime::{
+    bits_of, host_cores, time_fn, time_fn_traced, with_thread_pool, Sample,
+};
 use sketch_core::fwht::{fwht_matrix_columns, DEFAULT_TILE};
 use sketch_core::{CountSketch, EmbeddingDim, JsonValue, Operand, Pipeline, SketchOperator};
 use sketch_dist::ExecutorOptions;
@@ -32,6 +34,7 @@ use sketch_gpu_sim::{Device, DevicePool};
 use sketch_la::blas3::gemm;
 use sketch_la::{Layout, Matrix};
 use sketch_lsq::{sketch_and_solve, LsqProblem};
+use sketch_obs::{chrome_trace_with_metrics, write_json, MetricsRegistry, RecorderHandle};
 use sketch_rng::fill;
 use sketch_sparse::{spmm_into, CooMatrix, CsrMatrix};
 
@@ -102,6 +105,15 @@ fn finish_rows(
         .collect()
 }
 
+/// Sample `routine`, emitting wall-track trace events named `name` when a
+/// recorder is attached (`--trace`).
+fn sample_kernel(trace: Option<&RecorderHandle>, name: &str, routine: &mut impl FnMut()) -> Sample {
+    match trace {
+        Some(recorder) => time_fn_traced(recorder, name, routine),
+        None => time_fn(routine),
+    }
+}
+
 /// Modelled H100 roofline time (ms) for one execution of `run`.
 fn modelled_ms_of(device: &Device, run: impl FnOnce()) -> f64 {
     let (_, cost) = device.tracker().measure(run);
@@ -123,7 +135,7 @@ fn random_csr(d: usize, n: usize, target_density: f64, seed: u64) -> CsrMatrix {
 }
 
 /// Dense GEMM: `C = A B` with a fresh output each iteration.
-fn bench_gemm(grid: &[usize], smoke: bool) -> Vec<Row> {
+fn bench_gemm(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
     let (m, k, n) = if smoke {
         (256, 256, 64)
     } else {
@@ -139,7 +151,7 @@ fn bench_gemm(grid: &[usize], smoke: bool) -> Vec<Row> {
     for &t in grid {
         let (sample, bits) = with_thread_pool(t, || {
             let mut c = None;
-            let sample = time_fn(|| {
+            let sample = sample_kernel(trace, &format!("gemm @{t}t"), &mut || {
                 c = Some(gemm(&device, 1.0, &a, &b, 0.0, None).expect("gemm fits"));
             });
             (
@@ -154,7 +166,7 @@ fn bench_gemm(grid: &[usize], smoke: bool) -> Vec<Row> {
 
 /// Tiled FWHT over the columns of a tall matrix, restored from a pristine
 /// copy each iteration (the transform is in-place).
-fn bench_fwht(grid: &[usize], smoke: bool) -> Vec<Row> {
+fn bench_fwht(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
     let d = if smoke { 1 << 15 } else { 1 << 18 };
     let n = 4;
     let device = Device::h100();
@@ -166,7 +178,7 @@ fn bench_fwht(grid: &[usize], smoke: bool) -> Vec<Row> {
     let mut sweep = Vec::new();
     for &t in grid {
         let (sample, bits) = with_thread_pool(t, || {
-            let sample = time_fn(|| {
+            let sample = sample_kernel(trace, &format!("fwht @{t}t"), &mut || {
                 work.as_mut_slice().copy_from_slice(pristine.as_slice());
                 fwht_matrix_columns(&device, &mut work, DEFAULT_TILE);
             });
@@ -178,7 +190,7 @@ fn bench_fwht(grid: &[usize], smoke: bool) -> Vec<Row> {
 }
 
 /// The CountSketch kernel (ordered gather) into a reused output buffer.
-fn bench_countsketch(grid: &[usize], smoke: bool) -> Vec<Row> {
+fn bench_countsketch(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
     let d = if smoke { 1 << 14 } else { 1 << 17 };
     let (n, k) = (8, 4096);
     let device = Device::h100();
@@ -192,7 +204,7 @@ fn bench_countsketch(grid: &[usize], smoke: bool) -> Vec<Row> {
     let mut sweep = Vec::new();
     for &t in grid {
         let (sample, bits) = with_thread_pool(t, || {
-            let sample = time_fn(|| {
+            let sample = sample_kernel(trace, &format!("countsketch @{t}t"), &mut || {
                 cs.apply_into(&device, Operand::Dense(&a), &mut out.view_mut())
                     .expect("countsketch fits");
             });
@@ -204,7 +216,7 @@ fn bench_countsketch(grid: &[usize], smoke: bool) -> Vec<Row> {
 }
 
 /// Row-parallel CSR SpMM into a reused output buffer.
-fn bench_spmm(grid: &[usize], smoke: bool) -> Vec<Row> {
+fn bench_spmm(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
     let (k, d) = if smoke {
         (1024, 1 << 14)
     } else {
@@ -222,7 +234,7 @@ fn bench_spmm(grid: &[usize], smoke: bool) -> Vec<Row> {
     let mut sweep = Vec::new();
     for &t in grid {
         let (sample, bits) = with_thread_pool(t, || {
-            let sample = time_fn(|| {
+            let sample = sample_kernel(trace, &format!("spmm @{t}t"), &mut || {
                 spmm_into(&device, &s, &a, &mut out.view_mut());
             });
             (sample, bits_of(out.as_slice()))
@@ -233,7 +245,7 @@ fn bench_spmm(grid: &[usize], smoke: bool) -> Vec<Row> {
 }
 
 /// End-to-end sketch-and-solve with the Count-Gauss pipeline.
-fn bench_sketch_and_solve(grid: &[usize], smoke: bool) -> Vec<Row> {
+fn bench_sketch_and_solve(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
     let d = if smoke { 1 << 12 } else { 1 << 14 };
     let n = 16;
     let pool = DevicePool::h100(1);
@@ -249,7 +261,7 @@ fn bench_sketch_and_solve(grid: &[usize], smoke: bool) -> Vec<Row> {
     for &t in grid {
         let (sample, bits) = with_thread_pool(t, || {
             let mut x = None;
-            let sample = time_fn(|| {
+            let sample = sample_kernel(trace, &format!("sketch_and_solve @{t}t"), &mut || {
                 let (solution, _) =
                     sketch_and_solve(&pool, &problem, &plan, &opts).expect("solver succeeds");
                 x = Some(solution.x);
@@ -270,17 +282,27 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_walltime.json", String::as_str)
         .to_string();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let grid: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
     let cores = host_cores();
     println!("host cores: {cores}; thread grid: {grid:?}; smoke: {smoke}");
 
+    let collector = trace_path
+        .as_ref()
+        .map(|_| sketch_obs::TraceCollector::shared());
+    let trace: Option<RecorderHandle> = collector.clone().map(|c| c as RecorderHandle);
+
     let mut rows: Vec<Row> = Vec::new();
-    rows.extend(bench_gemm(grid, smoke));
-    rows.extend(bench_fwht(grid, smoke));
-    rows.extend(bench_countsketch(grid, smoke));
-    rows.extend(bench_spmm(grid, smoke));
-    rows.extend(bench_sketch_and_solve(grid, smoke));
+    rows.extend(bench_gemm(grid, smoke, trace.as_ref()));
+    rows.extend(bench_fwht(grid, smoke, trace.as_ref()));
+    rows.extend(bench_countsketch(grid, smoke, trace.as_ref()));
+    rows.extend(bench_spmm(grid, smoke, trace.as_ref()));
+    rows.extend(bench_sketch_and_solve(grid, smoke, trace.as_ref()));
 
     // Text report.
     let mut table = Table::new(
@@ -343,9 +365,22 @@ fn main() {
         format!("FAILED (best {best:.2}x <= {threshold})")
     };
 
-    // JSON report.
+    // JSON report.  The `host` header pins the machine the numbers came from:
+    // measured wall-clock times are only comparable against the same host
+    // shape (core count, swept thread counts) and compiler.
     let doc = JsonValue::Object(vec![
         ("experiment".into(), JsonValue::Str("fig_walltime".into())),
+        (
+            "host".into(),
+            JsonValue::Object(vec![
+                ("cores".into(), JsonValue::UInt(cores as u64)),
+                (
+                    "thread_grid".into(),
+                    JsonValue::Array(grid.iter().map(|&t| JsonValue::UInt(t as u64)).collect()),
+                ),
+                ("rustc".into(), JsonValue::Str(sketch_obs::rustc_version())),
+            ]),
+        ),
         ("smoke".into(), JsonValue::Bool(smoke)),
         ("host_cores".into(), JsonValue::UInt(cores as u64)),
         (
@@ -364,6 +399,27 @@ fn main() {
     ]);
     std::fs::write(&out_path, doc.render()).expect("write walltime JSON");
     println!("wrote {out_path}");
+
+    // Perfetto-compatible trace: one wall event per timed sample, plus the
+    // metrics summary (host shape and thread-pool activity).
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        let metrics = MetricsRegistry::new();
+        metrics.add("host.cores", cores as u64);
+        let stats = rayon::pool_stats();
+        metrics.add("rayon.batches", stats.batches);
+        metrics.add("rayon.tasks", stats.tasks);
+        metrics.add("rayon.inline_tasks", stats.inline_tasks);
+        for r in &rows {
+            metrics.observe(
+                "walltime.median_ms",
+                r.sample.median_ms(),
+                &[0.01, 0.1, 1.0, 10.0, 100.0],
+            );
+        }
+        let trace_doc = chrome_trace_with_metrics(&collector.snapshot(), Some(&metrics));
+        write_json(std::path::Path::new(path), &trace_doc).expect("write trace JSON");
+        println!("wrote {path}");
+    }
 
     if !mismatches.is_empty() {
         eprintln!(

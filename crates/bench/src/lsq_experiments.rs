@@ -4,8 +4,8 @@ use crate::analytic::LsqMethod;
 use crate::config::{ExperimentScale, SweepPoint};
 use sketch_gpu_sim::{Device, DevicePool, Phase};
 use sketch_lsq::{solve, LsqProblem, Method};
+use sketch_obs::Stopwatch;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// One bar of Figure 5: the per-phase breakdown of one solver at one problem size.
 #[derive(Debug, Clone)]
@@ -79,7 +79,7 @@ pub fn lsq_breakdown_measured_rows(seed: u64) -> Vec<LsqBreakdownRow> {
         for method in Method::FIGURE5 {
             // Serial execution through the unified engine: a pool of one H100.
             let pool = DevicePool::h100(1);
-            let start = Instant::now();
+            let start = Stopwatch::start();
             match solve(&pool, &problem, method, seed) {
                 Ok(sol) => {
                     let phase_ms: Vec<(Phase, f64)> = sol
@@ -93,7 +93,7 @@ pub fn lsq_breakdown_measured_rows(seed: u64) -> Vec<LsqBreakdownRow> {
                         method: method.label(),
                         total_model_ms: sol.breakdown.total_model_ms(),
                         phase_ms,
-                        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                        wall_ms: start.elapsed_seconds() * 1e3,
                         out_of_memory: false,
                     });
                 }
@@ -102,7 +102,7 @@ pub fn lsq_breakdown_measured_rows(seed: u64) -> Vec<LsqBreakdownRow> {
                     method: method.label(),
                     phase_ms: Vec::new(),
                     total_model_ms: 0.0,
-                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                    wall_ms: start.elapsed_seconds() * 1e3,
                     out_of_memory: e.is_out_of_memory(),
                 }),
             }

@@ -6,7 +6,7 @@ use sketch_core::{EmbeddingDim, Pipeline, SketchOperator, SketchSpec};
 use sketch_gpu_sim::{Device, KernelCost};
 use sketch_la::blas3::gram_gemm;
 use sketch_la::{Layout, Matrix};
-use std::time::Instant;
+use sketch_obs::Stopwatch;
 
 /// One bar of Figure 2 (and one point of Figures 3–4).
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
     let SweepPoint { d, n } = point;
     let a = Matrix::random_gaussian(d, n, Layout::RowMajor, seed, 0);
 
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let (gen_cost, apply_cost, oom) = match method {
         SketchMethod::Gram => {
             let (_, apply) = device.tracker().measure(|| gram_gemm(&device, &a).unwrap());
@@ -137,7 +137,7 @@ fn measured_row(point: SweepPoint, method: SketchMethod, seed: u64) -> SketchTim
             (gen, apply, false)
         }
     };
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = start.elapsed_seconds() * 1e3;
 
     let gen_s = device.model_time(&gen_cost);
     let apply_s = device.model_time(&apply_cost);

@@ -13,7 +13,8 @@
 //! the **median**/**minimum** are reported rather than a mean-of-few, so one
 //! descheduled sample cannot poison a row of `BENCH_walltime.json`.
 
-use std::time::{Duration, Instant};
+use sketch_obs::{CostBreakdown, RecorderHandle, Stopwatch, TraceEvent, Track};
+use std::time::Duration;
 
 /// Untimed executions before sampling starts (pool spin-up, cache warm-up).
 pub const WARMUP_ITERS: usize = 1;
@@ -54,17 +55,41 @@ impl Sample {
 /// Time `routine`: [`WARMUP_ITERS`] discarded runs, then per-iteration samples
 /// until [`MIN_SAMPLES`]..[`MAX_SAMPLES`] within the [`SAMPLE_BUDGET`].
 pub fn time_fn(mut routine: impl FnMut()) -> Sample {
+    time_fn_with(&mut routine, |_| {})
+}
+
+/// Like [`time_fn`], but additionally emits one wall-track [`TraceEvent`] per
+/// timed sample into `recorder`, named `name` — the measured half of a trace
+/// whose modelled half stays deterministic.
+pub fn time_fn_traced(recorder: &RecorderHandle, name: &str, mut routine: impl FnMut()) -> Sample {
+    time_fn_with(&mut routine, |ns| {
+        recorder.record(TraceEvent {
+            name: name.to_string(),
+            device: 0,
+            track: Track::Wall,
+            sim: None,
+            wall_ns: ns as u64,
+            cost: CostBreakdown::default(),
+        });
+    })
+}
+
+/// Shared sampling loop: `on_sample` observes each timed duration in ns.
+fn time_fn_with(routine: &mut impl FnMut(), mut on_sample: impl FnMut(f64)) -> Sample {
     for _ in 0..WARMUP_ITERS {
         routine();
     }
     let mut samples: Vec<f64> = Vec::with_capacity(MIN_SAMPLES);
-    let budget_start = Instant::now();
+    let budget_start = Stopwatch::start();
     while samples.len() < MAX_SAMPLES
-        && (samples.len() < MIN_SAMPLES || budget_start.elapsed() < SAMPLE_BUDGET)
+        && (samples.len() < MIN_SAMPLES
+            || budget_start.elapsed_seconds() < SAMPLE_BUDGET.as_secs_f64())
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         routine();
-        samples.push(start.elapsed().as_nanos() as f64);
+        let ns = start.elapsed_ns() as f64;
+        on_sample(ns);
+        samples.push(ns);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     Sample {
@@ -124,5 +149,22 @@ mod tests {
     #[test]
     fn bits_of_distinguishes_signed_zero() {
         assert_ne!(bits_of(&[0.0])[0], bits_of(&[-0.0])[0]);
+    }
+
+    #[test]
+    fn traced_sampling_emits_one_wall_event_per_sample() {
+        let collector = sketch_obs::TraceCollector::shared();
+        let recorder: RecorderHandle = collector.clone();
+        let s = time_fn_traced(&recorder, "spin", || {
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        let events = collector.snapshot();
+        assert_eq!(events.len(), s.samples);
+        for e in &events {
+            assert_eq!(e.track, Track::Wall);
+            assert_eq!(e.name, "spin");
+            assert!(e.sim.is_none());
+            assert!(e.wall_ns > 0);
+        }
     }
 }

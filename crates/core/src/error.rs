@@ -145,6 +145,12 @@ impl From<MemoryError> for Error {
     }
 }
 
+impl From<sketch_obs::JsonError> for Error {
+    fn from(e: sketch_obs::JsonError) -> Self {
+        Error::invalid_param(e.message())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -280,6 +280,18 @@ mod tests {
         );
         let _ = g.apply_matrix(&d, &a).unwrap();
         assert!(d.memory().allocations() > before);
+
+        // A disabled recorder must keep the hot path allocation-free too: the
+        // launch site reads one relaxed flag and does nothing else.
+        d.set_recorder(Some(std::sync::Arc::new(sketch_gpu_sim::obs::NoopRecorder)));
+        let with_noop = d.memory().allocations();
+        g.apply_into(&d, Operand::Dense(&a), &mut out.view_mut())
+            .unwrap();
+        assert_eq!(
+            d.memory().allocations(),
+            with_noop,
+            "a NoopRecorder must not change the zero-allocation certification"
+        );
     }
 
     #[test]

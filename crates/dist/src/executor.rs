@@ -152,6 +152,10 @@ struct ShardOp {
     /// Whether the shard's collective must follow the previous shard's collective
     /// (the ordered ring fold of [`ShardAxis::Rows`] stages).
     chained: bool,
+    /// Device cost of the shard kernel (carried into the trace event).
+    cost: KernelCost,
+    /// Bytes the shard's collective moves over one interconnect hop.
+    comm_bytes: u64,
 }
 
 /// The result of one pipelined multi-device sketch execution.
@@ -207,6 +211,31 @@ impl PipelinedRun {
     /// Per-device utilization of the pipelined schedule.
     pub fn utilizations(&self) -> Vec<f64> {
         self.timeline.utilizations()
+    }
+
+    /// Fold this run into a [`sketch_obs::MetricsRegistry`]: kernel launches,
+    /// bytes moved, flops, collective volume (counters), plus overlap
+    /// efficiency and per-device utilization (histograms).
+    pub fn record_metrics(&self, metrics: &sketch_obs::MetricsRegistry, pool: &DevicePool) {
+        let total = pool.total_cost();
+        metrics.add("executor.kernel_launches", total.launches);
+        metrics.add("executor.bytes_read", total.bytes_read);
+        metrics.add("executor.bytes_written", total.bytes_written);
+        metrics.add("executor.flops", total.flops);
+        metrics.add("executor.comm_bytes", self.comm_total_bytes());
+        metrics.add(
+            "executor.timeline_ops",
+            self.timeline.entries().len() as u64,
+        );
+        let ratio_bounds = [0.25, 0.5, 0.75, 0.9, 1.0];
+        metrics.observe(
+            "executor.overlap_efficiency",
+            self.overlap_efficiency(),
+            &ratio_bounds,
+        );
+        for u in self.utilizations() {
+            metrics.observe("executor.device_utilization", u, &ratio_bounds);
+        }
     }
 }
 
@@ -287,8 +316,10 @@ pub fn pipelined_sketch<'a>(
 
     let result = current.ok_or_else(|| DistError::invalid_param("pipeline has no stages"))?;
 
-    let pipelined = simulate(p, &stage_ops, true);
-    let compute_only = simulate(p, &stage_ops, false);
+    // Only the real (with-comm) replay feeds the pool's attached recorder; the
+    // compute-only replay is an internal what-if and must not pollute traces.
+    let pipelined = simulate(p, &stage_ops, true, pool.recorder());
+    let compute_only = simulate(p, &stage_ops, false, None);
 
     Ok(PipelinedRun {
         result,
@@ -380,17 +411,24 @@ fn execute_row_stage(
                 CountSketch::apply_cost_csr(range.len(), k, n, s.nnz())
             }
         };
-        device.record(cost);
+        let label = format!(
+            "s{stage_idx} {} shard {}",
+            spec.kind.as_str(),
+            assignment.index
+        );
+        device.launch(&label, cost);
         ops.push(ShardOp {
             device: assignment.device,
-            label: format!(
-                "s{stage_idx} {} shard {}",
-                spec.kind.as_str(),
-                assignment.index
-            ),
+            label,
             compute_s: device.model_time(&cost),
             comm_s: ring_fold_time(pool, k, n),
             chained: true,
+            cost,
+            comm_bytes: if p > 1 {
+                KernelCost::f64_bytes((k * n) as u64)
+            } else {
+                0
+            },
         });
     }
     Ok((out, ops, CommCost::allreduce(p, k, n)))
@@ -447,6 +485,11 @@ fn execute_col_stage(
                 out.set(i, global, panel_out.get(i, j));
             }
         }
+        let panel_bytes = if p > 1 {
+            KernelCost::f64_bytes((k * range.len()) as u64)
+        } else {
+            0
+        };
         ops.push(ShardOp {
             device: assignment.device,
             label: format!(
@@ -456,12 +499,13 @@ fn execute_col_stage(
             ),
             compute_s: device.model_time(&cost),
             comm_s: if p > 1 {
-                pool.interconnect()
-                    .transfer_time(KernelCost::f64_bytes((k * range.len()) as u64))
+                pool.interconnect().transfer_time(panel_bytes)
             } else {
                 0.0
             },
             chained: false,
+            cost,
+            comm_bytes: panel_bytes,
         });
     }
     Ok((out, ops, CommCost::allgather(p, k, n)))
@@ -505,7 +549,7 @@ fn cut_csr_panels(
         1,
     );
     for device in pool.devices() {
-        device.record(cost);
+        device.launch("csc panel cut", cost);
     }
     Some(panels)
 }
@@ -525,7 +569,7 @@ fn ring_fold_time(pool: &DevicePool, k: usize, n: usize) -> f64 {
 /// 0, which already recorded it while building the operator.
 fn replicate_generation(pool: &DevicePool, cost: KernelCost) {
     for device in &pool.devices()[1..] {
-        device.record(cost);
+        device.launch("sketch gen (replica)", cost);
     }
 }
 
@@ -537,19 +581,29 @@ fn replicate_generation(pool: &DevicePool, cost: KernelCost) {
 ///
 /// With `with_comm = false` the collectives cost nothing, yielding the compute
 /// critical path.
-fn simulate(devices: usize, stage_ops: &[Vec<ShardOp>], with_comm: bool) -> Timeline {
-    let mut set = StreamSet::new(devices);
+///
+/// When a `recorder` is supplied, the replay emits one costed
+/// [`sketch_obs::TraceEvent`] per operation on the matching device×stream sim
+/// track — this is where a trace's compute/comm tracks come from.
+fn simulate(
+    devices: usize,
+    stage_ops: &[Vec<ShardOp>],
+    with_comm: bool,
+    recorder: Option<std::sync::Arc<dyn sketch_obs::Recorder>>,
+) -> Timeline {
+    let mut set = StreamSet::new(devices).with_recorder(recorder);
     let mut stage_done = Vec::new();
     for ops in stage_ops {
         let mut done = Vec::with_capacity(ops.len());
         let mut prev_comm: Option<sketch_gpu_sim::Event> = None;
         for op in ops {
-            let compute_ev = set.enqueue(
+            let compute_ev = set.enqueue_costed(
                 op.device,
                 StreamKind::Compute,
                 op.label.clone(),
                 &stage_done,
                 op.compute_s,
+                op.cost.into(),
             );
             let last_ev = if with_comm && op.comm_s > 0.0 {
                 // The kernel gates the collective; a chained (ordered-fold)
@@ -560,12 +614,16 @@ fn simulate(devices: usize, stage_ops: &[Vec<ShardOp>], with_comm: bool) -> Time
                         waits.push(prev);
                     }
                 }
-                let comm_ev = set.enqueue(
+                let comm_ev = set.enqueue_costed(
                     op.device,
                     StreamKind::Comm,
                     format!("{} fold", op.label),
                     &waits,
                     op.comm_s,
+                    sketch_obs::CostBreakdown {
+                        comm_bytes: op.comm_bytes,
+                        ..Default::default()
+                    },
                 );
                 if op.chained {
                     prev_comm = Some(comm_ev);
@@ -923,6 +981,78 @@ mod tests {
         )
         .unwrap();
         assert!(bits_equal(&run.result, &single));
+    }
+
+    #[test]
+    fn attached_recorder_traces_every_stage_and_collective() {
+        let a = input(120, 6);
+        let spec = SketchSpec::countsketch(120, EmbeddingDim::Exact(16), 5);
+        let pool = DevicePool::unlimited(3);
+        let collector = sketch_obs::TraceCollector::shared();
+        pool.attach_recorder(collector.clone());
+        let run = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        let events = collector.snapshot();
+        // Every timeline entry (compute shard + comm fold) shows up as a
+        // stream-track trace event; Device::launch adds kernel-track spans.
+        let stream_events = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.track,
+                    sketch_obs::Track::Compute | sketch_obs::Track::Comm
+                )
+            })
+            .count();
+        assert_eq!(stream_events, run.timeline.entries().len());
+        assert!(events
+            .iter()
+            .any(|e| e.track == sketch_obs::Track::Comm && e.cost.comm_bytes > 0));
+        assert!(events
+            .iter()
+            .any(|e| e.track == sketch_obs::Track::Kernel && e.cost.launches > 0));
+        // Sim intervals on the stream tracks mirror the timeline exactly.
+        for e in &events {
+            let (start, end) = e.sim.expect("executor events carry sim intervals");
+            assert!(start <= end);
+        }
+    }
+
+    #[test]
+    fn recording_does_not_change_the_bits_and_metrics_fold_in() {
+        let a = input(200, 7);
+        let spec = SketchSpec::countsketch(200, EmbeddingDim::Exact(32), 4);
+        let quiet_pool = DevicePool::unlimited(2);
+        let reference = pipelined_sketch(
+            &quiet_pool,
+            &a,
+            &Pipeline::single(spec.clone()),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+
+        let pool = DevicePool::unlimited(2);
+        pool.attach_recorder(sketch_obs::TraceCollector::shared());
+        let run = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert!(bits_equal(&run.result, &reference.result));
+
+        let metrics = sketch_obs::MetricsRegistry::new();
+        run.record_metrics(&metrics, &pool);
+        assert!(metrics.counter("executor.kernel_launches") > 0);
+        assert!(metrics.counter("executor.comm_bytes") > 0);
+        let util = metrics.histogram("executor.device_utilization").unwrap();
+        assert_eq!(util.count, 2);
     }
 
     #[test]

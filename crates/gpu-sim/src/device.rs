@@ -3,7 +3,11 @@
 use crate::counters::{CostTracker, KernelCost};
 use crate::memory::{MemoryError, MemoryTracker, Reservation};
 use crate::roofline::RooflineModel;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use sketch_obs::{CostBreakdown, Recorder, TraceEvent, Track};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Published peak characteristics of the accelerator being modelled.
 ///
@@ -92,11 +96,33 @@ impl Default for DeviceSpec {
 /// A handle to the simulated device: spec + cost counters + memory tracker.
 ///
 /// The handle is `Send + Sync`; kernels take `&Device` and record their costs into it.
+///
+/// A [`Recorder`] can be attached
+/// ([`Device::set_recorder`]); labelled kernels entered through
+/// [`Device::launch`] then emit [`TraceEvent`]s on the device's serial
+/// modelled clock.  The default is no recorder: the hot-path overhead is one
+/// relaxed atomic load, and no event is allocated or built.
 #[derive(Debug, Default)]
 pub struct Device {
     spec: DeviceSpec,
     tracker: CostTracker,
     memory: MemoryTracker,
+    ordinal: usize,
+    recording: AtomicBool,
+    recorder: Mutex<Option<Arc<dyn Recorder>>>,
+    kernel_clock: Mutex<f64>,
+}
+
+impl From<KernelCost> for CostBreakdown {
+    fn from(cost: KernelCost) -> Self {
+        CostBreakdown {
+            bytes_read: cost.bytes_read,
+            bytes_written: cost.bytes_written,
+            flops: cost.flops,
+            launches: cost.launches,
+            comm_bytes: 0,
+        }
+    }
 }
 
 impl Device {
@@ -106,7 +132,19 @@ impl Device {
             memory: MemoryTracker::new(spec.memory_bytes),
             tracker: CostTracker::new(),
             spec,
+            ordinal: 0,
+            recording: AtomicBool::new(false),
+            recorder: Mutex::new(None),
+            kernel_clock: Mutex::new(0.0),
         }
+    }
+
+    /// Create a device with an explicit pool position (used by `DevicePool` so
+    /// trace events carry the right device id).
+    pub fn with_ordinal(spec: DeviceSpec, ordinal: usize) -> Self {
+        let mut device = Self::new(spec);
+        device.ordinal = ordinal;
+        device
     }
 
     /// The H100 used in the paper.
@@ -142,10 +180,83 @@ impl Device {
         &self.memory
     }
 
+    /// This device's position in its pool (0 for a standalone device).
+    #[inline]
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// Attach (or with `None` detach) the recorder labelled kernels and
+    /// profiler phases emit into.  A disabled recorder (e.g.
+    /// [`sketch_obs::NoopRecorder`]) keeps the hot path event-free.
+    pub fn set_recorder(&self, recorder: Option<Arc<dyn Recorder>>) {
+        let enabled = recorder.as_ref().is_some_and(|r| r.enabled());
+        *self.recorder.lock() = recorder;
+        self.recording.store(enabled, Ordering::Release);
+    }
+
+    /// The attached recorder, if any (and enabled).
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        if !self.recording() {
+            return None;
+        }
+        self.recorder.lock().clone()
+    }
+
+    /// Whether an enabled recorder is attached (one relaxed atomic load).
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
+    /// Current position of the device's serial modelled kernel clock, in
+    /// seconds: the sum of the modelled times of every [`Device::launch`] so
+    /// far.  Deterministic — it advances only by roofline times.
+    pub fn kernel_clock(&self) -> f64 {
+        *self.kernel_clock.lock()
+    }
+
     /// Record a kernel cost.
     #[inline]
     pub fn record(&self, cost: KernelCost) {
         self.tracker.record(cost);
+    }
+
+    /// Record a *labelled* kernel cost: identical to [`Device::record`], plus,
+    /// when an enabled recorder is attached, a [`TraceEvent`] on the device's
+    /// serial kernel track (`Track::Kernel`), spanning the kernel's modelled
+    /// time on the device's [`Device::kernel_clock`].
+    ///
+    /// Without a recorder this is exactly `record` plus one relaxed atomic
+    /// load — no allocation, no lock.
+    #[inline]
+    pub fn launch(&self, label: &str, cost: KernelCost) {
+        self.tracker.record(cost);
+        if self.recording() {
+            self.emit_kernel_span(label, cost);
+        }
+    }
+
+    #[cold]
+    fn emit_kernel_span(&self, label: &str, cost: KernelCost) {
+        let Some(recorder) = self.recorder.lock().clone() else {
+            return;
+        };
+        let duration = self.model_time(&cost);
+        let (start, end) = {
+            let mut clock = self.kernel_clock.lock();
+            let start = *clock;
+            *clock = start + duration;
+            (start, *clock)
+        };
+        recorder.record(TraceEvent {
+            name: label.to_string(),
+            device: self.ordinal,
+            track: Track::Kernel,
+            sim: Some((start, end)),
+            wall_ns: 0,
+            cost: cost.into(),
+        });
     }
 
     /// Reserve `bytes` of modelled device memory, failing like `cudaMalloc` would.
@@ -221,5 +332,49 @@ mod tests {
         let d = Device::h100();
         let t = d.model_time(&KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1));
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn launch_without_recorder_only_records_cost() {
+        let d = Device::h100();
+        assert!(!d.recording());
+        d.launch("gemm", KernelCost::new(8, 8, 2, 1));
+        assert_eq!(d.tracker().snapshot().launches, 1);
+        assert_eq!(d.kernel_clock(), 0.0);
+        assert!(d.recorder().is_none());
+    }
+
+    #[test]
+    fn noop_recorder_keeps_the_hot_path_disabled() {
+        let d = Device::h100();
+        d.set_recorder(Some(Arc::new(sketch_obs::NoopRecorder)));
+        assert!(!d.recording());
+        d.launch("gemm", KernelCost::new(8, 8, 2, 1));
+        assert_eq!(d.kernel_clock(), 0.0);
+    }
+
+    #[test]
+    fn launch_emits_sequential_kernel_spans() {
+        let d = Device::with_ordinal(DeviceSpec::h100(), 3);
+        assert_eq!(d.ordinal(), 3);
+        let collector = sketch_obs::TraceCollector::shared();
+        d.set_recorder(Some(collector.clone()));
+        assert!(d.recording());
+        let cost = KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1);
+        d.launch("k0", cost);
+        d.launch("k1", cost);
+        let events = collector.snapshot();
+        assert_eq!(events.len(), 2);
+        let t = d.model_time(&cost);
+        assert_eq!(events[0].sim, Some((0.0, t)));
+        assert_eq!(events[1].sim, Some((t, 2.0 * t)));
+        assert_eq!(events[0].device, 3);
+        assert_eq!(events[0].track, Track::Kernel);
+        assert_eq!(events[0].cost.flops, 1 << 10);
+        assert_eq!(d.kernel_clock(), 2.0 * t);
+        // Detaching stops emission and re-disables the fast path.
+        d.set_recorder(None);
+        d.launch("k2", cost);
+        assert_eq!(collector.len(), 2);
     }
 }

@@ -80,6 +80,10 @@ pub use device::{Device, DeviceSpec};
 pub use launch::{parallel_for, parallel_for_chunks, AtomicF64, AtomicF64View};
 pub use memory::{MemoryError, MemoryTracker, Reservation};
 pub use pool::{DevicePool, InterconnectSpec};
-pub use profile::{Phase, PhaseRecord, Profiler, RunBreakdown};
+pub use profile::{Phase, PhaseRecord, PhaseSpan, Profiler, RunBreakdown};
 pub use roofline::RooflineModel;
 pub use stream::{Event, SimStream, StreamKind, StreamSet, Timeline, TimelineEntry};
+
+// The observability layer this crate's instrumentation emits into (see
+// `Device::launch`, `DevicePool::attach_recorder`, `StreamSet::enqueue_costed`).
+pub use sketch_obs as obs;

@@ -99,7 +99,7 @@ impl DevicePool {
     pub fn homogeneous(n: usize, spec: DeviceSpec) -> Self {
         assert!(n > 0, "a device pool needs at least one device");
         Self {
-            devices: (0..n).map(|_| Device::new(spec)).collect(),
+            devices: (0..n).map(|i| Device::with_ordinal(spec, i)).collect(),
             interconnect: InterconnectSpec::default(),
         }
     }
@@ -171,6 +171,28 @@ impl DevicePool {
             d.tracker().reset();
         }
     }
+
+    /// Attach one recorder to every device in the pool; the executor also
+    /// picks it up from here for its stream-timeline events.  Pass a
+    /// [`sketch_obs::TraceCollector`] to capture a trace of everything the
+    /// pool runs.
+    pub fn attach_recorder(&self, recorder: std::sync::Arc<dyn sketch_obs::Recorder>) {
+        for d in &self.devices {
+            d.set_recorder(Some(recorder.clone()));
+        }
+    }
+
+    /// Detach any recorder from every device.
+    pub fn detach_recorder(&self) {
+        for d in &self.devices {
+            d.set_recorder(None);
+        }
+    }
+
+    /// The recorder attached to the pool's devices, if any is enabled.
+    pub fn recorder(&self) -> Option<std::sync::Arc<dyn sketch_obs::Recorder>> {
+        self.devices.first().and_then(|d| d.recorder())
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +241,28 @@ mod tests {
         assert_eq!(pool.interconnect().transfer_time(1 << 30), 0.0);
         assert_eq!(pool.interconnect().name, "local (single device)");
         assert_eq!(pool.device(0).spec().name, DeviceSpec::h100().name);
+    }
+
+    #[test]
+    fn pool_ordinals_follow_pool_positions() {
+        let pool = DevicePool::h100(3);
+        for (i, d) in pool.devices().iter().enumerate() {
+            assert_eq!(d.ordinal(), i);
+        }
+    }
+
+    #[test]
+    fn recorder_attaches_to_every_device_and_detaches() {
+        let pool = DevicePool::h100(2);
+        assert!(pool.recorder().is_none());
+        let collector = sketch_obs::TraceCollector::shared();
+        pool.attach_recorder(collector.clone());
+        assert!(pool.recorder().is_some());
+        pool.device(1).launch("k", KernelCost::new(8, 8, 2, 1));
+        assert_eq!(collector.len(), 1);
+        assert_eq!(collector.snapshot()[0].device, 1);
+        pool.detach_recorder();
+        assert!(pool.recorder().is_none());
     }
 
     #[test]

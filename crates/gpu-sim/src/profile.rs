@@ -7,10 +7,21 @@
 //! counters) and the measured wall-clock time, so the bench harness can print the exact
 //! same stacks.
 
+//! Since the observability layer landed, each phase is captured as a
+//! [`sketch_obs::TraceEvent`] span first (fed to the device's attached
+//! [`Recorder`](sketch_obs::Recorder), if any) and the [`PhaseRecord`] is
+//! derived from that span, so Figure 5 and a Perfetto trace always agree.
+//! Wall time is captured with the monotonic [`Stopwatch`] and accumulated
+//! *exclusively* per phase: when phases nest (the same `Phase` re-entered via
+//! [`Profiler::enter`] guards, e.g. a per-shard sketch apply inside a driver
+//! phase), the inner span's wall time is subtracted from the outer record, so
+//! the total wall across records never double-counts.
+
 use crate::counters::KernelCost;
 use crate::device::Device;
 use serde::Serialize;
-use std::time::Instant;
+use sketch_obs::{Stopwatch, TraceEvent, Track};
+use std::cell::RefCell;
 
 /// The phases used across the paper's breakdown figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -117,11 +128,29 @@ impl RunBreakdown {
     }
 }
 
+/// A phase currently being captured (an open span).
+#[derive(Debug)]
+struct ActivePhase {
+    phase: Phase,
+    start_cost: KernelCost,
+    watch: Stopwatch,
+    /// Wall seconds already attributed to spans nested inside this one.
+    child_wall: f64,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerState {
+    breakdown: RunBreakdown,
+    active: Vec<ActivePhase>,
+    /// Profiler-local modelled clock for the Phase trace track, in seconds.
+    phase_clock: f64,
+}
+
 /// Records phases executed on one device.
 #[derive(Debug)]
 pub struct Profiler<'a> {
     device: &'a Device,
-    breakdown: RunBreakdown,
+    state: RefCell<ProfilerState>,
 }
 
 impl<'a> Profiler<'a> {
@@ -129,7 +158,7 @@ impl<'a> Profiler<'a> {
     pub fn new(device: &'a Device) -> Self {
         Self {
             device,
-            breakdown: RunBreakdown::default(),
+            state: RefCell::new(ProfilerState::default()),
         }
     }
 
@@ -141,24 +170,78 @@ impl<'a> Profiler<'a> {
 
     /// Run `f` as `phase`, recording its device cost delta and wall time.
     pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        let before = self.device.tracker().snapshot();
-        let start = Instant::now();
+        let span = self.enter(phase);
         let out = f();
-        let wall = start.elapsed().as_secs_f64();
-        let cost = self.device.tracker().snapshot() - before;
-        let model = self.device.model_time(&cost);
-        self.breakdown.phases.push(PhaseRecord {
+        drop(span);
+        out
+    }
+
+    /// Open `phase` as a guard; the record is captured when the guard drops.
+    ///
+    /// Unlike [`Profiler::phase`], guards allow the same `Phase` to be open
+    /// twice (nested): each entry still produces its own [`PhaseRecord`], but
+    /// wall time is attributed exclusively — the inner span's elapsed time is
+    /// subtracted from the outer record (clamped at zero), so
+    /// [`RunBreakdown::total_wall_seconds`] never double-counts a nanosecond.
+    pub fn enter(&self, phase: Phase) -> PhaseSpan<'_, 'a> {
+        self.state.borrow_mut().active.push(ActivePhase {
             phase,
+            start_cost: self.device.tracker().snapshot(),
+            watch: Stopwatch::start(),
+            child_wall: 0.0,
+        });
+        PhaseSpan { profiler: self }
+    }
+
+    /// Close the innermost open span: derive its record, feed it to the
+    /// device's recorder, and charge its wall time to the parent span.
+    fn exit_innermost(&self) {
+        let mut state = self.state.borrow_mut();
+        let Some(open) = state.active.pop() else {
+            return;
+        };
+        let elapsed = open.watch.elapsed_seconds();
+        let wall = (elapsed - open.child_wall).max(0.0);
+        if let Some(parent) = state.active.last_mut() {
+            parent.child_wall += elapsed;
+        }
+        let cost = self.device.tracker().snapshot() - open.start_cost;
+        let model = self.device.model_time(&cost);
+        let start = state.phase_clock;
+        state.phase_clock = start + model;
+        if let Some(recorder) = self.device.recorder() {
+            recorder.record(TraceEvent {
+                name: open.phase.label().to_string(),
+                device: self.device.ordinal(),
+                track: Track::Phase,
+                sim: Some((start, start + model)),
+                wall_ns: (wall * 1e9) as u64,
+                cost: cost.into(),
+            });
+        }
+        state.breakdown.phases.push(PhaseRecord {
+            phase: open.phase,
             cost,
             model_seconds: model,
             wall_seconds: wall,
         });
-        out
     }
 
     /// Finish and return the breakdown.
     pub fn finish(self) -> RunBreakdown {
-        self.breakdown
+        self.state.into_inner().breakdown
+    }
+}
+
+/// Guard for an open profiler phase; dropping it captures the record.
+#[derive(Debug)]
+pub struct PhaseSpan<'p, 'a> {
+    profiler: &'p Profiler<'a>,
+}
+
+impl Drop for PhaseSpan<'_, '_> {
+    fn drop(&mut self) {
+        self.profiler.exit_innermost();
     }
 }
 
@@ -233,6 +316,120 @@ mod tests {
         b1.extend(b2);
         assert_eq!(b1.phases.len(), 2);
         assert_eq!(b1.phases[1].phase, Phase::MatrixSketch);
+    }
+
+    #[test]
+    fn reentrant_phases_never_double_count_wall_time() {
+        // Regression: the same Phase entered twice with overlapping lifetimes
+        // (per-shard sketch apply inside a driver phase).  The old capture
+        // took two independent `Instant` windows, so the inner window's time
+        // was counted twice in total_wall_seconds.  Exclusive accounting must
+        // keep the total at (roughly) the true elapsed time.
+        let device = Device::h100();
+        let prof = Profiler::new(&device);
+        let total = Stopwatch::start();
+        {
+            let _outer = prof.enter(Phase::MatrixSketch);
+            device.record(KernelCost::new(100, 100, 10, 1));
+            {
+                let _inner = prof.enter(Phase::MatrixSketch);
+                device.record(KernelCost::new(50, 50, 5, 1));
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+        let elapsed = total.elapsed_seconds();
+        let b = prof.finish();
+        assert_eq!(b.phases.len(), 2, "each entry still yields its own record");
+        // Completion order: the inner span closes first; the outer cost delta
+        // includes the nested kernel (cost nests, wall time does not).
+        assert_eq!(b.phases[0].cost.launches, 1);
+        assert_eq!(b.phases[1].cost.launches, 2);
+        for p in &b.phases {
+            assert!(p.wall_seconds >= 0.0);
+        }
+        // Double counting would make the sum exceed the true elapsed time by
+        // the inner sleep (~10ms); exclusive accounting keeps it at <= elapsed
+        // (plus bookkeeping noise well under a millisecond).
+        assert!(
+            b.total_wall_seconds() <= elapsed + 1e-3,
+            "wall sum {} exceeds elapsed {}",
+            b.total_wall_seconds(),
+            elapsed
+        );
+        // The inner sleep is inside exactly one record, so the sum is also at
+        // least the sleep duration.
+        assert!(b.total_wall_seconds() >= 10e-3 - 1e-4);
+    }
+
+    #[test]
+    fn sequential_reentry_still_yields_one_record_per_entry() {
+        let device = Device::h100();
+        let mut prof = Profiler::new(&device);
+        for _ in 0..2 {
+            prof.phase(Phase::MatrixSketch, || {
+                device.record(KernelCost::new(100, 100, 10, 1));
+            });
+        }
+        let b = prof.finish();
+        assert_eq!(b.phases.len(), 2);
+        assert_eq!(b.phases[0].cost, b.phases[1].cost);
+        assert!(b.phases.iter().all(|p| p.wall_seconds >= 0.0));
+    }
+
+    #[test]
+    fn phases_feed_the_device_recorder_as_spans() {
+        let device = Device::h100();
+        let collector = sketch_obs::TraceCollector::shared();
+        device.set_recorder(Some(collector.clone()));
+        let mut prof = Profiler::new(&device);
+        prof.phase(Phase::SketchGen, || {
+            device.record(KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1));
+        });
+        prof.phase(Phase::MatrixSketch, || {
+            device.record(KernelCost::new(1 << 21, 1 << 20, 1 << 12, 1));
+        });
+        let b = prof.finish();
+        let events = collector.snapshot();
+        assert_eq!(events.len(), 2);
+        // The span IS the record: same names, same modelled durations, laid
+        // end-to-end on the profiler's deterministic phase clock.
+        assert_eq!(events[0].name, "Sketch gen");
+        assert_eq!(events[1].name, "Matrix sketch");
+        let (s0, e0) = events[0].sim.unwrap();
+        let (s1, e1) = events[1].sim.unwrap();
+        assert_eq!(s0, 0.0);
+        assert_eq!(e0 - s0, b.phases[0].model_seconds);
+        assert_eq!(s1, e0);
+        assert_eq!(e1 - s1, b.phases[1].model_seconds);
+        assert_eq!(events[0].track, sketch_obs::Track::Phase);
+        assert_eq!(events[1].cost.flops, 1 << 12);
+    }
+
+    #[test]
+    fn breakdown_is_identical_with_and_without_a_recorder() {
+        // The Figure-5 acceptance criterion: attaching the trace layer must
+        // not perturb the Profiler output at all.
+        let run = |device: &Device| {
+            let mut prof = Profiler::new(device);
+            prof.phase(Phase::GramMatrix, || {
+                device.record(KernelCost::new(4096, 64, 1 << 14, 1));
+            });
+            prof.phase(Phase::Potrf, || {
+                device.record(KernelCost::new(512, 512, 1 << 10, 3));
+            });
+            prof.finish()
+        };
+        let bare = Device::h100();
+        let without = run(&bare);
+        let traced = Device::h100();
+        traced.set_recorder(Some(sketch_obs::TraceCollector::shared()));
+        let with = run(&traced);
+        assert_eq!(without.phases.len(), with.phases.len());
+        for (a, b) in without.phases.iter().zip(&with.phases) {
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.model_seconds.to_bits(), b.model_seconds.to_bits());
+        }
     }
 
     #[test]

@@ -188,11 +188,17 @@ impl Timeline {
 }
 
 /// One compute stream and one comm stream per device, plus the shared timeline.
+///
+/// With a recorder attached ([`StreamSet::attach_recorder`]), every enqueued
+/// operation also emits a [`sketch_obs::TraceEvent`] on the matching
+/// device×stream sim track; [`StreamSet::enqueue_costed`] additionally carries
+/// the operation's cost counters into the event.
 #[derive(Debug, Clone, Default)]
 pub struct StreamSet {
     compute: Vec<SimStream>,
     comm: Vec<SimStream>,
     timeline: Timeline,
+    recorder: Option<std::sync::Arc<dyn sketch_obs::Recorder>>,
 }
 
 impl StreamSet {
@@ -205,7 +211,25 @@ impl StreamSet {
                 entries: Vec::new(),
                 devices,
             },
+            recorder: None,
         }
+    }
+
+    /// Attach a recorder; subsequent enqueues emit trace events.  A disabled
+    /// recorder (e.g. [`sketch_obs::NoopRecorder`]) is dropped here, so the
+    /// enqueue path stays event-free.
+    #[must_use]
+    pub fn with_recorder(
+        mut self,
+        recorder: Option<std::sync::Arc<dyn sketch_obs::Recorder>>,
+    ) -> Self {
+        self.recorder = recorder.filter(|r| r.enabled());
+        self
+    }
+
+    /// Attach a recorder in place (see [`StreamSet::with_recorder`]).
+    pub fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn sketch_obs::Recorder>) {
+        self.recorder = Some(recorder).filter(|r| r.enabled());
     }
 
     /// Number of devices this set schedules for.
@@ -227,15 +251,51 @@ impl StreamSet {
         waits: &[Event],
         duration: f64,
     ) -> Event {
+        self.enqueue_costed(
+            device,
+            kind,
+            label,
+            waits,
+            duration,
+            sketch_obs::CostBreakdown::default(),
+        )
+    }
+
+    /// [`StreamSet::enqueue`] carrying the operation's cost counters, so the
+    /// emitted trace event (when a recorder is attached) reports what the
+    /// region read, wrote, computed, and moved over the interconnect.
+    pub fn enqueue_costed(
+        &mut self,
+        device: usize,
+        kind: StreamKind,
+        label: impl Into<String>,
+        waits: &[Event],
+        duration: f64,
+        cost: sketch_obs::CostBreakdown,
+    ) -> Event {
         let stream = match kind {
             StreamKind::Compute => &mut self.compute[device],
             StreamKind::Comm => &mut self.comm[device],
         };
         let (start, end) = stream.enqueue(waits, duration);
+        let label = label.into();
+        if let Some(recorder) = &self.recorder {
+            recorder.record(sketch_obs::TraceEvent {
+                name: label.clone(),
+                device,
+                track: match kind {
+                    StreamKind::Compute => sketch_obs::Track::Compute,
+                    StreamKind::Comm => sketch_obs::Track::Comm,
+                },
+                sim: Some((start, end)),
+                wall_ns: 0,
+                cost,
+            });
+        }
         self.timeline.entries.push(TimelineEntry {
             device,
             stream: kind,
-            label: label.into(),
+            label,
             start,
             end,
         });
@@ -314,6 +374,120 @@ mod tests {
         assert_eq!(t.makespan(), 0.0);
         assert_eq!(t.serial_seconds(), 0.0);
         assert_eq!(t.utilization(1), 0.0);
+    }
+
+    #[test]
+    fn utilization_of_an_empty_timeline_is_zero_for_any_device() {
+        // Degenerate but reachable: a pool whose schedule produced no ops.
+        let t = StreamSet::new(2).finish();
+        assert_eq!(t.serial_seconds(), 0.0);
+        assert_eq!(t.busy_seconds(0), 0.0);
+        // Out-of-range device indices must not panic either — utilization is
+        // a query, not an invariant.
+        assert_eq!(t.utilization(0), 0.0);
+        assert_eq!(t.utilization(99), 0.0);
+        assert_eq!(t.utilizations(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_duration_ops_contribute_nothing_but_keep_event_semantics() {
+        let mut set = StreamSet::new(1);
+        let a = set.enqueue(0, StreamKind::Compute, "instant", &[], 0.0);
+        assert_eq!(a.at, 0.0);
+        let b = set.enqueue(0, StreamKind::Compute, "real", &[a], 2.0);
+        // A zero-duration op after the real one starts (and ends) at the cursor.
+        set.enqueue(0, StreamKind::Compute, "instant2", &[b], 0.0);
+        let t = set.finish();
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.makespan(), 2.0);
+        assert_eq!(t.serial_seconds(), 2.0);
+        // busy_seconds filters empty intervals, so zero-duration ops cannot
+        // create spurious busy windows.
+        assert_eq!(t.busy_seconds(0), 2.0);
+        assert!((t.utilization(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_duration_timeline_has_zero_utilization_not_nan() {
+        let mut set = StreamSet::new(1);
+        set.enqueue(0, StreamKind::Compute, "a", &[], 0.0);
+        set.enqueue(0, StreamKind::Comm, "b", &[], 0.0);
+        let t = set.finish();
+        assert_eq!(t.makespan(), 0.0);
+        let u = t.utilization(0);
+        assert!(u == 0.0 && !u.is_nan(), "zero makespan must not divide");
+    }
+
+    #[test]
+    fn single_stream_pool_of_one_serial_equals_makespan() {
+        // The pool-of-one "serial" shape: every op on one compute stream, no
+        // comm.  serial_seconds and makespan must agree exactly, and
+        // utilization is exactly 1.
+        let mut set = StreamSet::new(1);
+        for i in 0..4 {
+            set.enqueue(0, StreamKind::Compute, format!("k{i}"), &[], 0.25);
+        }
+        let t = set.finish();
+        assert_eq!(t.makespan(), 1.0);
+        assert_eq!(t.serial_seconds(), t.makespan());
+        assert_eq!(t.seconds_of(StreamKind::Comm), 0.0);
+        assert_eq!(t.utilization(0), 1.0);
+    }
+
+    #[test]
+    fn attached_recorder_sees_every_enqueue_with_costs() {
+        let collector = sketch_obs::TraceCollector::shared();
+        let mut set = StreamSet::new(2);
+        set.attach_recorder(collector.clone());
+        let c0 = set.enqueue_costed(
+            0,
+            StreamKind::Compute,
+            "k0",
+            &[],
+            2.0,
+            sketch_obs::CostBreakdown {
+                bytes_read: 64,
+                bytes_written: 32,
+                flops: 16,
+                launches: 1,
+                comm_bytes: 0,
+            },
+        );
+        set.enqueue_costed(
+            1,
+            StreamKind::Comm,
+            "send",
+            &[c0],
+            1.0,
+            sketch_obs::CostBreakdown {
+                comm_bytes: 64,
+                ..Default::default()
+            },
+        );
+        set.enqueue(0, StreamKind::Compute, "k1", &[], 1.0);
+        let events = collector.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].sim, Some((0.0, 2.0)));
+        assert_eq!(events[0].cost.bytes_read, 64);
+        assert_eq!(events[1].device, 1);
+        assert_eq!(events[1].track, sketch_obs::Track::Comm);
+        assert_eq!(events[1].sim, Some((2.0, 3.0)));
+        assert_eq!(events[1].cost.comm_bytes, 64);
+        assert_eq!(events[2].cost, sketch_obs::CostBreakdown::default());
+        // Events mirror the timeline exactly.
+        let t = set.finish();
+        for (event, entry) in events.iter().zip(t.entries()) {
+            assert_eq!(event.name, entry.label);
+            assert_eq!(event.sim, Some((entry.start, entry.end)));
+        }
+    }
+
+    #[test]
+    fn disabled_recorders_are_dropped_at_attach_time() {
+        let set =
+            StreamSet::new(1).with_recorder(Some(std::sync::Arc::new(sketch_obs::NoopRecorder)));
+        // The noop recorder is filtered out, so the clone cost stays zero.
+        assert!(format!("{set:?}").contains("recorder: None"));
     }
 
     #[test]

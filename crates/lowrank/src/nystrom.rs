@@ -11,7 +11,7 @@
 use crate::error::{dim_err, LowRankError};
 use crate::matvec::MatVecLike;
 use crate::rangefinder::LowRankParams;
-use sketch_gpu_sim::Device;
+use sketch_gpu_sim::{Device, Phase, Profiler};
 use sketch_la::blas2::Triangle;
 use sketch_la::chol::potrf_upper;
 use sketch_la::norms::frobenius;
@@ -80,10 +80,15 @@ pub fn nystrom<M: MatVecLike + ?Sized>(
         ));
     }
     let l = params.sketch_dim(n, n)?;
-    let omega = params
-        .sketch
-        .test_matrix(device, n, l, params.seed, params.stream)?;
-    let y = a.mul_right(device, &omega)?;
+    // Phase spans feed the device's attached recorder (if any); the breakdown
+    // itself is discarded — nystrom reports factors, not timings.
+    let mut prof = Profiler::new(device);
+    let omega = prof.phase(Phase::SketchGen, || {
+        params
+            .sketch
+            .test_matrix(device, n, l, params.seed, params.stream)
+    })?;
+    let y = prof.phase(Phase::MatrixSketch, || a.mul_right(device, &omega))?;
 
     // Shift by ν ~ √n·u·‖Y‖_F so the core factorisation survives roundoff; the shift
     // is subtracted from the eigenvalues at the end.
@@ -106,11 +111,14 @@ pub fn nystrom<M: MatVecLike + ?Sized>(
     let core = Matrix::from_fn(l, l, Layout::ColMajor, |i, j| {
         0.5 * (g.get(i, j) + g.get(j, i))
     });
-    let c = potrf_upper(device, &core)?;
+    let c = prof.phase(Phase::Potrf, || potrf_upper(device, &core))?;
 
     // B = Y_ν C⁻¹; then B = U Σ Vᵀ gives eigenvectors U and eigenvalues σ² − ν.
-    let b = blas3::trsm_right(device, Triangle::Upper, Op::NoTrans, &c, &y_nu)?;
-    let svd = jacobi_svd(device, &b)?;
+    let b = prof.phase(Phase::Trsm, || {
+        blas3::trsm_right(device, Triangle::Upper, Op::NoTrans, &c, &y_nu)
+    })?;
+    let svd = prof.phase(Phase::Other("small SVD"), || jacobi_svd(device, &b))?;
+    let _ = prof.finish();
     let k = params.k.min(svd.s.len());
     let u = svd.u.submatrix(n, k)?;
     let eigs = svd.s[..k].iter().map(|s| (s * s - nu).max(0.0)).collect();

@@ -8,7 +8,7 @@
 use crate::error::{dim_err, LowRankError};
 use crate::matvec::MatVecLike;
 use crate::rangefinder::{range_finder_on, LowRankParams};
-use sketch_gpu_sim::Device;
+use sketch_gpu_sim::{Device, Phase, Profiler};
 use sketch_la::qr::economy_qr;
 use sketch_la::{blas3, jacobi_svd, Layout, Matrix, Op};
 
@@ -95,8 +95,17 @@ pub fn rsvd<M: MatVecLike + ?Sized>(
     a: &M,
     params: &LowRankParams,
 ) -> Result<SvdResult, LowRankError> {
-    let q = range_finder_on(device, a, params)?;
-    svd_from_range(device, a, &q, params.k)
+    // The phase spans feed the device's attached recorder (if any); the
+    // breakdown itself is discarded — rsvd reports factors, not timings.
+    let mut prof = Profiler::new(device);
+    let q = prof.phase(Phase::Other("rangefinder"), || {
+        range_finder_on(device, a, params)
+    })?;
+    let out = prof.phase(Phase::Other("SVD from range"), || {
+        svd_from_range(device, a, &q, params.k)
+    })?;
+    let _ = prof.finish();
+    Ok(out)
 }
 
 /// Deterministic truncated SVD via economy QR: `A = Q R`, small Jacobi SVD of `R`,

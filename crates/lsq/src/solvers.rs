@@ -13,6 +13,7 @@ use crate::error::LsqError;
 use crate::problem::LsqProblem;
 use sketch_core::Pipeline;
 use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
+use sketch_gpu_sim::obs::Stopwatch;
 use sketch_gpu_sim::{Device, DevicePool, Phase, PhaseRecord, Profiler, RunBreakdown};
 use sketch_la::blas2::{gemv, trsv, Triangle};
 use sketch_la::blas3::gram_gemm;
@@ -20,7 +21,6 @@ use sketch_la::chol::potrf_upper;
 use sketch_la::norms::relative_residual;
 use sketch_la::qr::geqrf;
 use sketch_la::{Layout, Op};
-use std::time::Instant;
 
 /// The result of a least squares solve: the solution vector plus the phase breakdown
 /// used by the Figure 5 harness.
@@ -88,13 +88,13 @@ pub(crate) fn pooled_matrix_sketch(
     opts: &ExecutorOptions,
 ) -> Result<(PipelinedRun, PhaseRecord), LsqError> {
     let total_before = pool.total_cost();
-    let wall_start = Instant::now();
+    let wall_start = Stopwatch::start();
     let run = pipelined_sketch(pool, a, plan, opts)?;
     let record = PhaseRecord {
         phase: Phase::MatrixSketch,
         cost: pool.total_cost() - total_before,
         model_seconds: run.pipelined_seconds,
-        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        wall_seconds: wall_start.elapsed_seconds(),
     };
     Ok((run, record))
 }

@@ -1,0 +1,278 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) and the flat metrics
+//! summary.
+//!
+//! The trace format is the Chrome trace-event "JSON object format": a top-level
+//! object whose `traceEvents` array holds complete (`"ph":"X"`) slices plus
+//! metadata (`"ph":"M"`) records naming each process/thread.  Perfetto and
+//! `chrome://tracing` both load it directly; unknown top-level keys (we add
+//! `sketchMetrics`) are ignored by both.
+//!
+//! Track layout: each simulated device renders as one *process* (`pid` =
+//! device ordinal) with one *thread* per [`Track`] (`tid` 0 = compute stream,
+//! 1 = comm stream, 2 = serial kernel clock, 3 = driver phases).  Wall-clock
+//! samples render under a synthetic `host` process.  Sim-track timestamps are
+//! modelled seconds scaled to microseconds and are bit-deterministic; wall
+//! events are laid out end-to-end in emission order (their `dur` is the
+//! measured time, their `ts` is synthetic).
+
+use crate::json::JsonValue;
+use crate::metrics::MetricsRegistry;
+use crate::record::{TraceEvent, Track};
+use std::collections::BTreeMap;
+
+/// The synthetic `pid` wall-clock events render under.  Device ordinals are
+/// pool indices (single digits in practice), so this never collides.
+pub const HOST_PID: u64 = 1000;
+
+const SECONDS_TO_US: f64 = 1e6;
+const NS_TO_US: f64 = 1e-3;
+
+fn pid_of(event: &TraceEvent) -> u64 {
+    match event.track {
+        Track::Wall => HOST_PID,
+        _ => event.device as u64,
+    }
+}
+
+fn tid_of(track: Track) -> u64 {
+    match track {
+        Track::Compute => 0,
+        Track::Comm => 1,
+        Track::Kernel => 2,
+        Track::Phase => 3,
+        Track::Wall => 0,
+    }
+}
+
+fn thread_label(track: Track) -> &'static str {
+    match track {
+        Track::Compute => "compute (sim)",
+        Track::Comm => "comm (sim)",
+        Track::Kernel => "kernels (serial sim)",
+        Track::Phase => "phases (serial sim)",
+        Track::Wall => "wall clock",
+    }
+}
+
+fn meta(pid: u64, tid: u64, kind: &str, label: &str) -> JsonValue {
+    JsonValue::Object(vec![
+        ("ph".into(), JsonValue::Str("M".into())),
+        ("pid".into(), JsonValue::UInt(pid)),
+        ("tid".into(), JsonValue::UInt(tid)),
+        ("name".into(), JsonValue::Str(kind.into())),
+        (
+            "args".into(),
+            JsonValue::Object(vec![("name".into(), JsonValue::Str(label.into()))]),
+        ),
+    ])
+}
+
+/// Export events as a Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
+    chrome_trace_with_metrics(events, None)
+}
+
+/// Export events as a Chrome trace-event JSON document, optionally embedding a
+/// metrics summary under the extra `sketchMetrics` key (ignored by viewers).
+pub fn chrome_trace_with_metrics(
+    events: &[TraceEvent],
+    metrics: Option<&MetricsRegistry>,
+) -> JsonValue {
+    // Discover the tracks present, in deterministic (pid, tid) order.
+    let mut tracks: BTreeMap<(u64, u64), Track> = BTreeMap::new();
+    for event in events {
+        tracks
+            .entry((pid_of(event), tid_of(event.track)))
+            .or_insert(event.track);
+    }
+
+    let mut out = Vec::with_capacity(events.len() + 2 * tracks.len());
+    let mut named_pids = std::collections::BTreeSet::new();
+    for (&(pid, tid), &track) in &tracks {
+        if named_pids.insert(pid) {
+            let label = if pid == HOST_PID {
+                "host".to_string()
+            } else {
+                format!("dev{pid}")
+            };
+            out.push(meta(pid, tid, "process_name", &label));
+        }
+        out.push(meta(pid, tid, "thread_name", thread_label(track)));
+    }
+
+    // Wall events have no modelled interval; lay them end-to-end per track.
+    let mut wall_cursor: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for event in events {
+        let pid = pid_of(event);
+        let tid = tid_of(event.track);
+        let (ts, dur) = match event.sim {
+            Some((start, end)) => (start * SECONDS_TO_US, (end - start) * SECONDS_TO_US),
+            None => {
+                let cursor = wall_cursor.entry((pid, tid)).or_insert(0.0);
+                let ts = *cursor;
+                let dur = event.wall_ns as f64 * NS_TO_US;
+                *cursor += dur;
+                (ts, dur)
+            }
+        };
+        let cat = if event.sim.is_some() { "sim" } else { "wall" };
+        let args = JsonValue::Object(vec![
+            ("track".into(), JsonValue::Str(event.track.name().into())),
+            ("bytes_read".into(), JsonValue::UInt(event.cost.bytes_read)),
+            (
+                "bytes_written".into(),
+                JsonValue::UInt(event.cost.bytes_written),
+            ),
+            ("flops".into(), JsonValue::UInt(event.cost.flops)),
+            ("launches".into(), JsonValue::UInt(event.cost.launches)),
+            ("comm_bytes".into(), JsonValue::UInt(event.cost.comm_bytes)),
+            ("wall_ns".into(), JsonValue::UInt(event.wall_ns)),
+        ]);
+        out.push(JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str(event.name.clone())),
+            ("ph".into(), JsonValue::Str("X".into())),
+            ("cat".into(), JsonValue::Str(cat.into())),
+            ("pid".into(), JsonValue::UInt(pid)),
+            ("tid".into(), JsonValue::UInt(tid)),
+            ("ts".into(), JsonValue::Float(ts)),
+            ("dur".into(), JsonValue::Float(dur)),
+            ("args".into(), args),
+        ]));
+    }
+
+    let mut doc = vec![("traceEvents".to_string(), JsonValue::Array(out))];
+    if let Some(metrics) = metrics {
+        doc.push(("sketchMetrics".to_string(), metrics.to_json()));
+    }
+    JsonValue::Object(doc)
+}
+
+/// Render a JSON document to a file (compact, one line, trailing newline).
+pub fn write_json(path: &std::path::Path, doc: &JsonValue) -> std::io::Result<()> {
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CostBreakdown;
+
+    fn sim_ev(name: &str, device: usize, track: Track, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            device,
+            track,
+            sim: Some((start, end)),
+            wall_ns: 0,
+            cost: CostBreakdown {
+                bytes_read: 8,
+                bytes_written: 8,
+                flops: 2,
+                launches: 1,
+                comm_bytes: 0,
+            },
+        }
+    }
+
+    fn wall_ev(name: &str, wall_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            device: 0,
+            track: Track::Wall,
+            sim: None,
+            wall_ns,
+            cost: CostBreakdown::default(),
+        }
+    }
+
+    fn x_events(doc: &JsonValue) -> Vec<&JsonValue> {
+        doc.get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect()
+    }
+
+    #[test]
+    fn sim_events_scale_to_microseconds() {
+        let doc = chrome_trace(&[sim_ev("k", 1, Track::Compute, 0.5, 1.25)]);
+        let events = x_events(&doc);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(0.5e6));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(0.75e6));
+        assert_eq!(events[0].get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(events[0].get("tid").unwrap().as_u64(), Some(0));
+        assert_eq!(events[0].get("cat").and_then(|c| c.as_str()), Some("sim"));
+    }
+
+    #[test]
+    fn wall_events_lay_out_end_to_end() {
+        let doc = chrome_trace(&[wall_ev("a", 2000), wall_ev("b", 3000)]);
+        let events = x_events(&doc);
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[1].get("pid").unwrap().as_u64(), Some(HOST_PID));
+    }
+
+    #[test]
+    fn metadata_names_every_track_once() {
+        let doc = chrome_trace(&[
+            sim_ev("c0", 0, Track::Compute, 0.0, 1.0),
+            sim_ev("m0", 0, Track::Comm, 0.0, 1.0),
+            sim_ev("c1", 1, Track::Compute, 0.0, 1.0),
+            wall_ev("w", 10),
+        ]);
+        let all = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let metas: Vec<_> = all
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        let process_names = metas
+            .iter()
+            .filter(|m| m.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .count();
+        let thread_names = metas
+            .iter()
+            .filter(|m| m.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .count();
+        assert_eq!(process_names, 3, "dev0, dev1, host");
+        assert_eq!(
+            thread_names, 4,
+            "dev0 compute+comm, dev1 compute, host wall"
+        );
+    }
+
+    #[test]
+    fn metrics_ride_along_under_an_ignored_key() {
+        let metrics = MetricsRegistry::new();
+        metrics.add("kernel_launches", 7);
+        let doc = chrome_trace_with_metrics(&[], Some(&metrics));
+        assert_eq!(
+            doc.get("sketchMetrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("kernel_launches"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        // Still a valid trace document.
+        assert!(doc.get("traceEvents").is_some());
+        assert_eq!(JsonValue::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            sim_ev("a", 0, Track::Compute, 0.0, 1.0),
+            sim_ev("b", 0, Track::Comm, 1.0, 2.0),
+            wall_ev("w", 123),
+        ];
+        assert_eq!(
+            chrome_trace(&events).render(),
+            chrome_trace(&events).render()
+        );
+    }
+}

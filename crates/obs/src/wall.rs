@@ -1,0 +1,75 @@
+//! Wall-clock capture: the one sanctioned `Instant` wrapper.
+//!
+//! CI forbids new direct `std::time::Instant::now()` call sites outside this
+//! crate and the sampling engine in `sketch-bench::walltime` (mirroring the
+//! `*_pooled` grep gate), so every measured duration in the workspace flows
+//! through an instrumented path: either a [`Stopwatch`] here or the
+//! warmup/median sampler there.
+
+use std::time::Instant;
+
+/// A monotonic stopwatch.
+///
+/// Durations are reported as saturating non-negative nanoseconds; repeated
+/// reads are monotone non-decreasing, so accumulating phase times from a
+/// `Stopwatch` can never go backwards even if the same phase is entered twice.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            // timing-allowlist: the Stopwatch is the sanctioned Instant wrapper.
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`] (saturates at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// The `rustc --version` string of the toolchain on `PATH`, or `"unknown"`.
+///
+/// Recorded in benchmark headers so checked-in trajectory rows say which
+/// compiler produced them.
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn rustc_version_is_nonempty() {
+        let v = rustc_version();
+        assert!(!v.is_empty());
+    }
+}

@@ -66,7 +66,7 @@
 pub mod iter;
 mod registry;
 
-pub use registry::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use registry::{pool_stats, PoolStats, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 use std::sync::Mutex;
 
@@ -302,6 +302,30 @@ mod tests {
             let nested: usize = (0..10usize).into_par_iter().map(|x| x + 1).sum();
             assert_eq!(nested, 55);
         });
+    }
+
+    #[test]
+    fn pool_stats_count_batches_and_tasks_monotonically() {
+        let before = super::pool_stats();
+        let p = pool(1);
+        p.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {});
+        });
+        let serial = super::pool_stats();
+        assert!(serial.batches > before.batches);
+        assert!(serial.tasks > before.tasks);
+        // A pool of one takes the inline fast path (other tests may add
+        // non-inline batches concurrently, so only the direction is pinned).
+        assert!(serial.inline_tasks > before.inline_tasks);
+
+        let p = pool(4);
+        p.install(|| {
+            (0..100_000usize).into_par_iter().for_each(|_| {});
+        });
+        let parallel = super::pool_stats();
+        assert!(parallel.tasks > serial.tasks);
+        // The multi-thread batch above must not be counted as inline-only.
+        assert!(parallel.tasks - serial.tasks > parallel.inline_tasks - serial.inline_tasks);
     }
 
     #[test]

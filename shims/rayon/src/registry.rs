@@ -22,9 +22,41 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+/// Cumulative process-wide pool activity, for the observability layer.
+///
+/// The counters are monotone and shared by every registry (global and
+/// explicit pools alike): they describe how much fork-join work the process
+/// has dispatched, not where it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Fork-join batches dispatched via `run_batch` (including serial ones).
+    pub batches: u64,
+    /// Individual tasks executed across all batches.
+    pub tasks: u64,
+    /// Tasks that ran inline on the calling thread via the serial fast path
+    /// (pool of one, or a single-task batch) — no queueing, no stealing.
+    pub inline_tasks: u64,
+}
+
+/// Batches dispatched so far (see [`PoolStats::batches`]).
+static STAT_BATCHES: AtomicU64 = AtomicU64::new(0);
+/// Tasks executed so far (see [`PoolStats::tasks`]).
+static STAT_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Tasks run on the serial fast path (see [`PoolStats::inline_tasks`]).
+static STAT_INLINE: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the cumulative pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        batches: STAT_BATCHES.load(Ordering::Relaxed),
+        tasks: STAT_TASKS.load(Ordering::Relaxed),
+        inline_tasks: STAT_INLINE.load(Ordering::Relaxed),
+    }
+}
 
 /// The body of a batch, lifetime-erased.
 ///
@@ -126,9 +158,12 @@ impl Registry {
         if n_tasks == 0 {
             return;
         }
+        STAT_BATCHES.fetch_add(1, Ordering::Relaxed);
+        STAT_TASKS.fetch_add(n_tasks as u64, Ordering::Relaxed);
         // Serial fast path: a pool of one (or a single task) runs inline with
-        // no queueing, no atomics and undisturbed panic semantics.
+        // no queueing, no per-task atomics and undisturbed panic semantics.
         if self.threads <= 1 || n_tasks == 1 {
+            STAT_INLINE.fetch_add(n_tasks as u64, Ordering::Relaxed);
             for t in 0..n_tasks {
                 body(t);
             }

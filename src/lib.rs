@@ -92,6 +92,7 @@ pub use sketch_gpu_sim as gpu;
 pub use sketch_la as la;
 pub use sketch_lowrank as lowrank;
 pub use sketch_lsq as lsq;
+pub use sketch_obs as obs;
 pub use sketch_rng as rng;
 pub use sketch_sparse as sparse;
 

@@ -1,0 +1,180 @@
+//! The trace determinism suite: the **modelled half** of every trace is a pure
+//! function of the workload — identical bytes on every run, every host, and
+//! every `RAYON_NUM_THREADS` (see ARCHITECTURE.md, "Observability").
+//!
+//! Sim-track timestamps derive exclusively from the roofline cost model and the
+//! deterministic shard schedule, so the event sequence (names, devices, tracks,
+//! sim intervals, cost fields) is pinned bit-exactly across 1/2/4/7 devices.
+//! Only the `wall_ns` field and wall-track events may vary between runs.
+
+use gpu_countsketch::dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
+use gpu_countsketch::gpu::DevicePool;
+use gpu_countsketch::la::{Layout, Matrix};
+use gpu_countsketch::obs::{TraceCollector, TraceEvent, Track};
+use gpu_countsketch::sketch::{EmbeddingDim, Pipeline, SketchSpec};
+
+/// The device grid of the multi-device suites: serial, powers of two, and a
+/// prime count so shard-to-device assignment is maximally ragged.
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Run the reference workload on `devices` devices with a collector attached
+/// and return the run plus every recorded event.
+fn traced_run(devices: usize) -> (PipelinedRun, Vec<TraceEvent>) {
+    let a = Matrix::random_gaussian(420, 6, Layout::RowMajor, 42, 0);
+    let plan = Pipeline::single(SketchSpec::countsketch(420, EmbeddingDim::Exact(32), 7));
+    let pool = DevicePool::unlimited(devices);
+    let collector = TraceCollector::shared();
+    pool.attach_recorder(collector.clone());
+    let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default())
+        .expect("the reference workload always fits");
+    (run, collector.snapshot())
+}
+
+/// The deterministic (modelled) half of an event: name, device, track, sim
+/// interval bit patterns, and the cost fields — everything except `wall_ns`.
+type SimKey = (String, usize, &'static str, Option<(u64, u64)>, [u64; 5]);
+
+/// Project the deterministic half out of an event. Sim endpoints are compared
+/// through their bit patterns — the contract is bit-exactness, not approximate
+/// equality.
+fn sim_key(e: &TraceEvent) -> SimKey {
+    (
+        e.name.clone(),
+        e.device,
+        e.track.name(),
+        e.sim.map(|(s, t)| (s.to_bits(), t.to_bits())),
+        [
+            e.cost.bytes_read,
+            e.cost.bytes_written,
+            e.cost.flops,
+            e.cost.launches,
+            e.cost.comm_bytes,
+        ],
+    )
+}
+
+/// Run `f` with every parallel operation dispatched to a pool of exactly
+/// `threads` threads.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+        .install(f)
+}
+
+#[test]
+fn sim_half_is_bit_identical_across_repeated_runs() {
+    for devices in DEVICE_COUNTS {
+        let (_, first) = traced_run(devices);
+        let (_, second) = traced_run(devices);
+        assert!(!first.is_empty(), "{devices} devices produced no events");
+        assert_eq!(
+            first.iter().map(sim_key).collect::<Vec<_>>(),
+            second.iter().map(sim_key).collect::<Vec<_>>(),
+            "sim half diverged between runs on {devices} devices"
+        );
+    }
+}
+
+#[test]
+fn sim_half_is_invariant_under_thread_count() {
+    for devices in [1, 4] {
+        let serial = with_threads(1, || traced_run(devices)).1;
+        let threaded = with_threads(7, || traced_run(devices)).1;
+        assert_eq!(
+            serial.iter().map(sim_key).collect::<Vec<_>>(),
+            threaded.iter().map(sim_key).collect::<Vec<_>>(),
+            "sim half depends on the thread count on {devices} devices"
+        );
+    }
+}
+
+#[test]
+fn trace_structure_is_pinned_per_device_count() {
+    for devices in DEVICE_COUNTS {
+        let (run, events) = traced_run(devices);
+
+        // Every stream-timeline operation appears exactly once in the trace.
+        let stream_events: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e.track, Track::Compute | Track::Comm))
+            .collect();
+        assert_eq!(
+            stream_events.len(),
+            run.timeline.entries().len(),
+            "{devices} devices: stream events must mirror the timeline"
+        );
+
+        // The executor cuts two shards per device by default, and each shard
+        // is one compute event on its owning device.
+        let shards: usize = run.schedules.iter().map(|s| s.num_shards()).sum();
+        let compute = events.iter().filter(|e| e.track == Track::Compute).count();
+        assert_eq!(
+            compute, shards,
+            "{devices} devices: one compute event per shard"
+        );
+
+        // Exactly the pool's devices appear, and each runs compute + kernels.
+        for d in 0..devices {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.device == d && e.track == Track::Compute),
+                "{devices} devices: device {d} has no compute track"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.device == d && e.track == Track::Kernel),
+                "{devices} devices: device {d} has no kernel track"
+            );
+        }
+        assert!(events.iter().all(|e| e.device < devices));
+
+        // Per (device, track), sim intervals are monotone and non-overlapping:
+        // events are recorded in clock order on every modelled track.
+        for d in 0..devices {
+            for track in [Track::Compute, Track::Comm, Track::Kernel] {
+                let mut cursor = 0.0f64;
+                for e in events.iter().filter(|e| e.device == d && e.track == track) {
+                    let (start, end) = e.sim.expect("modelled events carry sim intervals");
+                    assert!(
+                        start >= cursor && end >= start,
+                        "{devices} devices: {} track on device {d} overlaps",
+                        track.name()
+                    );
+                    cursor = end;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_device_traces_share_the_single_device_kernel_sequence() {
+    // The kernel *names* executed per shard are schedule-independent; the
+    // 1-device trace's kernel-label set must survive scaling out.
+    let (_, one) = traced_run(1);
+    let labels = |events: &[TraceEvent]| {
+        let mut names: Vec<String> = events
+            .iter()
+            .filter(|e| e.track == Track::Kernel)
+            .map(|e| e.name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let reference = labels(&one);
+    assert!(!reference.is_empty());
+    for devices in [2, 4, 7] {
+        let (_, events) = traced_run(devices);
+        for name in &reference {
+            assert!(
+                labels(&events).contains(name),
+                "{devices} devices lost kernel label {name:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Chrome-trace validator: every trace the workspace exports must be
+//! well-formed JSON whose modelled tracks obey the determinism contract
+//! (see ARCHITECTURE.md, "Observability").
+//!
+//! The validator enforces:
+//!
+//! * the document parses and carries a `traceEvents` array;
+//! * every complete (`"ph":"X"`) event has `name`/`pid`/`tid`/`ts`/`dur` and a
+//!   full, non-negative cost `args` block (schema drift fails the run);
+//! * per `(pid, tid)` track, `cat:"sim"` events are monotone and
+//!   non-overlapping — modelled clocks never run backwards;
+//! * thread/process metadata names every track that carries events.
+//!
+//! It runs against a self-generated 4-device trace, and additionally against
+//! any files listed in `TRACE_VALIDATE_PATHS` (colon-separated) — CI points
+//! this at the traces written by the `--trace` smoke runs.
+
+use gpu_countsketch::dist::{pipelined_sketch, ExecutorOptions};
+use gpu_countsketch::gpu::DevicePool;
+use gpu_countsketch::la::{Layout, Matrix};
+use gpu_countsketch::obs::{chrome_trace_with_metrics, JsonValue, MetricsRegistry, TraceCollector};
+use gpu_countsketch::sketch::{EmbeddingDim, Pipeline, SketchSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cost fields every complete event must carry in `args`.
+const COST_FIELDS: [&str; 6] = [
+    "bytes_read",
+    "bytes_written",
+    "flops",
+    "launches",
+    "comm_bytes",
+    "wall_ns",
+];
+
+/// Which `(pid, tid)` tracks carried events, per process.
+#[derive(Debug)]
+struct TraceSummary {
+    tracks: BTreeMap<u64, BTreeSet<u64>>,
+    events: usize,
+}
+
+/// Validate one Chrome-trace document. Returns a summary of the tracks seen,
+/// or a message naming the first violation.
+fn validate(doc: &JsonValue) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+
+    let mut named_tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut summary = TraceSummary {
+        tracks: BTreeMap::new(),
+        events: 0,
+    };
+    // Per (pid, tid): the end of the last sim event seen on that track.
+    let mut cursors: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = e
+            .get("pid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = e
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        match ph {
+            "M" => {
+                if e.get("name").and_then(JsonValue::as_str) == Some("thread_name") {
+                    named_tracks.insert((pid, tid));
+                }
+            }
+            "X" => {
+                summary.events += 1;
+                e.get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: missing name"))?;
+                let ts = e
+                    .get("ts")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing dur"))?;
+                if !(ts >= 0.0 && dur >= 0.0) {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                let args = e
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: missing args"))?;
+                for field in COST_FIELDS {
+                    let v = args
+                        .get(field)
+                        .ok_or_else(|| format!("event {i}: args missing {field}"))?;
+                    if v.as_u64().is_none() {
+                        return Err(format!("event {i}: args.{field} is not a count"));
+                    }
+                }
+                let cat = e
+                    .get("cat")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: missing cat"))?;
+                if cat == "sim" {
+                    let cursor = cursors.entry((pid, tid)).or_insert(0.0);
+                    if ts + 1e-9 < *cursor {
+                        return Err(format!(
+                            "event {i}: sim track ({pid},{tid}) overlaps: ts {ts} < cursor {cursor}"
+                        ));
+                    }
+                    *cursor = ts + dur;
+                }
+                summary.tracks.entry(pid).or_default().insert(tid);
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+
+    for (&pid, tids) in &summary.tracks {
+        for &tid in tids {
+            if !named_tracks.contains(&(pid, tid)) {
+                return Err(format!("track ({pid},{tid}) carries events but is unnamed"));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Export one traced 4-device run as a Chrome-trace document.
+fn four_device_doc() -> JsonValue {
+    let a = Matrix::random_gaussian(420, 6, Layout::RowMajor, 42, 0);
+    let plan = Pipeline::single(SketchSpec::countsketch(420, EmbeddingDim::Exact(32), 7));
+    let pool = DevicePool::unlimited(4);
+    let collector = TraceCollector::shared();
+    pool.attach_recorder(collector.clone());
+    let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default())
+        .expect("the reference workload always fits");
+    let metrics = MetricsRegistry::new();
+    run.record_metrics(&metrics, &pool);
+    chrome_trace_with_metrics(&collector.snapshot(), Some(&metrics))
+}
+
+#[test]
+fn self_generated_four_device_trace_validates() {
+    let doc = four_device_doc();
+    let summary = validate(&doc).expect("the exported trace must validate");
+    assert!(summary.events > 0);
+    // One compute (tid 0) and one comm (tid 1) stream track per device, plus
+    // the serial kernel track (tid 2).
+    for pid in 0..4u64 {
+        let tids = summary
+            .tracks
+            .get(&pid)
+            .unwrap_or_else(|| panic!("device {pid} has no tracks"));
+        for tid in [0u64, 1, 2] {
+            assert!(tids.contains(&tid), "device {pid} missing tid {tid}");
+        }
+    }
+    // The metrics summary rides along without confusing trace viewers.
+    assert!(doc.get("sketchMetrics").is_some());
+}
+
+#[test]
+fn exported_trace_round_trips_through_the_parser() {
+    let doc = four_device_doc();
+    let text = doc.render();
+    let reparsed = JsonValue::parse(&text).expect("rendered traces re-parse");
+    validate(&reparsed).expect("round-tripped trace still validates");
+}
+
+#[test]
+fn validator_rejects_schema_drift() {
+    let doc = four_device_doc();
+    let events = match doc.get("traceEvents").unwrap() {
+        JsonValue::Array(events) => events.clone(),
+        _ => unreachable!("traceEvents is always an array"),
+    };
+
+    // Drop `dur` from the first complete event.
+    let mut dropped = Vec::new();
+    let mut removed = false;
+    for e in &events {
+        match e {
+            JsonValue::Object(fields)
+                if !removed && e.get("ph").and_then(JsonValue::as_str) == Some("X") =>
+            {
+                removed = true;
+                dropped.push(JsonValue::Object(
+                    fields.iter().filter(|(k, _)| k != "dur").cloned().collect(),
+                ));
+            }
+            other => dropped.push(other.clone()),
+        }
+    }
+    assert!(removed, "the trace has at least one complete event");
+    let broken = JsonValue::Object(vec![("traceEvents".into(), JsonValue::Array(dropped))]);
+    let err = validate(&broken).expect_err("missing dur must fail validation");
+    assert!(err.contains("dur"), "unexpected error: {err}");
+
+    // Rewind a sim event so its track overlaps.
+    let mut skewed = Vec::new();
+    let mut sim_seen = 0usize;
+    for e in &events {
+        match e {
+            JsonValue::Object(fields)
+                if e.get("cat").and_then(JsonValue::as_str) == Some("sim") && {
+                    sim_seen += 1;
+                    sim_seen == 2
+                } =>
+            {
+                skewed.push(JsonValue::Object(
+                    fields
+                        .iter()
+                        .map(|(k, v)| {
+                            if k == "ts" {
+                                (k.clone(), JsonValue::Float(-1.0))
+                            } else {
+                                (k.clone(), v.clone())
+                            }
+                        })
+                        .collect(),
+                ));
+            }
+            other => skewed.push(other.clone()),
+        }
+    }
+    let broken = JsonValue::Object(vec![("traceEvents".into(), JsonValue::Array(skewed))]);
+    validate(&broken).expect_err("a rewound sim timestamp must fail validation");
+}
+
+#[test]
+fn env_listed_trace_files_validate() {
+    let Ok(paths) = std::env::var("TRACE_VALIDATE_PATHS") else {
+        return; // nothing exported in this run
+    };
+    let mut checked = 0usize;
+    for path in paths.split(':').filter(|p| !p.is_empty()) {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+        let doc = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("trace {path} is not valid JSON: {e}"));
+        let summary =
+            validate(&doc).unwrap_or_else(|e| panic!("trace {path} fails validation: {e}"));
+        assert!(summary.events > 0, "trace {path} is empty");
+        checked += 1;
+    }
+    assert!(
+        checked > 0,
+        "TRACE_VALIDATE_PATHS was set but named no files"
+    );
+}
