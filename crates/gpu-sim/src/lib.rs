@@ -79,7 +79,7 @@ pub use counters::{CostTracker, KernelCost};
 pub use device::{Device, DeviceSpec};
 pub use launch::{parallel_for, parallel_for_chunks, AtomicF64, AtomicF64View};
 pub use memory::{MemoryError, MemoryTracker, Reservation};
-pub use pool::{DevicePool, InterconnectSpec};
+pub use pool::{DevicePool, InterconnectSpec, PoolError};
 pub use profile::{Phase, PhaseRecord, PhaseSpan, Profiler, RunBreakdown};
 pub use roofline::RooflineModel;
 pub use stream::{Event, SimStream, StreamKind, StreamSet, Timeline, TimelineEntry};

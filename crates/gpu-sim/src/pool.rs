@@ -20,6 +20,7 @@
 use crate::counters::KernelCost;
 use crate::device::{Device, DeviceSpec};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Published characteristics of the device-to-device interconnect.
 ///
@@ -84,10 +85,57 @@ impl Default for InterconnectSpec {
     }
 }
 
+/// Why [`DevicePool::subpool`] refused to build a view.
+///
+/// Rejections are typed errors, not panics: a service layer turns these into
+/// per-request failures instead of tearing the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The requested subset named no devices.
+    Empty,
+    /// An ordinal is not a position in the parent pool.
+    OutOfRange {
+        /// The offending ordinal.
+        ordinal: usize,
+        /// Number of devices in the parent pool.
+        num_devices: usize,
+    },
+    /// The same ordinal appeared more than once in the subset.
+    Duplicate {
+        /// The repeated ordinal.
+        ordinal: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Empty => write!(f, "subpool needs at least one device ordinal"),
+            PoolError::OutOfRange {
+                ordinal,
+                num_devices,
+            } => write!(
+                f,
+                "device ordinal {ordinal} is out of range for a pool of {num_devices}"
+            ),
+            PoolError::Duplicate { ordinal } => {
+                write!(f, "device ordinal {ordinal} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// A fixed set of simulated devices plus the interconnect between them.
-#[derive(Debug, Default)]
+///
+/// Devices are reference-counted so a [`DevicePool::subpool`] view shares the
+/// parent's devices: kernel costs and memory pressure recorded through a
+/// subpool accumulate on the parent's trackers, exactly as concurrent jobs on
+/// a shared cluster would.
+#[derive(Debug, Default, Clone)]
 pub struct DevicePool {
-    devices: Vec<Device>,
+    devices: Vec<Arc<Device>>,
     interconnect: InterconnectSpec,
 }
 
@@ -99,7 +147,9 @@ impl DevicePool {
     pub fn homogeneous(n: usize, spec: DeviceSpec) -> Self {
         assert!(n > 0, "a device pool needs at least one device");
         Self {
-            devices: (0..n).map(|i| Device::with_ordinal(spec, i)).collect(),
+            devices: (0..n)
+                .map(|i| Arc::new(Device::with_ordinal(spec, i)))
+                .collect(),
             interconnect: InterconnectSpec::default(),
         }
     }
@@ -118,7 +168,7 @@ impl DevicePool {
     /// as bare [`Device`] launches.
     pub fn single(spec: DeviceSpec) -> Self {
         Self {
-            devices: vec![Device::new(spec)],
+            devices: vec![Arc::new(Device::new(spec))],
             interconnect: InterconnectSpec::local(),
         }
     }
@@ -149,8 +199,51 @@ impl DevicePool {
     }
 
     /// All devices, in pool order.
-    pub fn devices(&self) -> &[Device] {
+    pub fn devices(&self) -> &[Arc<Device>] {
         &self.devices
+    }
+
+    /// A view over the devices at the given pool positions, sharing the parent
+    /// pool's devices and interconnect.
+    ///
+    /// The returned pool is a first-class execution target: the executor
+    /// shards across its positions as usual, while every launch lands on the
+    /// parent's cost trackers and memory models.  A service scheduler uses
+    /// disjoint subpools to co-schedule independent jobs on one cluster.
+    ///
+    /// Devices keep their parent ordinals, so trace and utilization reports
+    /// from a subpool run still name the physical devices.
+    ///
+    /// Rejects empty subsets, out-of-range ordinals and duplicates with a
+    /// typed [`PoolError`] instead of panicking.
+    pub fn subpool(&self, ordinals: &[usize]) -> Result<DevicePool, PoolError> {
+        if ordinals.is_empty() {
+            return Err(PoolError::Empty);
+        }
+        let mut seen = vec![false; self.devices.len()];
+        let mut devices = Vec::with_capacity(ordinals.len());
+        for &ordinal in ordinals {
+            if ordinal >= self.devices.len() {
+                return Err(PoolError::OutOfRange {
+                    ordinal,
+                    num_devices: self.devices.len(),
+                });
+            }
+            if seen[ordinal] {
+                return Err(PoolError::Duplicate { ordinal });
+            }
+            seen[ordinal] = true;
+            devices.push(Arc::clone(&self.devices[ordinal]));
+        }
+        let interconnect = if devices.len() == 1 {
+            InterconnectSpec::local()
+        } else {
+            self.interconnect
+        };
+        Ok(DevicePool {
+            devices,
+            interconnect,
+        })
     }
 
     /// The interconnect model.
@@ -263,6 +356,67 @@ mod tests {
         assert_eq!(collector.snapshot()[0].device, 1);
         pool.detach_recorder();
         assert!(pool.recorder().is_none());
+    }
+
+    #[test]
+    fn subpool_shares_devices_and_keeps_ordinals() {
+        let pool = DevicePool::unlimited(4);
+        let sub = pool.subpool(&[1, 3]).unwrap();
+        assert_eq!(sub.num_devices(), 2);
+        assert_eq!(sub.device(0).ordinal(), 1);
+        assert_eq!(sub.device(1).ordinal(), 3);
+        // Costs recorded through the view land on the parent's trackers.
+        sub.device(0).record(KernelCost::new(8, 8, 2, 1));
+        assert_eq!(pool.device(1).tracker().snapshot().flops, 2);
+        assert_eq!(pool.total_cost().flops, 2);
+        // Multi-device subpools inherit the parent fabric.
+        assert_eq!(sub.interconnect().name, pool.interconnect().name);
+    }
+
+    #[test]
+    fn single_device_subpool_gets_the_local_interconnect() {
+        let pool = DevicePool::h100(4);
+        let sub = pool.subpool(&[2]).unwrap();
+        assert_eq!(sub.num_devices(), 1);
+        assert_eq!(sub.device(0).ordinal(), 2);
+        // A one-device view is a zero-comm execution target, exactly like
+        // `DevicePool::single`.
+        assert_eq!(sub.interconnect().transfer_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn subpool_rejects_bad_subsets_with_typed_errors() {
+        let pool = DevicePool::unlimited(3);
+        assert_eq!(pool.subpool(&[]).unwrap_err(), PoolError::Empty);
+        assert_eq!(
+            pool.subpool(&[0, 3]).unwrap_err(),
+            PoolError::OutOfRange {
+                ordinal: 3,
+                num_devices: 3
+            }
+        );
+        assert_eq!(
+            pool.subpool(&[1, 2, 1]).unwrap_err(),
+            PoolError::Duplicate { ordinal: 1 }
+        );
+        // Errors render as readable messages.
+        assert!(PoolError::Empty.to_string().contains("at least one"));
+        assert!(pool
+            .subpool(&[9])
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn overlapping_subpools_accumulate_onto_the_same_device() {
+        let pool = DevicePool::unlimited(2);
+        let a = pool.subpool(&[0]).unwrap();
+        let b = pool.subpool(&[0, 1]).unwrap();
+        a.device(0).record(KernelCost::new(0, 0, 1, 1));
+        b.device(0).record(KernelCost::new(0, 0, 10, 1));
+        assert_eq!(pool.device(0).tracker().snapshot().flops, 11);
+        assert_eq!(pool.device(1).tracker().snapshot().flops, 0);
     }
 
     #[test]

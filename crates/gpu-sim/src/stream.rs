@@ -114,6 +114,49 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// An empty timeline spanning `devices` devices — the starting point for
+    /// a service-level timeline that merges per-job runs with
+    /// [`Timeline::merge_shifted`].
+    pub fn with_devices(devices: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            devices,
+        }
+    }
+
+    /// Merge another timeline into this one, shifting every entry forward by
+    /// `offset_s` seconds and remapping its device positions through
+    /// `device_map` (`device_map[i]` is the position in *this* timeline of the
+    /// other timeline's device `i`).
+    ///
+    /// This is the modelled cluster clock: a job scheduled at `offset_s` on a
+    /// device subset contributes its per-job timeline to the service-level
+    /// view, on the physical device rows it actually occupied.
+    ///
+    /// # Panics
+    /// Panics if `device_map` is shorter than the other timeline's device
+    /// count, or maps to a position outside this timeline.
+    pub fn merge_shifted(&mut self, other: &Timeline, offset_s: f64, device_map: &[usize]) {
+        assert!(
+            device_map.len() >= other.num_devices(),
+            "device_map covers every device of the merged timeline"
+        );
+        for entry in other.entries() {
+            let device = device_map[entry.device];
+            assert!(
+                device < self.devices,
+                "device_map stays inside the target timeline"
+            );
+            self.entries.push(TimelineEntry {
+                device,
+                stream: entry.stream,
+                label: entry.label.clone(),
+                start: entry.start + offset_s,
+                end: entry.end + offset_s,
+            });
+        }
+    }
+
     /// The scheduled operations, in enqueue order.
     pub fn entries(&self) -> &[TimelineEntry] {
         &self.entries
@@ -488,6 +531,56 @@ mod tests {
             StreamSet::new(1).with_recorder(Some(std::sync::Arc::new(sketch_obs::NoopRecorder)));
         // The noop recorder is filtered out, so the clone cost stays zero.
         assert!(format!("{set:?}").contains("recorder: None"));
+    }
+
+    #[test]
+    fn merge_shifted_offsets_and_remaps_devices() {
+        // Job A: one op on its device 0.  Job B: ops on its devices 0 and 1.
+        let mut a = StreamSet::new(1);
+        a.enqueue(0, StreamKind::Compute, "a-k", &[], 2.0);
+        let a = a.finish();
+        let mut b = StreamSet::new(2);
+        let c = b.enqueue(0, StreamKind::Compute, "b-k", &[], 1.0);
+        b.enqueue(1, StreamKind::Comm, "b-m", &[c], 0.5);
+        let b = b.finish();
+
+        // Cluster of 4 devices: A on physical device 3 at t=1, B on physical
+        // devices 0 and 2 at t=2.
+        let mut service = Timeline::with_devices(4);
+        service.merge_shifted(&a, 1.0, &[3]);
+        service.merge_shifted(&b, 2.0, &[0, 2]);
+        assert_eq!(service.num_devices(), 4);
+        assert_eq!(service.entries().len(), 3);
+        assert_eq!(service.makespan(), 3.5); // B's comm: 2.0 + 1.0 + 0.5
+        assert_eq!(service.serial_seconds(), 3.5);
+        let a_entry = &service.entries()[0];
+        assert_eq!((a_entry.device, a_entry.start, a_entry.end), (3, 1.0, 3.0));
+        let m_entry = &service.entries()[2];
+        assert_eq!(m_entry.device, 2);
+        assert_eq!(m_entry.stream, StreamKind::Comm);
+        // Device 1 never ran anything.
+        assert_eq!(service.busy_seconds(1), 0.0);
+        assert!(service.utilization(3) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "device_map covers")]
+    fn merge_shifted_rejects_short_device_maps() {
+        let mut inner = StreamSet::new(2);
+        inner.enqueue(0, StreamKind::Compute, "k", &[], 1.0);
+        let inner = inner.finish();
+        let mut service = Timeline::with_devices(4);
+        service.merge_shifted(&inner, 0.0, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the target")]
+    fn merge_shifted_rejects_out_of_range_targets() {
+        let mut inner = StreamSet::new(1);
+        inner.enqueue(0, StreamKind::Compute, "k", &[], 1.0);
+        let inner = inner.finish();
+        let mut service = Timeline::with_devices(2);
+        service.merge_shifted(&inner, 0.0, &[5]);
     }
 
     #[test]

@@ -52,6 +52,38 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
+    ///
+    /// The estimate interpolates linearly inside the bucket that crosses the
+    /// target rank, Prometheus-style, and is fully determined by the stored
+    /// counts — no raw observations are kept.  Observations that landed in the
+    /// overflow bucket are reported as the largest finite bound (the histogram
+    /// cannot see past its bounds).  Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the largest finite bound.
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let within = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * within;
+            }
+            seen = upto;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -177,6 +209,44 @@ mod tests {
         assert_eq!(h.count, 3);
         assert!((h.mean() - 1.0).abs() < 1e-12);
         assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate_inside_buckets() {
+        let m = MetricsRegistry::new();
+        let bounds = [1.0, 2.0, 4.0];
+        // 2 obs in (0,1], 2 in (1,2], none beyond.
+        for v in [0.5, 0.9, 1.5, 1.9] {
+            m.observe("wait", v, &bounds);
+        }
+        let h = m.histogram("wait").unwrap();
+        // p50: rank 2.0 lands exactly at the end of bucket 0 -> 1.0.
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        // p75: rank 3.0 is one of bucket 1's two observations -> 1.5.
+        assert!((h.quantile(0.75) - 1.5).abs() < 1e-12);
+        // p100 reaches bucket 1's upper bound.
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-12);
+        // q is clamped.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_overflow() {
+        let empty = Histogram {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+        // Everything in the overflow bucket clamps to the largest bound.
+        let m = MetricsRegistry::new();
+        m.observe("over", 10.0, &[1.0, 2.0]);
+        m.observe("over", 20.0, &[1.0, 2.0]);
+        let h = m.histogram("over").unwrap();
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.95), 2.0);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Typed errors of the service layer.
+//!
+//! Admission and scheduling failures are *per-request* conditions: a tenant
+//! exceeding its quota must produce a ledger entry and an error value, never a
+//! panic.  [`RejectReason`] enumerates the declarative limits a job can trip;
+//! [`ServeError`] wraps rejections together with the lower layers' errors
+//! (pool subset validation, spec parsing, executor failures).
+
+use sketch_gpu_sim::PoolError;
+
+/// Why the admission controller or queue refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded job queue is full.
+    QueueFull {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The tenant already has its maximum number of jobs in flight.
+    TooManyInFlight {
+        /// The tenant's in-flight limit.
+        limit: usize,
+    },
+    /// The job's modelled sketch output exceeds the tenant's byte budget.
+    SketchBytesExceeded {
+        /// Modelled bytes the job would produce.
+        modelled: u64,
+        /// The tenant's byte limit.
+        limit: u64,
+    },
+    /// The job's modelled flop count exceeds the tenant's compute budget.
+    FlopsExceeded {
+        /// Modelled flops the job would execute.
+        modelled: u64,
+        /// The tenant's flop limit.
+        limit: u64,
+    },
+}
+
+impl RejectReason {
+    /// Stable machine-readable tag, used in ledgers and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::TooManyInFlight { .. } => "too_many_in_flight",
+            RejectReason::SketchBytesExceeded { .. } => "sketch_bytes_exceeded",
+            RejectReason::FlopsExceeded { .. } => "flops_exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "job queue is full (capacity {capacity})")
+            }
+            RejectReason::TooManyInFlight { limit } => {
+                write!(f, "tenant already has {limit} job(s) in flight")
+            }
+            RejectReason::SketchBytesExceeded { modelled, limit } => write!(
+                f,
+                "modelled sketch output of {modelled} bytes exceeds the tenant limit of {limit}"
+            ),
+            RejectReason::FlopsExceeded { modelled, limit } => write!(
+                f,
+                "modelled {modelled} flops exceed the tenant limit of {limit}"
+            ),
+        }
+    }
+}
+
+/// Any failure surfaced by the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A job was rejected by admission control or the bounded queue.
+    Rejected {
+        /// The tenant whose job was refused.
+        tenant: String,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+    /// A device-subset request was malformed (empty, duplicate, out of range).
+    Pool(PoolError),
+    /// A lower-layer error: spec resolution, operand build, executor failure.
+    Core(sketch_core::Error),
+    /// A job file or job spec failed to parse.
+    Spec {
+        /// What was wrong with the document.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// A spec/parse error with a human-readable detail string.
+    pub fn spec(detail: impl Into<String>) -> Self {
+        ServeError::Spec {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { tenant, reason } => {
+                write!(f, "job from tenant {tenant:?} rejected: {reason}")
+            }
+            ServeError::Pool(e) => write!(f, "device subset error: {e}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Spec { detail } => write!(f, "job spec error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PoolError> for ServeError {
+    fn from(e: PoolError) -> Self {
+        ServeError::Pool(e)
+    }
+}
+
+impl From<sketch_core::Error> for ServeError {
+    fn from(e: sketch_core::Error) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<sketch_obs::JsonError> for ServeError {
+    fn from(e: sketch_obs::JsonError) -> Self {
+        ServeError::spec(e.message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reasons_render_and_tag() {
+        let r = RejectReason::SketchBytesExceeded {
+            modelled: 100,
+            limit: 10,
+        };
+        assert_eq!(r.as_str(), "sketch_bytes_exceeded");
+        assert!(r.to_string().contains("100"));
+        let e = ServeError::Rejected {
+            tenant: "acme".into(),
+            reason: r,
+        };
+        assert!(e.to_string().contains("acme"));
+    }
+
+    #[test]
+    fn lower_layer_errors_convert() {
+        let pool_err: ServeError = PoolError::Empty.into();
+        assert!(matches!(pool_err, ServeError::Pool(PoolError::Empty)));
+        let core_err: ServeError = sketch_core::Error::invalid_param("nope").into();
+        assert!(core_err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,235 @@
+//! A bounded job queue with per-tenant fairness.
+//!
+//! The queue holds at most `capacity` jobs in total (a full queue rejects
+//! with a typed [`RejectReason::QueueFull`]).  Draining is round-robin across
+//! tenants in first-submission order — no tenant can starve another by
+//! flooding the queue — and within a tenant jobs pop by `(deadline class,
+//! priority desc, submission order)`, so an interactive job overtakes batch
+//! work from the same tenant but never jumps another tenant's turn.
+//!
+//! Everything is deterministic: identical submission sequences drain in
+//! identical order on every host and thread count.
+
+use crate::error::{RejectReason, ServeError};
+use crate::job::JobSpec;
+
+/// A job in the queue, stamped with its admission sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// The job.
+    pub job: JobSpec,
+    /// Global submission sequence number (the deterministic tiebreaker).
+    pub seq: u64,
+}
+
+/// The bounded, tenant-fair job queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    /// Per-tenant FIFO lanes, keyed by tenant in first-submission order.
+    lanes: Vec<(String, Vec<QueuedJob>)>,
+    /// Round-robin cursor over `lanes`.
+    cursor: usize,
+    next_seq: u64,
+    len: usize,
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a queue that can hold nothing cannot
+    /// serve anybody.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            lanes: Vec::new(),
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued, across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Jobs currently queued for `tenant`.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.lanes
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map_or(0, |(_, lane)| lane.len())
+    }
+
+    /// Enqueue a job, or reject it with [`RejectReason::QueueFull`].
+    pub fn push(&mut self, job: JobSpec) -> Result<u64, ServeError> {
+        if self.len >= self.capacity {
+            return Err(ServeError::Rejected {
+                tenant: job.tenant.clone(),
+                reason: RejectReason::QueueFull {
+                    capacity: self.capacity,
+                },
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = match self.lanes.iter().position(|(t, _)| *t == job.tenant) {
+            Some(idx) => idx,
+            None => {
+                self.lanes.push((job.tenant.clone(), Vec::new()));
+                self.lanes.len() - 1
+            }
+        };
+        self.lanes[idx].1.push(QueuedJob { job, seq });
+        self.len += 1;
+        Ok(seq)
+    }
+
+    /// Pop the next job: round-robin over tenants (first-submission order),
+    /// then the tenant's most urgent job by `(deadline rank, priority desc,
+    /// seq)`.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        if self.len == 0 {
+            return None;
+        }
+        let lanes = self.lanes.len();
+        for step in 0..lanes {
+            let idx = (self.cursor + step) % lanes;
+            let lane = &mut self.lanes[idx].1;
+            if lane.is_empty() {
+                continue;
+            }
+            let best = lane
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| {
+                    (
+                        q.job.deadline.rank(),
+                        u8::MAX - q.job.priority, // higher priority first
+                        q.seq,
+                    )
+                })
+                .map(|(i, _)| i)
+                .expect("lane is non-empty");
+            let job = lane.remove(best);
+            self.len -= 1;
+            // Next pop starts at the lane after this one: round-robin.
+            self.cursor = (idx + 1) % lanes;
+            return Some(job);
+        }
+        None
+    }
+
+    /// Drain the whole queue in fair pop order.
+    pub fn drain(&mut self) -> Vec<QueuedJob> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(job) = self.pop() {
+            out.push(job);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DeadlineClass, OperandSpec};
+    use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
+
+    fn job(tenant: &str) -> JobSpec {
+        JobSpec::new(
+            tenant,
+            Pipeline::single(SketchSpec::countsketch(64, EmbeddingDim::Exact(32), 1)),
+            OperandSpec::Dense {
+                rows: 64,
+                cols: 4,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn round_robin_across_tenants_in_first_submission_order() {
+        let mut q = JobQueue::new(16);
+        // Tenant a floods the queue before b and c submit one job each.
+        for _ in 0..4 {
+            q.push(job("a")).unwrap();
+        }
+        q.push(job("b")).unwrap();
+        q.push(job("c")).unwrap();
+        let order: Vec<String> = q.drain().into_iter().map(|j| j.job.tenant).collect();
+        assert_eq!(order, ["a", "b", "c", "a", "a", "a"]);
+    }
+
+    #[test]
+    fn within_a_tenant_deadline_beats_priority_beats_seq() {
+        let mut q = JobQueue::new(16);
+        q.push(job("t").with_priority(9)) // standard, high priority
+            .unwrap();
+        q.push(
+            job("t")
+                .with_deadline(DeadlineClass::Batch)
+                .with_priority(255),
+        )
+        .unwrap();
+        q.push(job("t").with_deadline(DeadlineClass::Interactive))
+            .unwrap();
+        q.push(job("t").with_priority(9)) // standard, same priority, later seq
+            .unwrap();
+        let seqs: Vec<u64> = q.drain().into_iter().map(|j| j.seq).collect();
+        // Interactive first, then the two standard-priority-9 in seq order,
+        // batch last despite its 255 priority.
+        assert_eq!(seqs, [2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_a_typed_error() {
+        let mut q = JobQueue::new(2);
+        q.push(job("a")).unwrap();
+        q.push(job("b")).unwrap();
+        let err = q.push(job("c")).unwrap_err();
+        match err {
+            ServeError::Rejected { tenant, reason } => {
+                assert_eq!(tenant, "c");
+                assert_eq!(reason, RejectReason::QueueFull { capacity: 2 });
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Popping frees space again.
+        assert!(q.pop().is_some());
+        q.push(job("c")).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn queued_for_counts_per_tenant() {
+        let mut q = JobQueue::new(8);
+        q.push(job("a")).unwrap();
+        q.push(job("a")).unwrap();
+        q.push(job("b")).unwrap();
+        assert_eq!(q.queued_for("a"), 2);
+        assert_eq!(q.queued_for("b"), 1);
+        assert_eq!(q.queued_for("missing"), 0);
+        assert!(!q.is_empty());
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        JobQueue::new(0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Packing admitted jobs onto the shared [`DevicePool`].
+//!
+//! The [`Scheduler`] walks jobs in queue (fairness) order and greedily claims,
+//! for each job, the devices that free up earliest — a `devices = 1` job takes
+//! one idle device while another tenant's job runs beside it, which is where
+//! co-scheduling beats FIFO one-job-at-a-time.  Each claim becomes a
+//! [`DevicePool::subpool`] view, the job runs through the ordinary
+//! `pipelined_sketch` engine on it, and the per-job timeline is merged (with
+//! the job's start offset and its physical device ordinals) into one
+//! service-level [`Timeline`] — the modelled cluster clock.
+//!
+//! Determinism: claims are resolved by `(free-up time, lowest ordinal)`, jobs
+//! execute with their tenant-salted pipelines, and the executor itself is
+//! bit-deterministic — so a job's numerical result is identical whether it
+//! runs alone on a fresh pool or co-scheduled here (pinned by the isolation
+//! suite).
+//!
+//! [`Scheduler::run_fifo`] is the baseline the service must beat: the same
+//! jobs, same order, but each one monopolises the whole pool.
+
+use crate::error::ServeError;
+use crate::job::OperandData;
+use crate::queue::QueuedJob;
+use sketch_core::Operand;
+use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
+use sketch_gpu_sim::{DevicePool, StreamKind, Timeline};
+use sketch_obs::{CostBreakdown, TraceEvent, Track};
+
+/// One job as actually scheduled: when, where, and what came out.
+#[derive(Debug, Clone)]
+pub struct ScheduledJob {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Queue sequence number of the job.
+    pub seq: u64,
+    /// Modelled arrival time, seconds.
+    pub arrival_s: f64,
+    /// Modelled start time on the cluster clock, seconds.
+    pub start: f64,
+    /// Modelled completion time, seconds.
+    pub end: f64,
+    /// Physical device ordinals the job occupied (sorted).
+    pub device_ordinals: Vec<usize>,
+    /// The executor's result for the job (bits + per-job timeline + costs).
+    pub run: PipelinedRun,
+}
+
+impl ScheduledJob {
+    /// Seconds the job waited between arrival and start.
+    pub fn queue_wait(&self) -> f64 {
+        (self.start - self.arrival_s).max(0.0)
+    }
+}
+
+/// The service-level outcome: every scheduled job plus the merged cluster
+/// timeline.
+#[derive(Debug, Clone)]
+pub struct ServiceRun {
+    /// Jobs in execution (queue) order.
+    pub jobs: Vec<ScheduledJob>,
+    /// The merged cluster timeline (device rows are physical ordinals).
+    pub timeline: Timeline,
+    /// Devices in the pool the run was packed onto.
+    pub devices: usize,
+}
+
+impl ServiceRun {
+    /// Completion time of the last job — the mixed workload's makespan.
+    pub fn makespan(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Per-physical-device utilization over the service makespan.
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.timeline.utilizations()
+    }
+
+    /// Export the whole service run as costed trace events on the physical
+    /// device tracks, jobs laid out at their scheduled offsets.
+    ///
+    /// Events are emitted job-by-job in start order; since a device's jobs
+    /// never overlap and each job's per-stream entries are monotone, every
+    /// `(device, stream)` sim track stays monotone and non-overlapping — the
+    /// invariant the workspace trace validator enforces.
+    pub fn to_trace_events(&self) -> Vec<TraceEvent> {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ja, jb) = (&self.jobs[a], &self.jobs[b]);
+            ja.start
+                .partial_cmp(&jb.start)
+                .expect("finite start times")
+                .then(ja.seq.cmp(&jb.seq))
+        });
+        let mut events = Vec::new();
+        for idx in order {
+            let job = &self.jobs[idx];
+            for entry in job.run.timeline.entries() {
+                events.push(TraceEvent {
+                    name: format!("{}#{} {}", job.tenant, job.seq, entry.label),
+                    device: job.device_ordinals[entry.device],
+                    track: match entry.stream {
+                        StreamKind::Compute => Track::Compute,
+                        StreamKind::Comm => Track::Comm,
+                    },
+                    sim: Some((entry.start + job.start, entry.end + job.start)),
+                    wall_ns: 0,
+                    cost: CostBreakdown::default(),
+                });
+            }
+        }
+        events
+    }
+}
+
+/// Greedy device-packing scheduler over a shared pool.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    opts: ExecutorOptions,
+}
+
+impl Scheduler {
+    /// A scheduler running jobs with default [`ExecutorOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the executor options every job runs with.
+    #[must_use]
+    pub fn with_options(mut self, opts: ExecutorOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Materialise and execute one job on `pool` with its tenant-salted
+    /// pipeline.
+    fn execute(&self, pool: &DevicePool, job: &QueuedJob) -> Result<PipelinedRun, ServeError> {
+        let plan = job.job.salted_pipeline();
+        let run = match job.job.operand.materialize() {
+            OperandData::Dense(m) => pipelined_sketch(pool, &m, &plan, &self.opts)?,
+            OperandData::Csr(c) => pipelined_sketch(pool, Operand::Csr(&c), &plan, &self.opts)?,
+        };
+        Ok(run)
+    }
+
+    /// Co-schedule `jobs` (in the given order) onto disjoint device subsets of
+    /// `pool`.
+    ///
+    /// Each job claims the `devices` it asked for (clamped to the pool size),
+    /// choosing the devices that free up earliest — ties to the lowest
+    /// ordinal — and starts when all its claimed devices are free and the job
+    /// has arrived.  Independent single-device jobs therefore run beside each
+    /// other; a full-pool job naturally drains the cluster first.
+    pub fn run(&self, pool: &DevicePool, jobs: &[QueuedJob]) -> Result<ServiceRun, ServeError> {
+        let p = pool.num_devices();
+        let mut free_at = vec![0.0f64; p];
+        let mut timeline = Timeline::with_devices(p);
+        let mut scheduled = Vec::with_capacity(jobs.len());
+        for qj in jobs {
+            let want = qj.job.devices.clamp(1, p);
+            let mut order: Vec<usize> = (0..p).collect();
+            order.sort_by(|&a, &b| {
+                free_at[a]
+                    .partial_cmp(&free_at[b])
+                    .expect("finite free times")
+                    .then(a.cmp(&b))
+            });
+            let mut claimed = order[..want].to_vec();
+            claimed.sort_unstable();
+            let start = claimed
+                .iter()
+                .fold(qj.job.arrival_s, |acc, &d| acc.max(free_at[d]));
+            let sub = pool.subpool(&claimed)?;
+            let run = self.execute(&sub, qj)?;
+            let end = start + run.pipelined_seconds;
+            for &d in &claimed {
+                free_at[d] = end;
+            }
+            timeline.merge_shifted(&run.timeline, start, &claimed);
+            scheduled.push(ScheduledJob {
+                tenant: qj.job.tenant.clone(),
+                seq: qj.seq,
+                arrival_s: qj.job.arrival_s,
+                start,
+                end,
+                device_ordinals: claimed,
+                run,
+            });
+        }
+        Ok(ServiceRun {
+            jobs: scheduled,
+            timeline,
+            devices: p,
+        })
+    }
+
+    /// The FIFO one-job-at-a-time baseline: same jobs, same order, but every
+    /// job monopolises the whole pool.  This is the makespan the co-scheduler
+    /// must strictly beat on mixed single-device workloads (the `fig_serve`
+    /// gate).
+    pub fn run_fifo(
+        &self,
+        pool: &DevicePool,
+        jobs: &[QueuedJob],
+    ) -> Result<ServiceRun, ServeError> {
+        let whole: Vec<QueuedJob> = jobs
+            .iter()
+            .map(|qj| {
+                let mut qj = qj.clone();
+                qj.job.devices = pool.num_devices();
+                qj
+            })
+            .collect();
+        self.run(pool, &whole)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, OperandSpec};
+    use crate::queue::JobQueue;
+    use sketch_core::{EmbeddingDim, Pipeline, SketchSpec};
+    use std::collections::BTreeMap;
+
+    fn one_device_job(tenant: &str, seed: u64) -> JobSpec {
+        JobSpec::new(
+            tenant,
+            Pipeline::single(SketchSpec::countsketch(
+                1 << 10,
+                EmbeddingDim::Square(2),
+                seed,
+            )),
+            OperandSpec::Dense {
+                rows: 1 << 10,
+                cols: 6,
+                seed,
+            },
+        )
+    }
+
+    fn queued(jobs: Vec<JobSpec>) -> Vec<QueuedJob> {
+        let mut q = JobQueue::new(jobs.len().max(1));
+        for j in jobs {
+            q.push(j).unwrap();
+        }
+        q.drain()
+    }
+
+    #[test]
+    fn single_device_jobs_pack_onto_disjoint_devices() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![
+            one_device_job("a", 1),
+            one_device_job("b", 2),
+            one_device_job("c", 3),
+            one_device_job("d", 4),
+        ]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.jobs.len(), 4);
+        // First two jobs start together on different devices.
+        assert_eq!(run.jobs[0].start, 0.0);
+        assert_eq!(run.jobs[1].start, 0.0);
+        assert_ne!(run.jobs[0].device_ordinals, run.jobs[1].device_ordinals);
+        // Later jobs wait for a device to free up.
+        assert!(run.jobs[2].start > 0.0);
+        assert!(run.jobs[2].queue_wait() > 0.0);
+        // No device ever runs two jobs at once.
+        let mut windows: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+        for j in &run.jobs {
+            for &d in &j.device_ordinals {
+                windows.entry(d).or_default().push((j.start, j.end));
+            }
+        }
+        for (_, mut w) in windows {
+            w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in w.windows(2) {
+                assert!(pair[0].1 <= pair[1].0 + 1e-12, "jobs overlap on a device");
+            }
+        }
+    }
+
+    #[test]
+    fn co_scheduling_beats_fifo_on_independent_jobs() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![
+            one_device_job("a", 1),
+            one_device_job("b", 2),
+            one_device_job("c", 3),
+            one_device_job("d", 4),
+        ]);
+        let sched = Scheduler::new();
+        let cosched = sched.run(&pool, &jobs).unwrap();
+        let fifo = sched.run_fifo(&pool, &jobs).unwrap();
+        assert!(
+            cosched.makespan() < fifo.makespan(),
+            "co-scheduled {} >= fifo {}",
+            cosched.makespan(),
+            fifo.makespan()
+        );
+    }
+
+    #[test]
+    fn results_match_solo_runs_bitwise() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![one_device_job("a", 1), one_device_job("b", 2)]);
+        let cosched = Scheduler::new().run(&pool, &jobs).unwrap();
+        for (qj, scheduled) in jobs.iter().zip(&cosched.jobs) {
+            let fresh = DevicePool::unlimited(1);
+            let solo = Scheduler::new()
+                .run(&fresh, std::slice::from_ref(qj))
+                .unwrap();
+            assert_eq!(
+                scheduled.run.result.max_abs_diff(&solo.jobs[0].run.result),
+                Ok(0.0),
+                "tenant {} diverged under co-scheduling",
+                qj.job.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn full_pool_jobs_serialise() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![
+            one_device_job("a", 1).with_devices(2),
+            one_device_job("b", 2).with_devices(2),
+        ]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.jobs[0].device_ordinals, vec![0, 1]);
+        assert!((run.jobs[1].start - run.jobs[0].end).abs() < 1e-12);
+        // Oversized asks clamp to the pool.
+        let big = queued(vec![one_device_job("a", 1).with_devices(64)]);
+        let run = Scheduler::new().run(&pool, &big).unwrap();
+        assert_eq!(run.jobs[0].device_ordinals, vec![0, 1]);
+    }
+
+    #[test]
+    fn arrivals_delay_starts() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![one_device_job("a", 1).with_arrival(5.0)]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.jobs[0].start, 5.0);
+        assert_eq!(run.jobs[0].queue_wait(), 0.0);
+    }
+
+    #[test]
+    fn service_timeline_lands_on_physical_ordinals() {
+        let pool = DevicePool::unlimited(4);
+        let jobs = queued(vec![
+            one_device_job("a", 1),
+            one_device_job("b", 2),
+            one_device_job("c", 3),
+            one_device_job("d", 4),
+        ]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        // All four devices carried work, concurrently.
+        for d in 0..4 {
+            assert!(run.timeline.busy_seconds(d) > 0.0, "device {d} idle");
+        }
+        assert!(run.makespan() < run.timeline.serial_seconds());
+        assert_eq!(run.utilizations().len(), 4);
+    }
+
+    #[test]
+    fn trace_events_keep_per_track_monotonicity() {
+        let pool = DevicePool::unlimited(2);
+        let jobs = queued(vec![
+            one_device_job("a", 1),
+            one_device_job("b", 2),
+            one_device_job("c", 3).with_devices(2),
+            one_device_job("d", 4),
+        ]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        let events = run.to_trace_events();
+        assert!(!events.is_empty());
+        let mut cursors: BTreeMap<(usize, Track), f64> = BTreeMap::new();
+        for e in &events {
+            let (start, end) = e.sim.expect("service traces are sim events");
+            let cursor = cursors.entry((e.device, e.track)).or_insert(0.0);
+            assert!(
+                start + 1e-9 >= *cursor,
+                "track ({}, {:?}) rewound: {} < {}",
+                e.device,
+                e.track,
+                start,
+                cursor
+            );
+            *cursor = end;
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`sparse`] — the sparse (SpMM) substrate,
 //! * [`gpu`] — the simulated device, cost counters and roofline model,
 //! * [`rng`] — the Philox counter-based random number generator,
-//! * [`dist`] — the block-row distributed sketching simulation.
+//! * [`dist`] — the block-row distributed sketching simulation,
+//! * [`serve`] — the multi-tenant job engine that co-schedules sketch
+//!   pipelines on a shared [`DevicePool`](sketch_gpu_sim::DevicePool)
+//!   (admission control, fair queueing, per-tenant ledgers).
 //!
 //! ## Quickstart
 //!
@@ -94,6 +97,7 @@ pub use sketch_lowrank as lowrank;
 pub use sketch_lsq as lsq;
 pub use sketch_obs as obs;
 pub use sketch_rng as rng;
+pub use sketch_serve as serve;
 pub use sketch_sparse as sparse;
 
 /// The most commonly used types, importable with one `use` line.
@@ -120,6 +124,9 @@ pub mod prelude {
         rand_cholqr_least_squares, sketch_and_solve, solve, LsqProblem, LsqSolution, Method,
     };
     pub use sketch_rng::{PhiloxRng, StreamFactory};
+    pub use sketch_serve::{
+        AdmissionController, JobQueue, JobSpec, OperandSpec, Scheduler, ServeEngine, TenantLimits,
+    };
 }
 
 #[cfg(test)]

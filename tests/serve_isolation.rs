@@ -1,0 +1,200 @@
+//! Bit-exact tenant isolation for the `sketch-serve` co-scheduler.
+//!
+//! The service contract: a tenant's job produces *exactly* the same bits
+//! whether it runs co-scheduled on a busy shared pool or alone on a fresh
+//! single-device pool.  Two mechanisms compose to give that guarantee —
+//! per-tenant Philox seed namespaces ([`tenant_salt`] XORed into every stage
+//! seed) make tenants' randomness disjoint, and the pipelined executor is
+//! bit-for-bit identical across pool sizes.  These tests pin both, for every
+//! sketch kind (plus the Count-Gauss pipeline), dense and CSR operands,
+//! across 1/2/4/7-device pools, and under arbitrary proptest-chosen
+//! admission interleavings.
+
+use gpu_countsketch::prelude::*;
+use gpu_countsketch::serve::{tenant_salt, QueuedJob};
+use proptest::prelude::*;
+
+/// Every sketch kind plus the two-stage Count-Gauss pipeline.
+fn plans(d: usize, seed: u64) -> Vec<Pipeline> {
+    vec![
+        Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), seed)),
+        Pipeline::single(SketchSpec::gaussian(d, EmbeddingDim::Ratio(2), seed)),
+        Pipeline::single(SketchSpec::srht(d, EmbeddingDim::Ratio(2), seed)),
+        Pipeline::single(SketchSpec::hash_countsketch(
+            d,
+            EmbeddingDim::Square(2),
+            seed,
+        )),
+        Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), seed),
+    ]
+}
+
+/// One job per (plan, operand layout) for `tenant`: ten jobs covering every
+/// kind over dense and CSR inputs.
+fn jobs_for(tenant: &str, d: usize) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (i, plan) in plans(d, 40 + i_seed(tenant)).into_iter().enumerate() {
+        jobs.push(JobSpec::new(
+            tenant,
+            plan.clone(),
+            OperandSpec::Dense {
+                rows: d,
+                cols: 8,
+                seed: 7,
+            },
+        ));
+        jobs.push(JobSpec::new(
+            tenant,
+            plan,
+            OperandSpec::Csr {
+                rows: d,
+                cols: 8,
+                nnz_target: d / 2,
+                seed: 7 + i as u64,
+            },
+        ));
+    }
+    jobs
+}
+
+/// Plans get per-tenant *spec* seeds too, so the salting has to do real work:
+/// identical stage seeds across tenants would mask a broken namespace.
+fn i_seed(tenant: &str) -> u64 {
+    tenant.len() as u64
+}
+
+/// The reference bits: the job alone on a fresh single-device pool.
+fn solo_result(job: &JobSpec) -> Matrix {
+    let pool = DevicePool::unlimited(1);
+    let run = Scheduler::new()
+        .run(
+            &pool,
+            &[QueuedJob {
+                job: job.clone(),
+                seq: 0,
+            }],
+        )
+        .expect("solo run fits one device");
+    run.jobs.into_iter().next().unwrap().run.result
+}
+
+#[test]
+fn cosched_matches_solo_bitwise_across_pool_sizes() {
+    let d = 1 << 10;
+    // Interleave two tenants' full workloads; one job asks for three devices
+    // so multi-device subpools are exercised too.
+    let mut specs = Vec::new();
+    for (a, b) in jobs_for("alice", d).into_iter().zip(jobs_for("bob", d)) {
+        specs.push(a);
+        specs.push(b);
+    }
+    specs[4] = specs[4].clone().with_devices(3);
+    let expected: Vec<Matrix> = specs.iter().map(solo_result).collect();
+
+    for devices in [1usize, 2, 4, 7] {
+        let pool = DevicePool::unlimited(devices);
+        let queued: Vec<QueuedJob> = specs
+            .iter()
+            .enumerate()
+            .map(|(seq, job)| QueuedJob {
+                job: job.clone(),
+                seq: seq as u64,
+            })
+            .collect();
+        let run = Scheduler::new()
+            .run(&pool, &queued)
+            .expect("co-scheduled run fits the pool");
+        assert_eq!(run.jobs.len(), specs.len());
+        for job in &run.jobs {
+            let diff = job
+                .run
+                .result
+                .max_abs_diff(&expected[job.seq as usize])
+                .expect("same sketch shape");
+            assert_eq!(
+                diff, 0.0,
+                "{} job seq {} differs co-scheduled on {devices} devices",
+                job.tenant, job.seq
+            );
+        }
+    }
+}
+
+#[test]
+fn tenant_namespaces_separate_and_repeat() {
+    let d = 1 << 9;
+    assert_ne!(tenant_salt("alice"), tenant_salt("bob"));
+    assert_eq!(tenant_salt("alice"), tenant_salt("alice"));
+
+    // The same spec under different tenants draws different randomness...
+    let plan = Pipeline::single(SketchSpec::countsketch(d, EmbeddingDim::Square(2), 3));
+    let operand = OperandSpec::Dense {
+        rows: d,
+        cols: 8,
+        seed: 7,
+    };
+    let alice = solo_result(&JobSpec::new("alice", plan.clone(), operand.clone()));
+    let bob = solo_result(&JobSpec::new("bob", plan.clone(), operand.clone()));
+    assert!(
+        alice.max_abs_diff(&bob).unwrap() > 0.0,
+        "different tenants must land in different seed namespaces"
+    );
+
+    // ...while the same tenant gets the same bits every time.
+    let again = solo_result(&JobSpec::new("alice", plan, operand));
+    assert_eq!(alice.max_abs_diff(&again).unwrap(), 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any admission interleaving of N tenant jobs, on any pool size, with any
+    /// arrival jitter, yields bit-identical per-tenant results to solo runs on
+    /// a fresh pool.
+    #[test]
+    fn prop_interleavings_preserve_tenant_bits(shuffle_seed in 0u64..1000, devices in 1usize..8) {
+        let d = 1 << 9;
+        let mut specs: Vec<JobSpec> = Vec::new();
+        for tenant in ["alice", "bob", "carol"] {
+            for (i, plan) in plans(d, 60 + i_seed(tenant)).into_iter().enumerate().take(3) {
+                let operand = if i.is_multiple_of(2) {
+                    OperandSpec::Dense { rows: d, cols: 8, seed: 5 }
+                } else {
+                    OperandSpec::Csr { rows: d, cols: 8, nnz_target: d / 2, seed: 5 }
+                };
+                specs.push(JobSpec::new(tenant, plan, operand));
+            }
+        }
+        let expected: Vec<Matrix> = specs.iter().map(solo_result).collect();
+
+        // Deterministic Fisher–Yates driven by the proptest seed: the
+        // admission order (and hence the packing) is arbitrary.
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        let mut state = shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let queued: Vec<QueuedJob> = order
+            .iter()
+            .enumerate()
+            .map(|(seq, &idx)| {
+                let mut job = specs[idx].clone().with_arrival(seq as f64 * 1e-7);
+                if seq % 4 == 0 {
+                    job = job.with_devices(1 + seq % 3);
+                }
+                QueuedJob { job, seq: idx as u64 }
+            })
+            .collect();
+        let pool = DevicePool::unlimited(devices);
+        let run = Scheduler::new().run(&pool, &queued).expect("run fits the pool");
+        for job in &run.jobs {
+            let diff = job.run.result.max_abs_diff(&expected[job.seq as usize]).unwrap();
+            prop_assert!(
+                diff == 0.0,
+                "{} job {} differs under interleaving {shuffle_seed} on {devices} devices",
+                job.tenant, job.seq
+            );
+        }
+    }
+}
