@@ -53,6 +53,19 @@ pub enum Error {
         /// Description of what is wrong.
         detail: String,
     },
+    /// A simulated device died mid-run (an injected
+    /// [`FaultSpec::Dies`](sketch_gpu_sim::FaultSpec::Dies) fault fired) and
+    /// the executor could not — or was not asked to — recover around it.
+    ///
+    /// The pipelined executor normally absorbs these by recomputing the dead
+    /// device's shards on the survivors; the error escapes only when every
+    /// device in the pool is dead.
+    DeviceFailed {
+        /// Physical ordinal of the device that died.
+        ordinal: usize,
+        /// Simulated seconds into the run at which it died.
+        after_sim_seconds: f64,
+    },
 }
 
 impl Error {
@@ -101,6 +114,20 @@ impl Error {
     pub fn is_dimension_mismatch(&self) -> bool {
         matches!(self, Error::DimensionMismatch { .. })
     }
+
+    /// Construct a device-failure error.
+    pub fn device_failed(ordinal: usize, after_sim_seconds: f64) -> Self {
+        Error::DeviceFailed {
+            ordinal,
+            after_sim_seconds,
+        }
+    }
+
+    /// Whether this error is a simulated device death (the retryable fault the
+    /// serve layer requeues jobs on).
+    pub fn is_device_failure(&self) -> bool {
+        matches!(self, Error::DeviceFailed { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -119,6 +146,13 @@ impl fmt::Display for Error {
             Error::La(e) => write!(f, "linear algebra failure: {e}"),
             Error::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
             Error::BadProblem { detail } => write!(f, "unusable problem: {detail}"),
+            Error::DeviceFailed {
+                ordinal,
+                after_sim_seconds,
+            } => write!(
+                f,
+                "device {ordinal} died {after_sim_seconds:.6}s into the simulated run"
+            ),
         }
     }
 }
@@ -148,6 +182,15 @@ impl From<MemoryError> for Error {
 impl From<sketch_obs::JsonError> for Error {
     fn from(e: sketch_obs::JsonError) -> Self {
         Error::invalid_param(e.message())
+    }
+}
+
+impl From<sketch_gpu_sim::DeviceFailed> for Error {
+    fn from(e: sketch_gpu_sim::DeviceFailed) -> Self {
+        Error::DeviceFailed {
+            ordinal: e.ordinal,
+            after_sim_seconds: e.after_sim_seconds,
+        }
     }
 }
 
@@ -181,6 +224,16 @@ mod tests {
 
         let e = Error::bad_problem("d < n");
         assert!(e.to_string().contains("d < n"));
+
+        let e: Error = sketch_gpu_sim::DeviceFailed {
+            ordinal: 3,
+            after_sim_seconds: 0.25,
+        }
+        .into();
+        assert!(e.to_string().contains("device 3"));
+        assert!(e.is_device_failure());
+        assert!(!e.is_out_of_memory());
+        assert_eq!(e, Error::device_failed(3, 0.25));
     }
 
     #[test]

@@ -23,12 +23,19 @@
 //!    runs — the classic pipelined-allreduce schedule.  The returned
 //!    [`PipelinedRun`] reports serial vs. pipelined makespan, the compute-only
 //!    critical path, overlap efficiency and per-device utilization.
+//!
+//! The executor also absorbs injected device deaths
+//! ([`FaultSpec::Dies`](sketch_gpu_sim::FaultSpec::Dies)): a mirror of the
+//! stream-simulator clocks runs alongside the numerics, so the exact simulated
+//! instant a death fires is known mid-stage; the stage is then rescheduled over
+//! the survivors and re-run from its Philox-seeded operators — bit-for-bit
+//! identical output, because every stage is schedule-independent by
+//! construction.  The aborted attempt's truncated operations stay on the
+//! timeline, and the price paid is itemised in [`FaultReport`].
 
 use crate::comm::CommCost;
 use crate::error::DistError;
-use sketch_core::{
-    CountSketch, Error, Operand, Pipeline, ShardAxis, SketchKind, SketchOperator, SketchSpec,
-};
+use sketch_core::{CountSketch, Error, Operand, Pipeline, ShardAxis, SketchKind, SketchOperator};
 use sketch_gpu_sim::{DevicePool, KernelCost, StreamKind, StreamSet, Timeline};
 use sketch_la::{Layout, Matrix};
 use std::ops::Range;
@@ -158,16 +165,66 @@ struct ShardOp {
     comm_bytes: u64,
 }
 
+/// One observed device death and the recovery that absorbed it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFailure {
+    /// Physical ordinal of the device that died (parent-pool position, the
+    /// one subpool views preserve).
+    pub device: usize,
+    /// Pipeline stage the failure surfaced in.
+    pub stage: usize,
+    /// The injected death instant (the fault's `after_sim_seconds`).
+    pub at_sim_seconds: f64,
+    /// Simulated instant the executor detected the death (the truncated end
+    /// of the first operation that would have outlived the device).
+    pub detected_at_seconds: f64,
+    /// Simulated instant the stage's successful survivor attempt finished —
+    /// the end of the recovery span on the fault trace track.
+    pub recovered_at_seconds: f64,
+}
+
+/// What the executor's fault handling observed and paid during one run.
+///
+/// A clean run reports an empty report with every overhead field exactly
+/// `0.0` — the fault path multiplies healthy clocks by `1.0` and adds no
+/// timeline episodes, so no-fault runs are bit-identical to the pre-fault
+/// executor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Every device death observed, in detection order.
+    pub failures: Vec<DeviceFailure>,
+    /// Shards executed in retry attempts (work done again because an earlier
+    /// attempt of the stage was aborted).
+    pub shards_recomputed: usize,
+    /// Modelled seconds of aborted-attempt work discarded on failure.
+    pub lost_seconds: f64,
+    /// How much the recovered makespan exceeds the makespan of the successful
+    /// episodes alone — the price of the aborted attempts, in seconds.
+    pub recovery_overhead_seconds: f64,
+    /// Devices still alive when the run finished.
+    pub survivors: usize,
+}
+
+impl FaultReport {
+    /// Whether the run observed no fault at all.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 /// The result of one pipelined multi-device sketch execution.
 #[must_use = "a PipelinedRun carries the sketched matrix and the modelled timeline"]
 #[derive(Debug, Clone)]
 pub struct PipelinedRun {
     /// The sketched matrix — bit-for-bit identical to single-device
-    /// `apply_matrix`, independent of shard and device count.
+    /// `apply_matrix`, independent of shard and device count, *and* of any
+    /// device deaths the run recovered from.
     pub result: Matrix,
-    /// The full overlapped schedule (per-operation start/end times).
+    /// The full overlapped schedule (per-operation start/end times),
+    /// including the truncated operations of any aborted attempts.
     pub timeline: Timeline,
     /// Makespan with every operation serialized on one stream (no overlap), s.
+    /// Includes the lost work of aborted attempts.
     pub serial_seconds: f64,
     /// Makespan of the overlapped schedule (the pipelined makespan), s.
     pub pipelined_seconds: f64,
@@ -177,8 +234,11 @@ pub struct PipelinedRun {
     pub comm_seconds: f64,
     /// Per-stage collective volume model.
     pub comm: Vec<CommCost>,
-    /// Per-stage shard layout.
+    /// Per-stage shard layout of the *successful* attempts, with devices
+    /// reported as pool positions.
     pub schedules: Vec<Schedule>,
+    /// Device deaths observed and the recovery cost paid absorbing them.
+    pub fault: FaultReport,
 }
 
 impl PipelinedRun {
@@ -236,6 +296,19 @@ impl PipelinedRun {
         for u in self.utilizations() {
             metrics.observe("executor.device_utilization", u, &ratio_bounds);
         }
+        metrics.add("fault.device_failures", self.fault.failures.len() as u64);
+        metrics.add(
+            "fault.shards_recomputed",
+            self.fault.shards_recomputed as u64,
+        );
+        metrics.add(
+            "fault.lost_us",
+            (self.fault.lost_seconds * 1e6).round() as u64,
+        );
+        metrics.add(
+            "fault.recovery_overhead_us",
+            (self.fault.recovery_overhead_seconds * 1e6).round() as u64,
+        );
     }
 }
 
@@ -280,7 +353,19 @@ pub fn pipelined_sketch<'a>(
         }
     }
 
-    let mut stage_ops: Vec<Vec<ShardOp>> = Vec::with_capacity(resolved.len());
+    // Devices already observed dead (a sticky flag from a previous run on the
+    // same shared pool) never re-join: death is permanent until the fault
+    // plan is re-applied.
+    let alive: Vec<usize> = (0..p).filter(|&d| !pool.device(d).is_failed()).collect();
+    if alive.is_empty() {
+        let d0 = pool.device(0);
+        return Err(Error::device_failed(
+            d0.ordinal(),
+            d0.death_time().unwrap_or(0.0),
+        ));
+    }
+
+    let mut state = ExecState::new(p, alive);
     let mut schedules = Vec::with_capacity(resolved.len());
     let mut comms = Vec::with_capacity(resolved.len());
     let mut current: Option<Matrix> = None; // None = first stage reads `a`
@@ -295,22 +380,59 @@ pub fn pipelined_sketch<'a>(
             ShardAxis::Rows => input.nrows(),
             ShardAxis::Cols => input.ncols(),
         };
-        // A pool of one is a first-class zero-overhead target: no sharding, no
-        // collectives — the stage is exactly one bare device launch.
-        let num_shards = if p == 1 {
-            1
-        } else {
-            (opts.shards_per_device.max(1) * p).clamp(1, extent)
-        };
-        let schedule = Schedule::block_cyclic(axis, extent, num_shards, p);
+        let n = input.ncols();
+        let k = spec.output_dim.resolve(n);
+        let kind = spec.kind.as_str();
+        let build_device = pool.device(state.alive[0]);
 
-        let (out, ops, comm) = match axis {
-            ShardAxis::Rows => execute_row_stage(pool, input, spec, &schedule, stage_idx)?,
-            ShardAxis::Cols => execute_col_stage(pool, input, spec, &schedule, stage_idx)?,
+        // The stage operator is built once and its generation replicated to
+        // every live device up front — which is exactly why recovery needs no
+        // regeneration: survivors already hold their replicas, so a retry
+        // re-runs shard kernels only.
+        let (out, reported) = match axis {
+            ShardAxis::Rows => {
+                let sketch = match spec.kind {
+                    SketchKind::CountSketch => spec.build_countsketch(build_device)?,
+                    SketchKind::HashCountSketch => {
+                        spec.build_hash_countsketch(build_device)?.to_explicit()
+                    }
+                    other => {
+                        return Err(DistError::invalid_param(format!(
+                            "{} is not a row-sharded sketch kind",
+                            other.as_str()
+                        )))
+                    }
+                };
+                replicate_generation(pool, &state.alive, sketch.generation_cost());
+                state.run_stage(opts, axis, extent, stage_idx, |schedule, alive, clock| {
+                    Ok(row_attempt(
+                        pool, input, &sketch, kind, k, n, schedule, alive, clock, stage_idx,
+                    ))
+                })?
+            }
+            ShardAxis::Cols => {
+                let op = spec.build(build_device)?;
+                replicate_generation(pool, &state.alive, op.generation_cost());
+                state.run_stage(opts, axis, extent, stage_idx, |schedule, alive, clock| {
+                    col_attempt(
+                        pool,
+                        input,
+                        op.as_ref(),
+                        kind,
+                        k,
+                        schedule,
+                        alive,
+                        clock,
+                        stage_idx,
+                    )
+                })?
+            }
         };
-        stage_ops.push(ops);
-        schedules.push(schedule);
-        comms.push(comm);
+        schedules.push(reported);
+        comms.push(match axis {
+            ShardAxis::Rows => CommCost::allreduce(state.alive.len(), k, n),
+            ShardAxis::Cols => CommCost::allgather(state.alive.len(), k, n),
+        });
         current = Some(out);
     }
 
@@ -318,8 +440,57 @@ pub fn pipelined_sketch<'a>(
 
     // Only the real (with-comm) replay feeds the pool's attached recorder; the
     // compute-only replay is an internal what-if and must not pollute traces.
-    let pipelined = simulate(p, &stage_ops, true, pool.recorder());
-    let compute_only = simulate(p, &stage_ops, false, None);
+    let pipelined = simulate(p, &state.episodes, true, pool.recorder());
+    let compute_only = simulate(p, &state.episodes, false, None);
+
+    // The recovery price: how much the full makespan (aborted attempts
+    // included) exceeds the successful episodes replayed alone.  Exactly 0.0
+    // on a clean run — the replays are then identical.
+    let recovery_overhead_seconds = if state.failures.is_empty() {
+        0.0
+    } else {
+        let clean_episodes: Vec<Vec<ShardOp>> = state
+            .episodes
+            .iter()
+            .zip(&state.clean)
+            .filter(|(_, &clean)| clean)
+            .map(|(ops, _)| ops.clone())
+            .collect();
+        (pipelined.makespan() - simulate(p, &clean_episodes, true, None).makespan()).max(0.0)
+    };
+
+    // Fault markers land on a dedicated trace track: a zero-width death point
+    // plus the recovery span on the dead device's row.
+    if !state.failures.is_empty() {
+        if let Some(recorder) = pool.recorder() {
+            for f in &state.failures {
+                recorder.record(sketch_obs::TraceEvent {
+                    name: format!("device {} died (stage s{})", f.device, f.stage),
+                    device: f.device,
+                    track: sketch_obs::Track::Fault,
+                    sim: Some((f.detected_at_seconds, f.detected_at_seconds)),
+                    wall_ns: 0,
+                    cost: sketch_obs::CostBreakdown::default(),
+                });
+                recorder.record(sketch_obs::TraceEvent {
+                    name: format!("recovery: stage s{} rescheduled on survivors", f.stage),
+                    device: f.device,
+                    track: sketch_obs::Track::Fault,
+                    sim: Some((f.detected_at_seconds, f.recovered_at_seconds)),
+                    wall_ns: 0,
+                    cost: sketch_obs::CostBreakdown::default(),
+                });
+            }
+        }
+    }
+
+    let fault = FaultReport {
+        survivors: state.alive.len(),
+        failures: state.failures,
+        shards_recomputed: state.shards_recomputed,
+        lost_seconds: state.lost_seconds,
+        recovery_overhead_seconds,
+    };
 
     Ok(PipelinedRun {
         result,
@@ -332,68 +503,230 @@ pub fn pipelined_sketch<'a>(
         timeline: pipelined,
         comm: comms,
         schedules,
+        fault,
     })
 }
 
-/// Row-sharded stage (CountSketch families): fold block-row slices into one
-/// shared accumulator in global row order — the exact chain of the single-device
-/// Algorithm-2 scatter, and simultaneously the ordered ring reduction whose
-/// per-shard fold the timeline overlaps with the next shard's compute.
+/// Mirror of the stream-simulator clocks, advanced *during* numeric execution
+/// so device deaths are detected at the exact instant the timeline replay
+/// would reach.
+///
+/// Correctness of the mirror: `simulate` computes every start time as a fold
+/// of `f64::max` over the stream cursor and the wait events, episode
+/// boundaries wait on every last event of the previous episode, and `max`
+/// over non-negative values is order-independent bit-for-bit — so tracking
+/// per-device cursors plus the episode barrier reproduces the replay's
+/// timestamps exactly.
+struct SimClock {
+    /// Max over every last event of all previous episodes (the stage/retry
+    /// boundary every next compute waits on).
+    barrier: f64,
+    /// Per pool position: end of the device's last compute op.
+    compute: Vec<f64>,
+    /// Per pool position: end of the device's last collective.
+    comm: Vec<f64>,
+}
+
+impl SimClock {
+    fn new(p: usize) -> Self {
+        Self {
+            barrier: 0.0,
+            compute: vec![0.0; p],
+            comm: vec![0.0; p],
+        }
+    }
+}
+
+/// What one execution attempt of a stage produced.
+enum Attempt {
+    /// Every shard ran to completion on the attempt's schedule.
+    Success {
+        out: Matrix,
+        ops: Vec<ShardOp>,
+        episode_end: f64,
+    },
+    /// A device died mid-attempt.  `ops` holds the completed survivor shards
+    /// plus the dying operation truncated at the death instant — the aborted
+    /// episode stays on the timeline (in-flight work drains, then the stage
+    /// restarts at the barrier).
+    Died {
+        ops: Vec<ShardOp>,
+        failure: sketch_gpu_sim::DeviceFailed,
+        /// Index into the attempt's `alive` slice of the dead device.
+        local: usize,
+        detected_at: f64,
+        episode_end: f64,
+    },
+}
+
+/// Executor-wide fault/recovery state threaded through the stage loop.
+struct ExecState {
+    /// Pool positions still alive, in pool order.
+    alive: Vec<usize>,
+    clock: SimClock,
+    /// Every episode (successful or aborted attempt) in replay order; the
+    /// stream simulator puts a barrier between consecutive episodes.
+    episodes: Vec<Vec<ShardOp>>,
+    /// Whether the episode at the same index was a successful attempt.
+    clean: Vec<bool>,
+    failures: Vec<DeviceFailure>,
+    shards_recomputed: usize,
+    lost_seconds: f64,
+}
+
+impl ExecState {
+    fn new(p: usize, alive: Vec<usize>) -> Self {
+        Self {
+            alive,
+            clock: SimClock::new(p),
+            episodes: Vec::new(),
+            clean: Vec::new(),
+            failures: Vec::new(),
+            shards_recomputed: 0,
+            lost_seconds: 0.0,
+        }
+    }
+
+    /// Run one stage to a successful attempt: schedule over the live devices,
+    /// attempt, and on a death drop the dead ordinal, recompute the
+    /// block-cyclic schedule over the survivors and retry — the aborted
+    /// attempt's truncated operations stay on the timeline as a barrier-
+    /// separated episode.  Fails with the death only when no device is left.
+    ///
+    /// Returns the stage output and the successful schedule with devices
+    /// remapped to pool positions.
+    fn run_stage<F>(
+        &mut self,
+        opts: &ExecutorOptions,
+        axis: ShardAxis,
+        extent: usize,
+        stage_idx: usize,
+        mut attempt: F,
+    ) -> Result<(Matrix, Schedule), DistError>
+    where
+        F: FnMut(&Schedule, &[usize], &mut SimClock) -> Result<Attempt, DistError>,
+    {
+        let mut attempt_no = 0usize;
+        let stage_first_failure = self.failures.len();
+        loop {
+            let survivors = self.alive.len();
+            // A single live device is a first-class zero-overhead target: no
+            // sharding, no collectives — the stage is one bare device launch.
+            let num_shards = if survivors == 1 {
+                1
+            } else {
+                (opts.shards_per_device.max(1) * survivors).clamp(1, extent)
+            };
+            let schedule = Schedule::block_cyclic(axis, extent, num_shards, survivors);
+            match attempt(&schedule, &self.alive, &mut self.clock)? {
+                Attempt::Success {
+                    out,
+                    ops,
+                    episode_end,
+                } => {
+                    if attempt_no > 0 {
+                        self.shards_recomputed += ops.len();
+                    }
+                    self.clock.barrier = episode_end;
+                    self.episodes.push(ops);
+                    self.clean.push(true);
+                    // Recovery on the trace runs from each detection to the
+                    // stage's eventual success.
+                    for f in &mut self.failures[stage_first_failure..] {
+                        f.recovered_at_seconds = episode_end;
+                    }
+                    let mut reported = schedule;
+                    for a in &mut reported.assignments {
+                        a.device = self.alive[a.device];
+                    }
+                    return Ok((out, reported));
+                }
+                Attempt::Died {
+                    ops,
+                    failure,
+                    local,
+                    detected_at,
+                    episode_end,
+                } => {
+                    if attempt_no > 0 {
+                        self.shards_recomputed += ops.len();
+                    }
+                    self.lost_seconds += ops.iter().map(|o| o.compute_s + o.comm_s).sum::<f64>();
+                    self.clock.barrier = episode_end;
+                    self.episodes.push(ops);
+                    self.clean.push(false);
+                    self.failures.push(DeviceFailure {
+                        device: failure.ordinal,
+                        stage: stage_idx,
+                        at_sim_seconds: failure.after_sim_seconds,
+                        detected_at_seconds: detected_at,
+                        recovered_at_seconds: detected_at, // backfilled on success
+                    });
+                    self.alive.remove(local);
+                    if self.alive.is_empty() {
+                        return Err(Error::from(failure));
+                    }
+                    attempt_no += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One attempt of a row-sharded stage (CountSketch families): fold block-row
+/// slices into one shared accumulator in global row order — the exact chain of
+/// the single-device Algorithm-2 scatter, and simultaneously the ordered ring
+/// reduction whose per-shard fold the timeline overlaps with the next shard's
+/// compute.  Because shards are contiguous ranges folded in schedule order,
+/// *any* survivor schedule replays the identical floating-point chain — this
+/// is what makes recompute-on-failure bit-exact.
 ///
 /// Shards are cut with [`Operand::slice_rows`]: dense blocks keep the operand's
 /// layout (and its read-penalty accounting), CSR shards are zero-copy
 /// `row_ptr` windows folded non-zero by non-zero.
-fn execute_row_stage(
+#[allow(clippy::too_many_arguments)]
+fn row_attempt(
     pool: &DevicePool,
     input: Operand<'_>,
-    spec: &SketchSpec,
+    sketch: &CountSketch,
+    kind: &str,
+    k: usize,
+    n: usize,
     schedule: &Schedule,
+    alive: &[usize],
+    clock: &mut SimClock,
     stage_idx: usize,
-) -> Result<(Matrix, Vec<ShardOp>, CommCost), DistError> {
-    let p = pool.num_devices();
-    let n = input.ncols();
-    let k = spec.output_dim.resolve(n);
-
-    // The explicit row map + signs of the stage operator.  The hash variant
-    // materialises the identical map (`to_explicit` replays the same hash), so
-    // both fold with the same code path.
-    let sketch = match spec.kind {
-        SketchKind::CountSketch => spec.build_countsketch(pool.device(0))?,
-        SketchKind::HashCountSketch => spec.build_hash_countsketch(pool.device(0))?.to_explicit(),
-        other => {
-            return Err(DistError::invalid_param(format!(
-                "{} is not a row-sharded sketch kind",
-                other.as_str()
-            )))
-        }
-    };
-    replicate_generation(pool, sketch.generation_cost());
-
+) -> Attempt {
+    let survivors = alive.len();
     let rows = sketch.rows();
     let signs = sketch.signs();
 
     let mut out = Matrix::zeros_with_layout(k, n, Layout::RowMajor);
-    let mut ops = Vec::with_capacity(schedule.num_shards());
+    let mut ops: Vec<ShardOp> = Vec::with_capacity(schedule.num_shards());
+    let mut prev_fold: Option<f64> = None;
+    let mut episode_end = 0.0f64;
     for assignment in &schedule.assignments {
-        let device = pool.device(assignment.device);
+        let local = assignment.device;
+        let phys = alive[local];
+        let device = pool.device(phys);
         let range = assignment.range.clone();
         let slice = input.slice_rows(range.clone());
         let cost = match slice.as_operand() {
             Operand::Dense(block) => {
-                for (local, global) in range.clone().enumerate() {
+                for (local_row, global) in range.clone().enumerate() {
                     let target = rows[global];
                     let sign = if signs[global] { 1.0 } else { -1.0 };
                     for c in 0..n {
-                        out.add_to(target, c, sign * block.get(local, c));
+                        out.add_to(target, c, sign * block.get(local_row, c));
                     }
                 }
                 CountSketch::apply_cost(range.len(), k, n, block.layout() == Layout::ColMajor)
             }
             Operand::CsrRows(view) => {
-                for (local, global) in range.clone().enumerate() {
+                for (local_row, global) in range.clone().enumerate() {
                     let target = rows[global];
                     let sign = if signs[global] { 1.0 } else { -1.0 };
-                    for (c, v) in view.row(local) {
+                    for (c, v) in view.row(local_row) {
                         out.add_to(target, c, sign * v);
                     }
                 }
@@ -401,71 +734,146 @@ fn execute_row_stage(
             }
             Operand::Csr(s) => {
                 // Whole-range slice of a CSR operand (the single-shard case).
-                for (local, global) in range.clone().enumerate() {
+                for (local_row, global) in range.clone().enumerate() {
                     let target = rows[global];
                     let sign = if signs[global] { 1.0 } else { -1.0 };
-                    for (c, v) in s.row(local) {
+                    for (c, v) in s.row(local_row) {
                         out.add_to(target, c, sign * v);
                     }
                 }
                 CountSketch::apply_cost_csr(range.len(), k, n, s.nnz())
             }
         };
-        let label = format!(
-            "s{stage_idx} {} shard {}",
-            spec.kind.as_str(),
-            assignment.index
-        );
+        let label = format!("s{stage_idx} {kind} shard {}", assignment.index);
         device.launch(&label, cost);
+
+        let compute_s = device.scaled_time(&cost);
+        let cs = clock.compute[phys].max(clock.barrier);
+        let ce = cs + compute_s;
+        if let Err(failure) = device.check_alive(ce) {
+            let truncated = cs.max(failure.after_sim_seconds);
+            clock.compute[phys] = truncated;
+            episode_end = episode_end.max(truncated);
+            ops.push(ShardOp {
+                device: phys,
+                label,
+                compute_s: truncated - cs,
+                comm_s: 0.0,
+                chained: true,
+                cost,
+                comm_bytes: 0,
+            });
+            return Attempt::Died {
+                ops,
+                failure,
+                local,
+                detected_at: truncated,
+                episode_end,
+            };
+        }
+        clock.compute[phys] = ce;
+
+        let comm_s = if survivors > 1 {
+            ring_fold_time(pool, k, n) * device.link_scale()
+        } else {
+            0.0
+        };
+        let comm_bytes = if survivors > 1 {
+            KernelCost::f64_bytes((k * n) as u64)
+        } else {
+            0
+        };
+        if comm_s > 0.0 {
+            let mut fold_start = clock.comm[phys].max(ce);
+            if let Some(prev) = prev_fold {
+                fold_start = fold_start.max(prev);
+            }
+            let fold_end = fold_start + comm_s;
+            if let Err(failure) = device.check_alive(fold_end) {
+                let truncated = fold_start.max(failure.after_sim_seconds);
+                let truncated_comm = truncated - fold_start;
+                if truncated_comm > 0.0 {
+                    clock.comm[phys] = truncated;
+                }
+                let detected_at = truncated;
+                episode_end = episode_end.max(detected_at);
+                ops.push(ShardOp {
+                    device: phys,
+                    label,
+                    compute_s,
+                    comm_s: truncated_comm,
+                    chained: true,
+                    cost,
+                    comm_bytes: if truncated_comm > 0.0 { comm_bytes } else { 0 },
+                });
+                return Attempt::Died {
+                    ops,
+                    failure,
+                    local,
+                    detected_at,
+                    episode_end,
+                };
+            }
+            clock.comm[phys] = fold_end;
+            prev_fold = Some(fold_end);
+            episode_end = episode_end.max(fold_end);
+        } else {
+            episode_end = episode_end.max(ce);
+        }
         ops.push(ShardOp {
-            device: assignment.device,
+            device: phys,
             label,
-            compute_s: device.model_time(&cost),
-            comm_s: ring_fold_time(pool, k, n),
+            compute_s,
+            comm_s,
             chained: true,
             cost,
-            comm_bytes: if p > 1 {
-                KernelCost::f64_bytes((k * n) as u64)
-            } else {
-                0
-            },
+            comm_bytes,
         });
     }
-    Ok((out, ops, CommCost::allreduce(p, k, n)))
+    Attempt::Success {
+        out,
+        ops,
+        episode_end,
+    }
 }
 
-/// Column-sharded stage (Gaussian, SRHT): every device sketches an independent
-/// column panel with the *full* operator — per-column kernels never see the other
-/// panels, so the panels are bitwise slices of the single-device result — and the
-/// panels are allgathered.
+/// One attempt of a column-sharded stage (Gaussian, SRHT): every device
+/// sketches an independent column panel with the *full* operator — per-column
+/// kernels never see the other panels, so the panels are bitwise slices of the
+/// single-device result (under any survivor schedule) — and the panels are
+/// allgathered.
 ///
 /// Dense panels are cut with [`Operand::slice_cols`] (view-equivalent,
 /// uncharged).  CSR operands are carved into *all* panels up front in one
-/// CSC-style conversion pass, charged once per device (every device converts
-/// its replica, like sketch generation) — so the modelled compute of a sparse
-/// column stage does **not** grow with the shard count the way per-shard
-/// full-matrix scans would.
-fn execute_col_stage(
+/// CSC-style conversion pass, charged once per live device (every device
+/// converts its replica, like sketch generation) — so the modelled compute of
+/// a sparse column stage does **not** grow with the shard count the way
+/// per-shard full-matrix scans would.
+#[allow(clippy::too_many_arguments)]
+fn col_attempt(
     pool: &DevicePool,
     input: Operand<'_>,
-    spec: &SketchSpec,
+    op: &dyn SketchOperator,
+    kind: &str,
+    k: usize,
     schedule: &Schedule,
+    alive: &[usize],
+    clock: &mut SimClock,
     stage_idx: usize,
-) -> Result<(Matrix, Vec<ShardOp>, CommCost), DistError> {
-    let p = pool.num_devices();
+) -> Result<Attempt, DistError> {
+    let survivors = alive.len();
     let n = input.ncols();
-    let k = spec.output_dim.resolve(n);
 
-    let op = spec.build(pool.device(0))?;
-    replicate_generation(pool, op.generation_cost());
-
-    // One conversion pass cuts every CSR panel of the stage (None for dense).
-    let csr_panels = cut_csr_panels(pool, input, schedule);
+    // One conversion pass cuts every CSR panel of the attempt (None for dense).
+    let csr_panels = cut_csr_panels(pool, alive, input, schedule);
 
     let mut out = Matrix::zeros_with_layout(k, n, op.output_layout());
-    let mut ops = Vec::with_capacity(schedule.num_shards());
+    let mut ops: Vec<ShardOp> = Vec::with_capacity(schedule.num_shards());
+    let mut episode_end = 0.0f64;
     for (shard, assignment) in schedule.assignments.iter().enumerate() {
-        let device = pool.device(assignment.device);
+        let local = assignment.device;
+        let phys = alive[local];
+        let device = pool.device(phys);
         let range = assignment.range.clone();
         let mut panel_out = Matrix::zeros_with_layout(k, range.len(), op.output_layout());
         let (applied, cost) = device.tracker().measure(|| match &csr_panels {
@@ -485,40 +893,103 @@ fn execute_col_stage(
                 out.set(i, global, panel_out.get(i, j));
             }
         }
-        let panel_bytes = if p > 1 {
+        let label = format!("s{stage_idx} {kind} panel {}", assignment.index);
+
+        let compute_s = device.scaled_time(&cost);
+        let cs = clock.compute[phys].max(clock.barrier);
+        let ce = cs + compute_s;
+        if let Err(failure) = device.check_alive(ce) {
+            let truncated = cs.max(failure.after_sim_seconds);
+            clock.compute[phys] = truncated;
+            episode_end = episode_end.max(truncated);
+            ops.push(ShardOp {
+                device: phys,
+                label,
+                compute_s: truncated - cs,
+                comm_s: 0.0,
+                chained: false,
+                cost,
+                comm_bytes: 0,
+            });
+            return Ok(Attempt::Died {
+                ops,
+                failure,
+                local,
+                detected_at: truncated,
+                episode_end,
+            });
+        }
+        clock.compute[phys] = ce;
+
+        let panel_bytes = if survivors > 1 {
             KernelCost::f64_bytes((k * range.len()) as u64)
         } else {
             0
         };
+        let comm_s = if survivors > 1 {
+            pool.interconnect().transfer_time(panel_bytes) * device.link_scale()
+        } else {
+            0.0
+        };
+        if comm_s > 0.0 {
+            let gather_start = clock.comm[phys].max(ce);
+            let gather_end = gather_start + comm_s;
+            if let Err(failure) = device.check_alive(gather_end) {
+                let truncated = gather_start.max(failure.after_sim_seconds);
+                let truncated_comm = truncated - gather_start;
+                if truncated_comm > 0.0 {
+                    clock.comm[phys] = truncated;
+                }
+                let detected_at = truncated;
+                episode_end = episode_end.max(detected_at);
+                ops.push(ShardOp {
+                    device: phys,
+                    label,
+                    compute_s,
+                    comm_s: truncated_comm,
+                    chained: false,
+                    cost,
+                    comm_bytes: if truncated_comm > 0.0 { panel_bytes } else { 0 },
+                });
+                return Ok(Attempt::Died {
+                    ops,
+                    failure,
+                    local,
+                    detected_at,
+                    episode_end,
+                });
+            }
+            clock.comm[phys] = gather_end;
+            episode_end = episode_end.max(gather_end);
+        } else {
+            episode_end = episode_end.max(ce);
+        }
         ops.push(ShardOp {
-            device: assignment.device,
-            label: format!(
-                "s{stage_idx} {} panel {}",
-                spec.kind.as_str(),
-                assignment.index
-            ),
-            compute_s: device.model_time(&cost),
-            comm_s: if p > 1 {
-                pool.interconnect().transfer_time(panel_bytes)
-            } else {
-                0.0
-            },
+            device: phys,
+            label,
+            compute_s,
+            comm_s,
             chained: false,
             cost,
             comm_bytes: panel_bytes,
         });
     }
-    Ok((out, ops, CommCost::allgather(p, k, n)))
+    Ok(Attempt::Success {
+        out,
+        ops,
+        episode_end,
+    })
 }
 
-/// Carve every column panel of a CSR-like operand for one stage, in schedule
-/// order, and charge the CSC-style conversion **once per device** (each device
-/// converts its replica, mirroring [`replicate_generation`]): stream the parent's
-/// nonzeros and row pointers once, write every panel's entries plus its fresh
-/// row-pointer array.  Dense operands return `None` (their panels are
-/// view-equivalent cuts).
+/// Carve every column panel of a CSR-like operand for one stage attempt, in
+/// schedule order, and charge the CSC-style conversion **once per live device**
+/// (each device converts its replica, mirroring [`replicate_generation`]):
+/// stream the parent's nonzeros and row pointers once, write every panel's
+/// entries plus its fresh row-pointer array.  Dense operands return `None`
+/// (their panels are view-equivalent cuts).
 fn cut_csr_panels(
     pool: &DevicePool,
+    alive: &[usize],
     input: Operand<'_>,
     schedule: &Schedule,
 ) -> Option<Vec<sketch_sparse::CsrMatrix>> {
@@ -548,28 +1019,26 @@ fn cut_csr_panels(
         nnz,
         1,
     );
-    for device in pool.devices() {
-        device.launch("csc panel cut", cost);
+    for &d in alive {
+        pool.device(d).launch("csc panel cut", cost);
     }
     Some(panels)
 }
 
 /// Time one shard's ordered ring fold occupies its comm stream: moving the `k x n`
-/// accumulator one hop.  Zero on a single device (the fold is local).
+/// accumulator one hop.  (Callers skip the fold entirely when only one device
+/// is live — the fold is then local.)
 fn ring_fold_time(pool: &DevicePool, k: usize, n: usize) -> f64 {
-    if pool.num_devices() > 1 {
-        pool.interconnect()
-            .transfer_time(KernelCost::f64_bytes((k * n) as u64))
-    } else {
-        0.0
-    }
+    pool.interconnect()
+        .transfer_time(KernelCost::f64_bytes((k * n) as u64))
 }
 
-/// Charge the (replicated) sketch generation to every device except pool position
-/// 0, which already recorded it while building the operator.
-fn replicate_generation(pool: &DevicePool, cost: KernelCost) {
-    for device in &pool.devices()[1..] {
-        device.launch("sketch gen (replica)", cost);
+/// Charge the (replicated) sketch generation to every live device except the
+/// build device (`alive[0]`), which already recorded it while building the
+/// operator.
+fn replicate_generation(pool: &DevicePool, alive: &[usize], cost: KernelCost) {
+    for &d in &alive[1..] {
+        pool.device(d).launch("sketch gen (replica)", cost);
     }
 }
 
@@ -642,8 +1111,8 @@ fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sketch_core::EmbeddingDim;
-    use sketch_gpu_sim::Device;
+    use sketch_core::{EmbeddingDim, SketchSpec};
+    use sketch_gpu_sim::{Device, FaultPlan, FaultSpec};
 
     fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
         if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
@@ -1077,5 +1546,187 @@ mod tests {
             .unwrap();
             assert!(bits_equal(&run.result, &reference.result));
         }
+    }
+
+    #[test]
+    fn clean_runs_report_a_clean_fault_state() {
+        let a = input(300, 6);
+        let spec = SketchSpec::countsketch(300, EmbeddingDim::Exact(32), 2);
+        let pool = DevicePool::h100(3);
+        let run = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert!(run.fault.is_clean());
+        assert_eq!(run.fault.recovery_overhead_seconds, 0.0);
+        assert_eq!(run.fault.lost_seconds, 0.0);
+        assert_eq!(run.fault.shards_recomputed, 0);
+        assert_eq!(run.fault.survivors, 3);
+    }
+
+    #[test]
+    fn device_death_recovers_bit_identically_and_reports_the_failure() {
+        let d = 600;
+        let n = 8;
+        let a = input(d, n);
+        let plan = Pipeline::count_gauss(d, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 9);
+
+        let healthy = DevicePool::h100(4);
+        let reference = pipelined_sketch(&healthy, &a, &plan, &ExecutorOptions::default()).unwrap();
+        assert!(reference.fault.is_clean());
+
+        let pool = DevicePool::h100(4);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            2,
+            FaultSpec::Dies {
+                after_sim_seconds: 0.3 * reference.pipelined_seconds,
+            },
+        ));
+        let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+
+        assert!(
+            bits_equal(&run.result, &reference.result),
+            "recovered result drifted from the no-fault run"
+        );
+        assert_eq!(run.fault.failures.len(), 1);
+        let f = run.fault.failures[0];
+        assert_eq!(f.device, 2);
+        assert!(f.detected_at_seconds >= f.at_sim_seconds);
+        assert!(f.recovered_at_seconds >= f.detected_at_seconds);
+        assert_eq!(run.fault.survivors, 3);
+        assert!(run.fault.shards_recomputed > 0);
+        assert!(run.fault.recovery_overhead_seconds >= 0.0);
+        // The fault is sticky: a second run on the same pool never re-admits
+        // the dead device.
+        let rerun = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+        assert!(bits_equal(&rerun.result, &reference.result));
+        assert!(rerun.fault.failures.is_empty(), "death already absorbed");
+        assert_eq!(rerun.fault.survivors, 3);
+
+        let metrics = sketch_obs::MetricsRegistry::new();
+        run.record_metrics(&metrics, &pool);
+        assert_eq!(metrics.counter("fault.device_failures"), 1);
+        assert!(metrics.counter("fault.shards_recomputed") > 0);
+    }
+
+    #[test]
+    fn death_leaves_an_aborted_episode_and_fault_track_on_the_trace() {
+        let a = input(400, 6);
+        let spec = SketchSpec::countsketch(400, EmbeddingDim::Exact(48), 5);
+        let healthy = DevicePool::h100(2);
+        let reference = pipelined_sketch(
+            &healthy,
+            &a,
+            &Pipeline::single(spec.clone()),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+
+        let pool = DevicePool::h100(2);
+        let collector = sketch_obs::TraceCollector::shared();
+        pool.attach_recorder(collector.clone());
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            1,
+            FaultSpec::Dies {
+                after_sim_seconds: 0.5 * reference.pipelined_seconds,
+            },
+        ));
+        let run = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec),
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert!(bits_equal(&run.result, &reference.result));
+        assert_eq!(run.fault.failures.len(), 1);
+        // The aborted attempt's truncated work stays on the timeline: the run
+        // extends past the detection instant (the retry runs after it), the
+        // lost work is visible, and replaying the successful episodes alone is
+        // strictly cheaper.  (The faulted makespan may still beat the healthy
+        // pool's — a lone survivor runs no collectives at all, which wins when
+        // the chained ring folds dominate, as they do at this tiny size.)
+        let f = run.fault.failures[0];
+        assert!(run.pipelined_seconds > f.detected_at_seconds);
+        assert_eq!(f.recovered_at_seconds, run.pipelined_seconds);
+        assert!(run.fault.lost_seconds > 0.0);
+        assert!(run.fault.recovery_overhead_seconds > 0.0);
+
+        let events = collector.snapshot();
+        let fault_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.track == sketch_obs::Track::Fault)
+            .collect();
+        assert_eq!(fault_events.len(), 2, "death point + recovery span");
+        assert_eq!(fault_events[0].device, 1);
+        let (ds, de) = fault_events[0].sim.unwrap();
+        assert_eq!(ds, de, "death marker is zero-width");
+        let (rs, re) = fault_events[1].sim.unwrap();
+        assert_eq!(rs, ds);
+        assert!(re >= rs, "recovery span runs forward");
+    }
+
+    #[test]
+    fn every_device_dead_surfaces_the_typed_error() {
+        let a = input(150, 4);
+        let spec = SketchSpec::countsketch(150, EmbeddingDim::Exact(16), 3);
+        let pool = DevicePool::h100(2);
+        let all_dead = FaultPlan::healthy()
+            .with_fault(
+                0,
+                FaultSpec::Dies {
+                    after_sim_seconds: 0.0,
+                },
+            )
+            .with_fault(
+                1,
+                FaultSpec::Dies {
+                    after_sim_seconds: 0.0,
+                },
+            );
+        pool.apply_fault_plan(&all_dead);
+        let err = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec.clone()),
+            &ExecutorOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.is_device_failure(), "{err}");
+        // The sticky flags now refuse the pool outright.
+        let err = pipelined_sketch(
+            &pool,
+            &a,
+            &Pipeline::single(spec),
+            &ExecutorOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.is_device_failure());
+    }
+
+    #[test]
+    fn straggler_slows_the_clock_but_never_touches_the_bits() {
+        let a = input(500, 7);
+        let plan = Pipeline::count_gauss(500, EmbeddingDim::Square(2), EmbeddingDim::Ratio(2), 6);
+        let healthy = DevicePool::h100(3);
+        let reference = pipelined_sketch(&healthy, &a, &plan, &ExecutorOptions::default()).unwrap();
+
+        let pool = DevicePool::h100(3);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            1,
+            FaultSpec::Straggler {
+                slowdown_factor: 4.0,
+            },
+        ));
+        let run = pipelined_sketch(&pool, &a, &plan, &ExecutorOptions::default()).unwrap();
+        assert!(bits_equal(&run.result, &reference.result));
+        assert!(run.fault.is_clean(), "a straggler is not a failure");
+        assert!(
+            run.pipelined_seconds > reference.pipelined_seconds,
+            "a 4x straggler must stretch the makespan"
+        );
     }
 }

@@ -92,4 +92,7 @@ pub use drivers::{
     DistributedRun,
 };
 pub use error::DistError;
-pub use executor::{pipelined_sketch, ExecutorOptions, PipelinedRun, Schedule, ShardAssignment};
+pub use executor::{
+    pipelined_sketch, DeviceFailure, ExecutorOptions, FaultReport, PipelinedRun, Schedule,
+    ShardAssignment,
+};

@@ -1,6 +1,7 @@
 //! Device specifications and the [`Device`] handle shared by every kernel.
 
 use crate::counters::{CostTracker, KernelCost};
+use crate::fault::{DeviceFailed, FaultSpec};
 use crate::memory::{MemoryError, MemoryTracker, Reservation};
 use crate::roofline::RooflineModel;
 use parking_lot::Mutex;
@@ -111,6 +112,8 @@ pub struct Device {
     recording: AtomicBool,
     recorder: Mutex<Option<Arc<dyn Recorder>>>,
     kernel_clock: Mutex<f64>,
+    fault: Mutex<Option<FaultSpec>>,
+    failed: AtomicBool,
 }
 
 impl From<KernelCost> for CostBreakdown {
@@ -136,6 +139,8 @@ impl Device {
             recording: AtomicBool::new(false),
             recorder: Mutex::new(None),
             kernel_clock: Mutex::new(0.0),
+            fault: Mutex::new(None),
+            failed: AtomicBool::new(false),
         }
     }
 
@@ -259,6 +264,95 @@ impl Device {
         });
     }
 
+    /// Inject (or with `None` clear) this device's fault.  Clearing or
+    /// replacing a fault also resets the sticky [`Device::is_failed`] flag —
+    /// re-applying a [`crate::FaultPlan`] starts a fresh run's fault clocks.
+    pub fn set_fault(&self, fault: Option<FaultSpec>) {
+        *self.fault.lock() = fault;
+        self.failed.store(false, Ordering::Release);
+    }
+
+    /// The injected fault, if any.
+    pub fn fault(&self) -> Option<FaultSpec> {
+        *self.fault.lock()
+    }
+
+    /// Multiplier on this device's modelled kernel times (1.0 when healthy —
+    /// see [`FaultSpec::time_scale`]).
+    pub fn time_scale(&self) -> f64 {
+        self.fault.lock().map_or(1.0, |f| f.time_scale())
+    }
+
+    /// Multiplier on this device's modelled interconnect hops (1.0 when
+    /// healthy — see [`FaultSpec::link_scale`]).
+    pub fn link_scale(&self) -> f64 {
+        self.fault.lock().map_or(1.0, |f| f.link_scale())
+    }
+
+    /// The simulated instant this device dies, if a [`FaultSpec::Dies`] fault
+    /// is injected.
+    pub fn death_time(&self) -> Option<f64> {
+        self.fault.lock().and_then(|f| f.death_time())
+    }
+
+    /// Modelled execution time of `cost` on this device *including* any
+    /// injected straggler slowdown.
+    ///
+    /// The healthy path multiplies by exactly `1.0`, so a
+    /// [`FaultSpec::Straggler`] with factor 1.0 is bit-identical to no fault
+    /// at all (pinned by the fault proptests).
+    #[inline]
+    pub fn scaled_time(&self, cost: &KernelCost) -> f64 {
+        self.model_time(cost) * self.time_scale()
+    }
+
+    /// Check that the device survives to simulated instant `at_sim_seconds`.
+    ///
+    /// A [`FaultSpec::Dies`] fault kills the device strictly *after* its
+    /// death instant: an operation ending exactly at `after_sim_seconds`
+    /// still completes.  On failure the sticky [`Device::is_failed`] flag is
+    /// set, so schedulers can retire the device without re-deriving the
+    /// timeline.
+    pub fn check_alive(&self, at_sim_seconds: f64) -> Result<(), DeviceFailed> {
+        if let Some(death) = self.death_time() {
+            if at_sim_seconds > death {
+                self.failed.store(true, Ordering::Release);
+                return Err(DeviceFailed {
+                    ordinal: self.ordinal,
+                    after_sim_seconds: death,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a [`Device::check_alive`] (or [`Device::try_launch`]) has
+    /// already observed this device's death.  Death is permanent for the
+    /// lifetime of the injected fault: the flag clears only when the fault is
+    /// replaced via [`Device::set_fault`].
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Fallible launch: record `cost` (the work really was attempted — the
+    /// bytes moved and flops burned land on the tracker like a real kernel
+    /// that dies mid-flight), then fail with [`DeviceFailed`] if the kernel's
+    /// modelled end time falls after the device's injected death instant.
+    ///
+    /// Returns the kernel's modelled end time (straggler-scaled) on success.
+    pub fn try_launch(
+        &self,
+        label: &str,
+        cost: KernelCost,
+        start_s: f64,
+    ) -> Result<f64, DeviceFailed> {
+        self.launch(label, cost);
+        let end = start_s + self.scaled_time(&cost);
+        self.check_alive(end)?;
+        Ok(end)
+    }
+
     /// Reserve `bytes` of modelled device memory, failing like `cudaMalloc` would.
     pub fn try_reserve(&self, bytes: u64) -> Result<Reservation<'_>, MemoryError> {
         self.memory.try_reserve(bytes)
@@ -351,6 +445,80 @@ mod tests {
         assert!(!d.recording());
         d.launch("gemm", KernelCost::new(8, 8, 2, 1));
         assert_eq!(d.kernel_clock(), 0.0);
+    }
+
+    #[test]
+    fn healthy_device_has_unit_scales_and_never_dies() {
+        let d = Device::h100();
+        assert_eq!(d.fault(), None);
+        assert_eq!(d.time_scale(), 1.0);
+        assert_eq!(d.link_scale(), 1.0);
+        assert_eq!(d.death_time(), None);
+        assert!(!d.is_failed());
+        assert!(d.check_alive(f64::MAX).is_ok());
+        let cost = KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1);
+        // The healthy scaled time is *bit-identical* to the raw model time.
+        assert_eq!(
+            d.scaled_time(&cost).to_bits(),
+            d.model_time(&cost).to_bits()
+        );
+    }
+
+    #[test]
+    fn straggler_scales_kernel_times() {
+        let d = Device::h100();
+        d.set_fault(Some(FaultSpec::Straggler {
+            slowdown_factor: 4.0,
+        }));
+        let cost = KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1);
+        assert_eq!(d.scaled_time(&cost), 4.0 * d.model_time(&cost));
+        assert_eq!(d.time_scale(), 4.0);
+        // Stragglers are slow, not dead.
+        assert!(d.check_alive(f64::MAX).is_ok());
+        assert!(!d.is_failed());
+    }
+
+    #[test]
+    fn death_is_sticky_until_the_fault_is_replaced() {
+        let d = Device::with_ordinal(DeviceSpec::h100(), 2);
+        d.set_fault(Some(FaultSpec::Dies {
+            after_sim_seconds: 1.0,
+        }));
+        // Ending exactly at the death instant still completes.
+        assert!(d.check_alive(1.0).is_ok());
+        assert!(!d.is_failed());
+        let err = d.check_alive(1.5).unwrap_err();
+        assert_eq!(err.ordinal, 2);
+        assert_eq!(err.after_sim_seconds, 1.0);
+        assert!(d.is_failed());
+        // Death is permanent: even an early operation now sees a failed flag.
+        assert!(d.is_failed());
+        // Re-applying a plan resets the run's fault clocks.
+        d.set_fault(Some(FaultSpec::Dies {
+            after_sim_seconds: 1.0,
+        }));
+        assert!(!d.is_failed());
+        d.set_fault(None);
+        assert!(d.check_alive(f64::MAX).is_ok());
+    }
+
+    #[test]
+    fn try_launch_records_attempted_work_then_fails() {
+        let d = Device::h100();
+        let cost = KernelCost::new(1 << 20, 1 << 20, 1 << 10, 1);
+        let t = d.model_time(&cost);
+        // Healthy: returns start + modelled time.
+        let end = d.try_launch("k", cost, 1.0).unwrap();
+        assert_eq!(end, 1.0 + t);
+        assert_eq!(d.tracker().snapshot().launches, 1);
+        // Dying mid-kernel: the cost still lands (the kernel really ran until
+        // the device stopped), but the launch reports the typed failure.
+        d.set_fault(Some(FaultSpec::Dies {
+            after_sim_seconds: t / 2.0,
+        }));
+        assert!(d.try_launch("k", cost, 0.0).is_err());
+        assert_eq!(d.tracker().snapshot().launches, 2);
+        assert!(d.is_failed());
     }
 
     #[test]

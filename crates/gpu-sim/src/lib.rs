@@ -26,7 +26,11 @@
 //!   `sketch-dist`;
 //! * [`stream`] — simulated CUDA streams and events: in-order queues on a virtual
 //!   clock, cross-stream waits, and a [`Timeline`] that reports makespan, per-device
-//!   utilization and how much communication was hidden behind compute.
+//!   utilization and how much communication was hidden behind compute;
+//! * [`fault`] — declarative fault injection: a [`FaultPlan`] names which devices die
+//!   mid-run ([`FaultSpec::Dies`]), run slow ([`FaultSpec::Straggler`]) or sit on a
+//!   degraded link ([`FaultSpec::LinkDegraded`]), and the device clocks consult it so
+//!   failures surface as the typed [`DeviceFailed`] error at launch time.
 //!
 //! ## Example: cost tracking and the roofline clock
 //!
@@ -68,6 +72,7 @@
 
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod launch;
 pub mod memory;
 pub mod pool;
@@ -77,6 +82,7 @@ pub mod stream;
 
 pub use counters::{CostTracker, KernelCost};
 pub use device::{Device, DeviceSpec};
+pub use fault::{DeviceFailed, FaultParseError, FaultPlan, FaultSpec};
 pub use launch::{parallel_for, parallel_for_chunks, AtomicF64, AtomicF64View};
 pub use memory::{MemoryError, MemoryTracker, Reservation};
 pub use pool::{DevicePool, InterconnectSpec, PoolError};

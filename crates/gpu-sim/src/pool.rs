@@ -71,6 +71,14 @@ impl InterconnectSpec {
     }
 
     /// Time for one link to move `bytes`, in seconds.
+    ///
+    /// A zero-byte transfer is free — `0.0`, *not* `latency_s` — by design:
+    /// the executor elides empty collectives entirely (no NCCL launch is
+    /// issued for a payload that does not exist), so there is no hop to pay
+    /// latency on.  This elision is also what keeps single-device pools and
+    /// comm-free stages exactly zero-overhead ([`InterconnectSpec::local`]'s
+    /// contract).  Pinned for both real presets by
+    /// `zero_byte_transfers_are_elided_on_every_preset`.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
         if bytes == 0 {
             return 0.0;
@@ -286,6 +294,27 @@ impl DevicePool {
     pub fn recorder(&self) -> Option<std::sync::Arc<dyn sketch_obs::Recorder>> {
         self.devices.first().and_then(|d| d.recorder())
     }
+
+    /// Inject `plan`'s faults into the pool's devices, keyed by pool position.
+    ///
+    /// The plan is total: positions it does not name get any previous fault
+    /// *cleared* (and their sticky failed flags reset), so re-applying a plan
+    /// restarts a fresh run's fault clocks.  Plan entries beyond the pool are
+    /// ignored.  Because subpool views share the parent's devices, faults
+    /// applied here are observed by every view — a flaky GPU is flaky for
+    /// every job scheduled onto it.
+    pub fn apply_fault_plan(&self, plan: &crate::FaultPlan) {
+        for (i, d) in self.devices.iter().enumerate() {
+            d.set_fault(plan.get(i));
+        }
+    }
+
+    /// Clear every injected fault (and sticky failed flag) in the pool.
+    pub fn clear_faults(&self) {
+        for d in &self.devices {
+            d.set_fault(None);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +354,55 @@ mod tests {
         let ic = InterconnectSpec::nvlink4();
         let t = ic.transfer_time(1);
         assert!(t >= ic.latency_s);
+    }
+
+    #[test]
+    fn zero_byte_transfers_are_elided_on_every_preset() {
+        // Decision (ISSUE 9 satellite): an empty payload launches no
+        // collective, so it pays no latency — 0.0 exactly, on every fabric.
+        for ic in [InterconnectSpec::nvlink4(), InterconnectSpec::pcie5()] {
+            assert_eq!(ic.transfer_time(0), 0.0, "{}", ic.name);
+            // The first real byte does pay the hop setup.
+            assert!(ic.transfer_time(1) >= ic.latency_s, "{}", ic.name);
+        }
+    }
+
+    #[test]
+    fn fault_plans_apply_by_pool_position_and_clear() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let pool = DevicePool::unlimited(3);
+        let plan = FaultPlan::healthy()
+            .with_fault(
+                1,
+                FaultSpec::Dies {
+                    after_sim_seconds: 0.5,
+                },
+            )
+            .with_fault(
+                2,
+                FaultSpec::Straggler {
+                    slowdown_factor: 3.0,
+                },
+            )
+            // Beyond the pool: ignored.
+            .with_fault(9, FaultSpec::LinkDegraded { factor: 2.0 });
+        pool.apply_fault_plan(&plan);
+        assert_eq!(pool.device(0).fault(), None);
+        assert_eq!(pool.device(1).death_time(), Some(0.5));
+        assert_eq!(pool.device(2).time_scale(), 3.0);
+        // Subpool views observe the parent's faults.
+        let sub = pool.subpool(&[1, 2]).unwrap();
+        assert_eq!(sub.device(0).death_time(), Some(0.5));
+        // Marking a death through the view is visible on the parent handle.
+        assert!(sub.device(0).check_alive(1.0).is_err());
+        assert!(pool.device(1).is_failed());
+        // An empty plan (or clear_faults) heals everything.
+        pool.apply_fault_plan(&FaultPlan::healthy());
+        assert_eq!(pool.device(1).fault(), None);
+        assert!(!pool.device(1).is_failed());
+        pool.apply_fault_plan(&plan);
+        pool.clear_faults();
+        assert_eq!(pool.device(2).time_scale(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the fault-injection layer (ISSUE 9 satellite).
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. A [`FaultPlan`] survives a JSON round-trip *exactly* — every `f64`
+//!    field comes back bit-for-bit, for arbitrary finite values, because the
+//!    JSON layer renders floats with Rust's shortest-round-trip formatting.
+//! 2. A [`FaultSpec::Straggler`] with factor exactly 1.0 is cost-identical
+//!    to no fault at all: per-kernel scaled times and whole-pipeline
+//!    [`Timeline`] makespans agree in their *bits*, not just approximately.
+
+use proptest::prelude::*;
+use sketch_gpu_sim::{
+    DevicePool, FaultPlan, FaultSpec, KernelCost, StreamKind, StreamSet, Timeline,
+};
+
+/// A positive finite f64 derived from raw proptest bits.
+fn f64_from_draw(bits: u64) -> f64 {
+    let v = f64::from_bits(bits);
+    if v.is_finite() {
+        v.abs()
+    } else {
+        // Map the non-finite patterns onto an odd but perfectly legal value.
+        (bits >> 11) as f64 * 1.25e-3
+    }
+}
+
+/// Run the same little two-stage pipeline on `pool`, with every duration
+/// taken through the fault-aware clocks, and return its timeline.
+fn mini_pipeline(pool: &DevicePool) -> Timeline {
+    let cost = KernelCost::new(1 << 22, 1 << 20, 1 << 18, 1);
+    let mut set = StreamSet::new(pool.num_devices());
+    let mut stage_done = Vec::new();
+    for d in 0..pool.num_devices() {
+        let dur = pool.device(d).scaled_time(&cost);
+        let k = set.enqueue(d, StreamKind::Compute, "shard", &[], dur);
+        let comm = pool.interconnect().transfer_time(1 << 20) * pool.device(d).link_scale();
+        stage_done.push(set.enqueue(d, StreamKind::Comm, "fold", &[k], comm));
+    }
+    for d in 0..pool.num_devices() {
+        let dur = 2.0 * pool.device(d).scaled_time(&cost);
+        set.enqueue(d, StreamKind::Compute, "stage2", &stage_done, dur);
+    }
+    set.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any plan over any mix of fault kinds round-trips through its JSON
+    /// rendering without perturbing a single bit of any float field.
+    #[test]
+    fn prop_fault_plan_json_round_trips_exactly(
+        bits_a in 0u64..u64::MAX,
+        bits_b in 0u64..u64::MAX,
+        bits_c in 0u64..u64::MAX,
+        dev_a in 0usize..16,
+        dev_gap in 1usize..16,
+    ) {
+        let t_dies = f64_from_draw(bits_a);
+        let t_slow = f64_from_draw(bits_b);
+        let t_link = f64_from_draw(bits_c);
+        let plan = FaultPlan::healthy()
+            .with_fault(dev_a, FaultSpec::Dies { after_sim_seconds: t_dies })
+            .with_fault(dev_a + dev_gap, FaultSpec::Straggler { slowdown_factor: t_slow })
+            .with_fault(dev_a + 2 * dev_gap, FaultSpec::LinkDegraded { factor: t_link });
+        let rendered = plan.to_json().render();
+        let parsed = FaultPlan::from_json(&rendered).expect("own rendering parses");
+        // PartialEq on f64 would already accept -0.0 == 0.0; compare bits.
+        prop_assert_eq!(parsed.len(), plan.len());
+        for ((da, sa), (db, sb)) in parsed.iter().zip(plan.iter()) {
+            prop_assert_eq!(da, db);
+            let bits = |s: FaultSpec| match s {
+                FaultSpec::Dies { after_sim_seconds } => (0u8, after_sim_seconds.to_bits()),
+                FaultSpec::Straggler { slowdown_factor } => (1u8, slowdown_factor.to_bits()),
+                FaultSpec::LinkDegraded { factor } => (2u8, factor.to_bits()),
+            };
+            prop_assert_eq!(bits(sa), bits(sb), "device {} drifted through JSON", da);
+        }
+        // And the rendering itself is a fixed point.
+        prop_assert_eq!(parsed.to_json().render(), rendered);
+    }
+
+    /// A straggler factor of exactly 1.0 leaves every modelled clock
+    /// bit-identical to the healthy run: per-kernel scaled times and the
+    /// makespan of a whole overlapped pipeline.
+    #[test]
+    fn prop_unit_straggler_is_bitwise_no_fault(
+        devices in 1usize..8,
+        victim in 0usize..8,
+        bytes_exp in 10u32..28,
+    ) {
+        let victim = victim % devices;
+        let healthy = DevicePool::h100(devices);
+        let faulted = DevicePool::h100(devices);
+        faulted.apply_fault_plan(
+            &FaultPlan::healthy().with_fault(victim, FaultSpec::Straggler { slowdown_factor: 1.0 }),
+        );
+
+        let cost = KernelCost::new(1u64 << bytes_exp, 1 << 16, 1 << 12, 1);
+        for d in 0..devices {
+            prop_assert_eq!(
+                healthy.device(d).scaled_time(&cost).to_bits(),
+                faulted.device(d).scaled_time(&cost).to_bits(),
+                "device {} kernel clock drifted under a unit straggler", d
+            );
+        }
+
+        let reference = mini_pipeline(&healthy);
+        let perturbed = mini_pipeline(&faulted);
+        prop_assert_eq!(
+            reference.makespan().to_bits(),
+            perturbed.makespan().to_bits(),
+            "Timeline makespan drifted under a unit straggler"
+        );
+        prop_assert_eq!(
+            reference.serial_seconds().to_bits(),
+            perturbed.serial_seconds().to_bits()
+        );
+    }
+}
+
+#[test]
+fn unit_straggler_is_byte_identical_in_json_too() {
+    // The JSON rendering of a factor-1.0 straggler is stable and explicit —
+    // the plan is not silently dropped just because it is a no-op in time.
+    let plan = FaultPlan::healthy().with_fault(
+        0,
+        FaultSpec::Straggler {
+            slowdown_factor: 1.0,
+        },
+    );
+    let rendered = plan.to_json().render();
+    assert!(rendered.contains("straggler"), "{rendered}");
+    assert_eq!(FaultPlan::from_json(&rendered).unwrap(), plan);
+}

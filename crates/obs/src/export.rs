@@ -41,6 +41,7 @@ fn tid_of(track: Track) -> u64 {
         Track::Kernel => 2,
         Track::Phase => 3,
         Track::Wall => 0,
+        Track::Fault => 4,
     }
 }
 
@@ -51,6 +52,7 @@ fn thread_label(track: Track) -> &'static str {
         Track::Kernel => "kernels (serial sim)",
         Track::Phase => "phases (serial sim)",
         Track::Wall => "wall clock",
+        Track::Fault => "faults (recovery)",
     }
 }
 

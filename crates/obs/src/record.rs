@@ -32,6 +32,9 @@ pub enum Track {
     Phase,
     /// Measured wall-clock samples (host time, not modelled time).
     Wall,
+    /// Fault and recovery markers: device deaths and the recovery spans the
+    /// executor spends recomputing lost shards on the survivors.
+    Fault,
 }
 
 impl Track {
@@ -43,6 +46,7 @@ impl Track {
             Track::Kernel => "kernel",
             Track::Phase => "phase",
             Track::Wall => "wall",
+            Track::Fault => "fault",
         }
     }
 }
@@ -242,10 +246,14 @@ mod tests {
             Track::Kernel,
             Track::Phase,
             Track::Wall,
+            Track::Fault,
         ]
         .iter()
         .map(|t| t.name())
         .collect();
-        assert_eq!(names, ["compute", "comm", "kernel", "phase", "wall"]);
+        assert_eq!(
+            names,
+            ["compute", "comm", "kernel", "phase", "wall", "fault"]
+        );
     }
 }

@@ -26,6 +26,10 @@ pub struct TenantLimits {
     pub max_sketch_bytes: u64,
     /// Maximum modelled flops per job.
     pub max_modelled_flops: u64,
+    /// Maximum *retries* after a job's first execution attempt dies with a
+    /// device failure: `0` abandons on the first failure, the default
+    /// `usize::MAX` retries as long as live devices remain.
+    pub max_retries: usize,
 }
 
 impl TenantLimits {
@@ -35,6 +39,7 @@ impl TenantLimits {
             max_in_flight: usize::MAX,
             max_sketch_bytes: u64::MAX,
             max_modelled_flops: u64::MAX,
+            max_retries: usize::MAX,
         }
     }
 
@@ -59,6 +64,13 @@ impl TenantLimits {
         self
     }
 
+    /// Cap retries after a device-failure attempt (`0` = fail fast).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
     /// Serialize to a [`JsonValue`] (omitted fields mean "unlimited").
     pub fn to_json_value(&self) -> JsonValue {
         let mut fields = Vec::new();
@@ -78,6 +90,12 @@ impl TenantLimits {
             fields.push((
                 "max_modelled_flops".into(),
                 JsonValue::UInt(self.max_modelled_flops),
+            ));
+        }
+        if self.max_retries != usize::MAX {
+            fields.push((
+                "max_retries".into(),
+                JsonValue::UInt(self.max_retries as u64),
             ));
         }
         JsonValue::Object(fields)
@@ -103,6 +121,9 @@ impl TenantLimits {
         }
         if let Some(v) = get("max_modelled_flops")? {
             limits.max_modelled_flops = v;
+        }
+        if let Some(v) = get("max_retries")? {
+            limits.max_retries = v as usize;
         }
         Ok(limits)
     }
@@ -272,7 +293,8 @@ mod tests {
     fn limits_round_trip_through_json() {
         let limits = TenantLimits::unlimited()
             .with_max_in_flight(4)
-            .with_max_sketch_bytes(1 << 20);
+            .with_max_sketch_bytes(1 << 20)
+            .with_max_retries(2);
         let parsed = TenantLimits::from_json_value(&limits.to_json_value()).unwrap();
         assert_eq!(parsed, limits);
         // Empty object means unlimited.

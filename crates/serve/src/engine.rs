@@ -94,6 +94,8 @@ impl ServiceReport {
     pub fn record_metrics(&self, metrics: &MetricsRegistry) {
         metrics.add("serve.jobs_run", self.jobs_run());
         metrics.add("serve.jobs_rejected", self.jobs_rejected());
+        metrics.add("serve.retries", self.service.retries);
+        metrics.add("serve.straggler_evictions", self.service.evictions);
         for (tenant, ledger) in &self.tenants {
             metrics.add(&format!("serve.tenant.{tenant}.jobs_run"), ledger.jobs_run);
             metrics.add(
@@ -279,7 +281,9 @@ impl<'p> ServeEngine<'p> {
     /// the ledgers and cleared, so consecutive batches don't double-count.
     pub fn run(&mut self) -> Result<ServiceReport, ServeError> {
         let jobs = self.queue.drain();
-        let service = self.scheduler.run(self.pool, &jobs)?;
+        let service = self
+            .scheduler
+            .run_with_admission(self.pool, &jobs, &self.admission)?;
         let mut tenants: BTreeMap<String, TenantLedger> = BTreeMap::new();
         for job in &service.jobs {
             let ledger = tenants.entry(job.tenant.clone()).or_default();
@@ -292,6 +296,17 @@ impl<'p> ServeEngine<'p> {
             let ledger = tenants.entry(tenant).or_default();
             ledger.jobs_rejected += by_reason.values().sum::<u64>();
             ledger.rejected_by_reason = by_reason;
+        }
+        // Jobs the scheduler abandoned mid-run (retry budget spent on dying
+        // devices) are rejections too — merged, not assigned, so they coexist
+        // with submit-time tallies.
+        for job in &service.abandoned {
+            let ledger = tenants.entry(job.tenant.clone()).or_default();
+            ledger.jobs_rejected += 1;
+            *ledger
+                .rejected_by_reason
+                .entry(job.reason.as_str().to_string())
+                .or_insert(0) += 1;
         }
         for ledger in tenants.values_mut() {
             ledger
@@ -380,6 +395,33 @@ mod tests {
         let blocked = &report.tenants["blocked"];
         assert_eq!((blocked.jobs_run, blocked.jobs_rejected), (0, 1));
         assert_eq!(blocked.queue_wait_p50(), 0.0);
+    }
+
+    #[test]
+    fn abandoned_jobs_are_ledgered_as_retry_exhaustion() {
+        use sketch_gpu_sim::{FaultPlan, FaultSpec};
+
+        let pool = DevicePool::unlimited(1);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            0,
+            FaultSpec::Dies {
+                after_sim_seconds: 0.0,
+            },
+        ));
+        let admission = AdmissionController::new()
+            .with_tenant("doomed", TenantLimits::unlimited().with_max_retries(0));
+        let mut engine = ServeEngine::new(&pool, admission, 4);
+        engine.submit(job("doomed", 1)).unwrap();
+        let report = engine.run().unwrap();
+        let ledger = &report.tenants["doomed"];
+        assert_eq!((ledger.jobs_run, ledger.jobs_rejected), (0, 1));
+        assert_eq!(ledger.rejected_by_reason["retries_exhausted"], 1);
+        assert_eq!(report.service.abandoned.len(), 1);
+
+        let metrics = MetricsRegistry::new();
+        report.record_metrics(&metrics);
+        assert_eq!(metrics.counter("serve.jobs_rejected"), 1);
+        assert_eq!(metrics.counter("serve.retries"), 0);
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum RejectReason {
         /// The tenant's flop limit.
         limit: u64,
     },
+    /// Every execution attempt hit a dead device and the tenant's retry
+    /// budget ([`TenantLimits::max_retries`](crate::TenantLimits::max_retries))
+    /// is spent — or no live device is left to retry on.
+    RetriesExhausted {
+        /// Execution attempts that failed before the job was abandoned.
+        attempts: usize,
+    },
 }
 
 impl RejectReason {
@@ -45,6 +52,7 @@ impl RejectReason {
             RejectReason::TooManyInFlight { .. } => "too_many_in_flight",
             RejectReason::SketchBytesExceeded { .. } => "sketch_bytes_exceeded",
             RejectReason::FlopsExceeded { .. } => "flops_exceeded",
+            RejectReason::RetriesExhausted { .. } => "retries_exhausted",
         }
     }
 }
@@ -65,6 +73,10 @@ impl std::fmt::Display for RejectReason {
             RejectReason::FlopsExceeded { modelled, limit } => write!(
                 f,
                 "modelled {modelled} flops exceed the tenant limit of {limit}"
+            ),
+            RejectReason::RetriesExhausted { attempts } => write!(
+                f,
+                "abandoned after {attempts} failed attempt(s) on dying devices"
             ),
         }
     }

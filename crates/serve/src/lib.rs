@@ -66,4 +66,4 @@ pub use error::{RejectReason, ServeError};
 pub use file::{JobFile, DEFAULT_QUEUE_CAPACITY};
 pub use job::{tenant_salt, DeadlineClass, JobSpec, OperandData, OperandSpec};
 pub use queue::{JobQueue, QueuedJob};
-pub use scheduler::{ScheduledJob, Scheduler, ServiceRun};
+pub use scheduler::{AbandonedJob, ScheduledJob, Scheduler, ServiceRun};

@@ -18,8 +18,9 @@
 //! [`Scheduler::run_fifo`] is the baseline the service must beat: the same
 //! jobs, same order, but each one monopolises the whole pool.
 
-use crate::error::ServeError;
-use crate::job::OperandData;
+use crate::admission::AdmissionController;
+use crate::error::{RejectReason, ServeError};
+use crate::job::{DeadlineClass, OperandData};
 use crate::queue::QueuedJob;
 use sketch_core::Operand;
 use sketch_dist::{pipelined_sketch, ExecutorOptions, PipelinedRun};
@@ -52,12 +53,35 @@ impl ScheduledJob {
     }
 }
 
+/// A job the scheduler gave up on: every execution attempt died with a device
+/// failure and the tenant's retry budget (or the pool) ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbandonedJob {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Queue sequence number of the job.
+    pub seq: u64,
+    /// The typed reason — always
+    /// [`RejectReason::RetriesExhausted`] today, kept open for future
+    /// scheduler-side refusals.
+    pub reason: RejectReason,
+    /// Execution attempts that failed before the job was abandoned.
+    pub attempts: usize,
+}
+
 /// The service-level outcome: every scheduled job plus the merged cluster
 /// timeline.
 #[derive(Debug, Clone)]
 pub struct ServiceRun {
     /// Jobs in execution (queue) order.
     pub jobs: Vec<ScheduledJob>,
+    /// Jobs abandoned after exhausting their retry budget on dying devices.
+    pub abandoned: Vec<AbandonedJob>,
+    /// Execution attempts re-run because an earlier attempt hit a dead device.
+    pub retries: u64,
+    /// Straggler devices displaced from interactive jobs' claims (the
+    /// deadline-aware eviction decision).
+    pub evictions: u64,
     /// The merged cluster timeline (device rows are physical ordinals).
     pub timeline: Timeline,
     /// Devices in the pool the run was packed onto.
@@ -151,43 +175,126 @@ impl Scheduler {
     /// has arrived.  Independent single-device jobs therefore run beside each
     /// other; a full-pool job naturally drains the cluster first.
     pub fn run(&self, pool: &DevicePool, jobs: &[QueuedJob]) -> Result<ServiceRun, ServeError> {
+        self.run_with_admission(pool, jobs, &AdmissionController::new())
+    }
+
+    /// [`Scheduler::run`] with a retry policy: a job whose execution dies with
+    /// a device failure (every device in its claim dead) is requeued onto the
+    /// still-live devices, up to the tenant's
+    /// [`max_retries`](crate::TenantLimits::max_retries) budget; past the
+    /// budget — or with no live device left — the job is *abandoned* with a
+    /// typed [`RejectReason::RetriesExhausted`], never a hard error.
+    ///
+    /// Stragglers feed the claim decision: an
+    /// [interactive](DeadlineClass::Interactive) job whose earliest-free claim
+    /// would include a slowed device is rerouted onto healthy devices when
+    /// enough exist, and each displaced straggler counts as an eviction.  On a
+    /// healthy pool every decision reduces to the plain earliest-free claim,
+    /// so clean runs are bit-identical to [`Scheduler::run`].
+    pub fn run_with_admission(
+        &self,
+        pool: &DevicePool,
+        jobs: &[QueuedJob],
+        admission: &AdmissionController,
+    ) -> Result<ServiceRun, ServeError> {
         let p = pool.num_devices();
         let mut free_at = vec![0.0f64; p];
         let mut timeline = Timeline::with_devices(p);
         let mut scheduled = Vec::with_capacity(jobs.len());
+        let mut abandoned = Vec::new();
+        let mut retries = 0u64;
+        let mut evictions = 0u64;
         for qj in jobs {
-            let want = qj.job.devices.clamp(1, p);
-            let mut order: Vec<usize> = (0..p).collect();
-            order.sort_by(|&a, &b| {
-                free_at[a]
-                    .partial_cmp(&free_at[b])
-                    .expect("finite free times")
-                    .then(a.cmp(&b))
-            });
-            let mut claimed = order[..want].to_vec();
-            claimed.sort_unstable();
-            let start = claimed
-                .iter()
-                .fold(qj.job.arrival_s, |acc, &d| acc.max(free_at[d]));
-            let sub = pool.subpool(&claimed)?;
-            let run = self.execute(&sub, qj)?;
-            let end = start + run.pipelined_seconds;
-            for &d in &claimed {
-                free_at[d] = end;
+            let max_retries = admission.limits_for(&qj.job.tenant).max_retries;
+            let mut attempts = 0usize;
+            loop {
+                // Sticky death flags shrink the usable set between attempts,
+                // so even an unlimited retry budget terminates.
+                let usable: Vec<usize> = (0..p).filter(|&d| !pool.device(d).is_failed()).collect();
+                if usable.is_empty() {
+                    abandoned.push(AbandonedJob {
+                        tenant: qj.job.tenant.clone(),
+                        seq: qj.seq,
+                        reason: RejectReason::RetriesExhausted { attempts },
+                        attempts,
+                    });
+                    break;
+                }
+                let want = qj.job.devices.clamp(1, usable.len());
+                let by_free = |devs: &[usize]| {
+                    let mut order = devs.to_vec();
+                    order.sort_by(|&a, &b| {
+                        free_at[a]
+                            .partial_cmp(&free_at[b])
+                            .expect("finite free times")
+                            .then(a.cmp(&b))
+                    });
+                    order.truncate(want);
+                    order.sort_unstable();
+                    order
+                };
+                let mut claimed = by_free(&usable);
+                if qj.job.deadline == DeadlineClass::Interactive {
+                    let straggling = claimed
+                        .iter()
+                        .filter(|&&d| pool.device(d).time_scale() > 1.0)
+                        .count() as u64;
+                    if straggling > 0 {
+                        let healthy: Vec<usize> = usable
+                            .iter()
+                            .copied()
+                            .filter(|&d| pool.device(d).time_scale() <= 1.0)
+                            .collect();
+                        if healthy.len() >= want {
+                            claimed = by_free(&healthy);
+                            evictions += straggling;
+                        }
+                    }
+                }
+                let start = claimed
+                    .iter()
+                    .fold(qj.job.arrival_s, |acc, &d| acc.max(free_at[d]));
+                let sub = pool.subpool(&claimed)?;
+                match self.execute(&sub, qj) {
+                    Ok(run) => {
+                        let end = start + run.pipelined_seconds;
+                        for &d in &claimed {
+                            free_at[d] = end;
+                        }
+                        timeline.merge_shifted(&run.timeline, start, &claimed);
+                        scheduled.push(ScheduledJob {
+                            tenant: qj.job.tenant.clone(),
+                            seq: qj.seq,
+                            arrival_s: qj.job.arrival_s,
+                            start,
+                            end,
+                            device_ordinals: claimed,
+                            run,
+                        });
+                        break;
+                    }
+                    Err(ServeError::Core(e)) if e.is_device_failure() => {
+                        attempts += 1;
+                        if attempts > max_retries {
+                            abandoned.push(AbandonedJob {
+                                tenant: qj.job.tenant.clone(),
+                                seq: qj.seq,
+                                reason: RejectReason::RetriesExhausted { attempts },
+                                attempts,
+                            });
+                            break;
+                        }
+                        retries += 1;
+                    }
+                    Err(other) => return Err(other),
+                }
             }
-            timeline.merge_shifted(&run.timeline, start, &claimed);
-            scheduled.push(ScheduledJob {
-                tenant: qj.job.tenant.clone(),
-                seq: qj.seq,
-                arrival_s: qj.job.arrival_s,
-                start,
-                end,
-                device_ordinals: claimed,
-                run,
-            });
         }
         Ok(ServiceRun {
             jobs: scheduled,
+            abandoned,
+            retries,
+            evictions,
             timeline,
             devices: p,
         })
@@ -359,6 +466,109 @@ mod tests {
         }
         assert!(run.makespan() < run.timeline.serial_seconds());
         assert_eq!(run.utilizations().len(), 4);
+    }
+
+    #[test]
+    fn dead_device_jobs_retry_onto_survivors_bitwise() {
+        use sketch_gpu_sim::{FaultPlan, FaultSpec};
+
+        let pool = DevicePool::unlimited(2);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            0,
+            FaultSpec::Dies {
+                after_sim_seconds: 0.0,
+            },
+        ));
+        let jobs = queued(vec![one_device_job("a", 1)]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.jobs.len(), 1);
+        assert_eq!(run.retries, 1, "first claim lands on the dying device");
+        assert!(run.abandoned.is_empty());
+        assert_eq!(run.jobs[0].device_ordinals, vec![1]);
+
+        let fresh = DevicePool::unlimited(1);
+        let solo = Scheduler::new().run(&fresh, &jobs).unwrap();
+        assert_eq!(
+            run.jobs[0]
+                .run
+                .result
+                .max_abs_diff(&solo.jobs[0].run.result),
+            Ok(0.0),
+            "retried job diverged from the solo run"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons_with_typed_reason() {
+        use crate::admission::{AdmissionController, TenantLimits};
+        use crate::error::RejectReason;
+        use sketch_gpu_sim::{FaultPlan, FaultSpec};
+
+        let pool = DevicePool::unlimited(1);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            0,
+            FaultSpec::Dies {
+                after_sim_seconds: 0.0,
+            },
+        ));
+        let jobs = queued(vec![one_device_job("a", 1)]);
+        let admission = AdmissionController::new()
+            .with_tenant("a", TenantLimits::unlimited().with_max_retries(0));
+        let run = Scheduler::new()
+            .run_with_admission(&pool, &jobs, &admission)
+            .unwrap();
+        assert!(run.jobs.is_empty());
+        assert_eq!(run.abandoned.len(), 1);
+        assert_eq!(
+            run.abandoned[0].reason,
+            RejectReason::RetriesExhausted { attempts: 1 }
+        );
+        assert_eq!(run.retries, 0, "a zero budget never re-runs the job");
+
+        // With an unlimited budget the same pool still abandons — no live
+        // device remains — but only after the sticky flag is observed.
+        let jobs = queued(vec![one_device_job("b", 2)]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.abandoned.len(), 1);
+        assert_eq!(run.abandoned[0].attempts, 0, "refused before any attempt");
+    }
+
+    #[test]
+    fn interactive_jobs_evict_stragglers_from_their_claims() {
+        use crate::job::DeadlineClass;
+        use sketch_gpu_sim::{FaultPlan, FaultSpec};
+
+        let pool = DevicePool::unlimited(2);
+        pool.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            0,
+            FaultSpec::Straggler {
+                slowdown_factor: 8.0,
+            },
+        ));
+        // The earliest-free tie would pick ordinal 0; the interactive job is
+        // rerouted to the healthy device, the standard job is not.
+        let jobs = queued(vec![
+            one_device_job("fast", 1).with_deadline(DeadlineClass::Interactive),
+            one_device_job("slow", 2),
+        ]);
+        let run = Scheduler::new().run(&pool, &jobs).unwrap();
+        assert_eq!(run.jobs[0].device_ordinals, vec![1]);
+        assert_eq!(run.evictions, 1);
+        assert_eq!(run.jobs[1].device_ordinals, vec![0]);
+        // When every device straggles there is nowhere to evict to.
+        let all_slow = DevicePool::unlimited(1);
+        all_slow.apply_fault_plan(&FaultPlan::healthy().with_fault(
+            0,
+            FaultSpec::Straggler {
+                slowdown_factor: 2.0,
+            },
+        ));
+        let jobs = queued(vec![
+            one_device_job("t", 3).with_deadline(DeadlineClass::Interactive)
+        ]);
+        let run = Scheduler::new().run(&all_slow, &jobs).unwrap();
+        assert_eq!(run.evictions, 0);
+        assert_eq!(run.jobs[0].device_ordinals, vec![0]);
     }
 
     #[test]

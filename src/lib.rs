@@ -109,11 +109,12 @@ pub mod prelude {
     };
     pub use sketch_dist::{
         distributed_countsketch, distributed_gaussian, distributed_multisketch, distributed_sketch,
-        pipelined_sketch, BlockRowMatrix, CommCost, ExecutorOptions, PipelinedRun, Schedule,
+        pipelined_sketch, BlockRowMatrix, CommCost, DeviceFailure, ExecutorOptions, FaultReport,
+        PipelinedRun, Schedule,
     };
     pub use sketch_gpu_sim::{
-        Device, DevicePool, DeviceSpec, InterconnectSpec, KernelCost, Phase, Profiler,
-        RunBreakdown, StreamKind, StreamSet, Timeline,
+        Device, DevicePool, DeviceSpec, FaultPlan, FaultSpec, InterconnectSpec, KernelCost, Phase,
+        Profiler, RunBreakdown, StreamKind, StreamSet, Timeline,
     };
     pub use sketch_la::{Layout, Matrix, Op};
     pub use sketch_lowrank::{
