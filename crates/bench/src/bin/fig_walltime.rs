@@ -3,9 +3,10 @@
 //! `BENCH_walltime.json`.
 //!
 //! Every other figure binary reports *modelled* H100 times.  This one measures
-//! what the build actually does: five kernels (dense GEMM, the tiled FWHT,
-//! the CountSketch ordered-gather scatter, CSR SpMM, and the end-to-end
-//! `sketch_and_solve` least-squares driver) each run under explicit pools of
+//! what the build actually does: six kernels (dense GEMM, the SYRK-path Gram
+//! matrix, the tiled FWHT, the CountSketch ordered-gather scatter, CSR SpMM,
+//! and the end-to-end `sketch_and_solve` least-squares driver) each run under
+//! explicit pools of
 //! 1/2/4 threads (`--smoke`: 1/2), with warm-up discarded and median/min over
 //! repeated samples reported per row.  The modelled H100 time is recorded
 //! alongside for scale.
@@ -31,7 +32,7 @@ use sketch_core::fwht::{fwht_matrix_columns, DEFAULT_TILE};
 use sketch_core::{CountSketch, EmbeddingDim, JsonValue, Operand, Pipeline, SketchOperator};
 use sketch_dist::ExecutorOptions;
 use sketch_gpu_sim::{Device, DevicePool};
-use sketch_la::blas3::gemm;
+use sketch_la::blas3::{gemm, syrk_gram};
 use sketch_la::{Layout, Matrix};
 use sketch_lsq::{sketch_and_solve, LsqProblem};
 use sketch_obs::{chrome_trace_with_metrics, write_json, MetricsRegistry, RecorderHandle};
@@ -162,6 +163,32 @@ fn bench_gemm(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Ve
         sweep.push((t, sample, bits));
     }
     finish_rows("gemm", m * k, modelled, sweep)
+}
+
+/// Gram matrix `G = AᵀA` through the SYRK path (upper triangle computed, lower
+/// mirrored) — the bottleneck of `sketch_and_solve`'s normal-equations phase.
+fn bench_gram(grid: &[usize], smoke: bool, trace: Option<&RecorderHandle>) -> Vec<Row> {
+    let (d, n) = if smoke { (2048, 128) } else { (4096, 256) };
+    let device = Device::h100();
+    let a = Matrix::random_gaussian(d, n, Layout::ColMajor, 61, 0);
+    let modelled = modelled_ms_of(&device, || {
+        let _ = syrk_gram(&device, &a);
+    });
+    let mut sweep = Vec::new();
+    for &t in grid {
+        let (sample, bits) = with_thread_pool(t, || {
+            let mut g = None;
+            let sample = sample_kernel(trace, &format!("gram @{t}t"), &mut || {
+                g = Some(syrk_gram(&device, &a));
+            });
+            (
+                sample,
+                bits_of(g.expect("at least one sample ran").as_slice()),
+            )
+        });
+        sweep.push((t, sample, bits));
+    }
+    finish_rows("gram", d * n, modelled, sweep)
 }
 
 /// Tiled FWHT over the columns of a tall matrix, restored from a pristine
@@ -299,6 +326,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     rows.extend(bench_gemm(grid, smoke, trace.as_ref()));
+    rows.extend(bench_gram(grid, smoke, trace.as_ref()));
     rows.extend(bench_fwht(grid, smoke, trace.as_ref()));
     rows.extend(bench_countsketch(grid, smoke, trace.as_ref()));
     rows.extend(bench_spmm(grid, smoke, trace.as_ref()));

@@ -4,8 +4,16 @@
 //! single-vector radix-4 FWHT from NVIDIA's CUDA samples to operate on all columns of a
 //! matrix and to exploit shared memory: once the butterfly span fits into the available
 //! shared memory, the remaining stages are executed entirely out of the on-chip tile,
-//! which removes `O(log tile)` global read/write passes.  [`fwht_matrix_columns`] models
-//! exactly that saving in its traffic accounting.
+//! which removes `O(log tile)` global read/write passes.  [`fwht_matrix_columns`] runs
+//! exactly that schedule on the host via [`fwht_tiled_in_place`] — large-span stages as
+//! whole-vector passes, then every cache-tile-sized block finished in one resident
+//! sweep — so the recorded traffic model and the executed memory traffic agree.
+//!
+//! All implementations here run their butterfly stages in **descending span order**, and
+//! one radix-4 stage performs bit-for-bit the adds of its two constituent radix-2 stages
+//! in the same order.  Any radix-2/radix-4 split and any tile size therefore produces
+//! bitwise-identical output — tiling is a scheduling choice, not a numeric one, which is
+//! what keeps the repo's bitwise determinism gates indifferent to FWHT tuning.
 
 use rayon::prelude::*;
 use sketch_gpu_sim::{Device, KernelCost};
@@ -15,43 +23,46 @@ use sketch_la::{Layout, Matrix};
 pub const DEFAULT_TILE: usize = 2048;
 
 /// One radix-2 butterfly stage with half-span `h` (pairs `(i, i + h)`).
+///
+/// Blocks are walked with `chunks_exact_mut` and each half as a zipped iterator pair,
+/// so the inner loop carries no bounds checks and vectorizes; the butterflies and their
+/// order are identical to the indexed formulation.
 fn radix2_stage(a: &mut [f64], h: usize) {
-    let d = a.len();
-    let mut b = 0;
-    while b < d {
-        for k in 0..h {
-            let i0 = b + k;
-            let i1 = i0 + h;
-            let (x, y) = (a[i0], a[i1]);
-            a[i0] = x + y;
-            a[i1] = x - y;
+    for block in a.chunks_exact_mut(2 * h) {
+        let (lo, hi) = block.split_at_mut(h);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (xv, yv) = (*x, *y);
+            *x = xv + yv;
+            *y = xv - yv;
         }
-        b += 2 * h;
     }
 }
 
 /// One radix-4 butterfly stage with stride `s` (Algorithm 3's inner loop body).
+///
+/// Same bounds-check-free structure as [`radix2_stage`]: each span splits into its four
+/// quarter lanes and the butterfly runs over the zipped lanes.
 fn radix4_stage(a: &mut [f64], stride: usize) {
-    let d = a.len();
-    let span = stride * 4;
-    let mut b = 0;
-    while b < d {
-        for k in 0..stride {
-            let i0 = b + k;
-            let i1 = i0 + stride;
-            let i2 = i0 + 2 * stride;
-            let i3 = i0 + 3 * stride;
-            let (x, y, z, t) = (a[i0], a[i1], a[i2], a[i3]);
+    for block in a.chunks_exact_mut(4 * stride) {
+        let (q0, rest) = block.split_at_mut(stride);
+        let (q1, rest) = rest.split_at_mut(stride);
+        let (q2, q3) = rest.split_at_mut(stride);
+        for (((p0, p1), p2), p3) in q0
+            .iter_mut()
+            .zip(q1.iter_mut())
+            .zip(q2.iter_mut())
+            .zip(q3.iter_mut())
+        {
+            let (x, y, z, t) = (*p0, *p1, *p2, *p3);
             let xx = x + z;
             let yy = y + t;
             let zz = x - z;
             let tt = y - t;
-            a[i0] = xx + yy;
-            a[i1] = xx - yy;
-            a[i2] = zz + tt;
-            a[i3] = zz - tt;
+            *p0 = xx + yy;
+            *p1 = xx - yy;
+            *p2 = zz + tt;
+            *p3 = zz - tt;
         }
-        b += span;
     }
 }
 
@@ -80,16 +91,50 @@ pub fn fwht_in_place(a: &mut [f64]) {
 }
 
 /// Reference radix-2 implementation (used by tests and the FWHT ablation bench).
+///
+/// Stages run in descending span order (`h = d/2` down to `1`), matching the radix-4
+/// kernel's schedule: one radix-4 stage at stride `s` performs exactly the adds of the
+/// radix-2 stages at `h = 2s` then `h = s`, so this reference is **bitwise** equal to
+/// [`fwht_in_place`] and [`fwht_tiled_in_place`], not merely close.
 pub fn fwht_radix2_in_place(a: &mut [f64]) {
     let d = a.len();
     if d <= 1 {
         return;
     }
     assert!(d.is_power_of_two(), "FWHT length must be a power of two");
-    let mut h = 1;
-    while h < d {
+    let mut h = d / 2;
+    while h >= 1 {
         radix2_stage(a, h);
-        h *= 2;
+        h /= 2;
+    }
+}
+
+/// Cache-tiled in-place FWHT: radix-4 stages run as whole-vector passes while their
+/// butterfly span exceeds `tile`; once the remaining sub-transforms fit, every
+/// `tile`-sized block is finished in a single resident sweep ([`fwht_in_place`] on the
+/// block — the remaining stages touch no indices outside it).
+///
+/// Bitwise identical to [`fwht_in_place`] for every `tile`: a stage's butterflies are
+/// disjoint, so executing them block-by-block instead of stage-by-stage reorders only
+/// independent operations.  This is the host realisation of the shared-memory schedule
+/// that [`global_passes`] has always charged for.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fwht_tiled_in_place(a: &mut [f64], tile: usize) {
+    let d = a.len();
+    if d <= 1 {
+        return;
+    }
+    assert!(d.is_power_of_two(), "FWHT length must be a power of two");
+    let tile = tile.max(4);
+    let mut len = d;
+    while len > tile {
+        radix4_stage(a, len / 4);
+        len /= 4;
+    }
+    for chunk in a.chunks_mut(len) {
+        fwht_in_place(chunk);
     }
 }
 
@@ -122,7 +167,12 @@ pub fn global_passes(d: usize, tile: usize) -> u64 {
 }
 
 /// Apply the unnormalised FWHT to every column of a column-major matrix in parallel,
-/// recording the tiled traffic model on `device`.
+/// executing the cache-tiled schedule ([`fwht_tiled_in_place`] with the same `tile` the
+/// traffic model charges for) and recording that model on `device`.
+///
+/// Parallel task boundaries are one column each — a pure function of the matrix shape,
+/// never of thread count or tile tuning — and the tiled kernel is bitwise identical to
+/// the un-tiled one, so results are bit-for-bit stable under both knobs.
 ///
 /// # Panics
 /// Panics if the matrix is not column-major or its row count is not a power of two.
@@ -140,7 +190,7 @@ pub fn fwht_matrix_columns(device: &Device, a: &mut Matrix, tile: usize) {
     {
         let data = a.as_mut_slice();
         data.par_chunks_mut(d.max(1)).for_each(|col| {
-            fwht_in_place(col);
+            fwht_tiled_in_place(col, tile);
         });
     }
 
@@ -209,14 +259,55 @@ mod tests {
     }
 
     #[test]
-    fn radix4_and_radix2_agree() {
+    fn radix4_and_radix2_agree_bitwise() {
+        // Descending-order radix-2 runs the exact adds of the radix-4 schedule, so the
+        // agreement is bit-for-bit even on irrational data.
         for d in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
-            let x: Vec<f64> = (0..d).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+            let x = sketch_rng::fill::gaussian_vec(42, d as u64, d);
             let mut a = x.clone();
-            let mut b = x.clone();
+            let mut b = x;
             fwht_in_place(&mut a);
             fwht_radix2_in_place(&mut b);
-            assert_eq!(a, b, "d={d}");
+            for (i, (ai, bi)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(ai.to_bits(), bi.to_bits(), "d={d} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_fwht_is_bitwise_equal_to_untiled_for_any_tile() {
+        for d in [2usize, 8, 64, 256, 4096] {
+            let x = sketch_rng::fill::gaussian_vec(7, d as u64, d);
+            let mut want = x.clone();
+            fwht_in_place(&mut want);
+            for tile in [1usize, 4, 16, 64, 2048, 1 << 20] {
+                let mut got = x.clone();
+                fwht_tiled_in_place(&mut got, tile);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "d={d} tile={tile} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_fwht_matches_radix2_reference_up_to_2_pow_20() {
+        // Satellite gate: every power-of-two length up to 2^20, bit-for-bit against the
+        // independent radix-2 reference, at the production DEFAULT_TILE.
+        for pow in 1u32..=20 {
+            let d = 1usize << pow;
+            let x = sketch_rng::fill::gaussian_vec(1234, pow as u64, d);
+            let mut tiled = x.clone();
+            let mut reference = x;
+            fwht_tiled_in_place(&mut tiled, DEFAULT_TILE);
+            fwht_radix2_in_place(&mut reference);
+            assert!(
+                tiled
+                    .iter()
+                    .zip(&reference)
+                    .all(|(t, r)| t.to_bits() == r.to_bits()),
+                "d=2^{pow} differs from the radix-2 reference"
+            );
         }
     }
 
@@ -310,7 +401,20 @@ mod tests {
             fwht_in_place(&mut a);
             fwht_radix2_in_place(&mut b);
             for (ai, bi) in a.iter().zip(&b) {
-                prop_assert!((ai - bi).abs() < 1e-9);
+                prop_assert!(ai.to_bits() == bi.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_tiled_fwht_is_tile_invariant(pow in 1u32..13, tile_pow in 0u32..14, seed in 0u64..1000) {
+            let d = 1usize << pow;
+            let x = sketch_rng::fill::gaussian_vec(seed, 2, d);
+            let mut tiled = x.clone();
+            let mut plain = x;
+            fwht_tiled_in_place(&mut tiled, 1usize << tile_pow);
+            fwht_in_place(&mut plain);
+            for (ti, pi) in tiled.iter().zip(&plain) {
+                prop_assert!(ti.to_bits() == pi.to_bits());
             }
         }
 

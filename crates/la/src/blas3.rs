@@ -1,17 +1,34 @@
 //! Level-3 BLAS: matrix-matrix kernels (GEMM, SYRK, TRSM) with device cost accounting.
 //!
-//! These are the cuBLAS substitutes.  GEMM packs both operands into dot-product-friendly
-//! orientations and parallelises over output columns; SYRK exploits symmetry exactly the
-//! way the paper uses it for the Gram matrix `AᵀA` (Section 6).  The paper notes that
-//! cuBLAS SyRK is slower than GeMM in practice and therefore times the Gram matrix with
-//! GeMM; both are provided so the ablation bench can reproduce that comparison.
+//! These are the cuBLAS substitutes.  GEMM, SYRK and both TRSM variants all ride the
+//! cache-blocked packing/microkernel infrastructure in [`crate::gebp`]: operands are
+//! repacked into L1/L2-sized panels and driven through a register-tiled inner kernel,
+//! while every output element keeps a single ascending-`k` accumulator chain so the
+//! computed bits are a pure function of problem shape (see the `gebp` module docs for
+//! the full contract).  SYRK exploits symmetry exactly the way the paper uses it for
+//! the Gram matrix `AᵀA` (Section 6).  The paper notes that cuBLAS SyRK is slower than
+//! GeMM in practice and therefore times the Gram matrix with GeMM; both are provided so
+//! the ablation bench can reproduce that comparison.
+//!
+//! The pre-blocking per-element kernel survives as [`gemm_naive_into`]: it is the
+//! baseline the `fig_kernels` regression harness times the blocked kernel against, and
+//! the independent oracle the blocked-vs-naive proptests compare values with.
 
 use crate::blas1::dot_unrecorded;
 use crate::blas2::Triangle;
 use crate::error::{dim_err, LaError};
+use crate::gebp::{self, BlockSizes};
 use crate::matrix::{Layout, Matrix, MatrixViewMut, Op};
 use rayon::prelude::*;
 use sketch_gpu_sim::{Device, KernelCost};
+
+/// Block size (rows/columns) of the blocked triangular solves.  A fixed constant — not
+/// a tunable — so the trailing-update order stays a pure function of the problem shape.
+const TRSM_NB: usize = 64;
+
+/// Number of right-hand-side vectors one parallel TRSM task solves together (the packed
+/// triangle row is reused across the group while it is hot in cache).
+const TRSM_GROUP: usize = 4;
 
 /// Pack `op(A)` so that its rows are contiguous (row-major copy of the logical operand).
 fn pack_rows(a: &Matrix, op: Op) -> Vec<f64> {
@@ -57,6 +74,58 @@ fn pack_cols(b: &Matrix, op: Op) -> Vec<f64> {
     out
 }
 
+/// Validate GEMM dimensions and return `(m, k, n)`.
+fn gemm_dims(
+    op_a: Op,
+    a: &Matrix,
+    op_b: Op,
+    b: &Matrix,
+    c: Option<&Matrix>,
+    out: &MatrixViewMut<'_>,
+) -> Result<(usize, usize, usize), LaError> {
+    let m = op_a.rows(a);
+    let k = op_a.cols(a);
+    let kb = op_b.rows(b);
+    let n = op_b.cols(b);
+    if k != kb {
+        return Err(dim_err(
+            "gemm",
+            format!("op(A) is {m}x{k} but op(B) is {kb}x{n}"),
+        ));
+    }
+    if let Some(c0) = c {
+        if c0.nrows() != m || c0.ncols() != n {
+            return Err(dim_err(
+                "gemm",
+                format!("C is {}x{} but product is {m}x{n}", c0.nrows(), c0.ncols()),
+            ));
+        }
+    }
+    if out.nrows() != m || out.ncols() != n {
+        return Err(dim_err(
+            "gemm",
+            format!(
+                "output buffer is {}x{} but product is {m}x{n}",
+                out.nrows(),
+                out.ncols()
+            ),
+        ));
+    }
+    Ok((m, k, n))
+}
+
+/// Record the modelled GEMM cost (`2mnk` flops, packed-operand traffic).
+fn record_gemm_cost(device: &Device, m: usize, k: usize, n: usize, read_c: bool) {
+    let (m64, n64, k64) = (m as u64, n as u64, k as u64);
+    let read_c = if read_c { m64 * n64 } else { 0 };
+    device.record(KernelCost::new(
+        KernelCost::f64_bytes(m64 * k64 + k64 * n64 + read_c),
+        KernelCost::f64_bytes(m64 * n64),
+        2 * m64 * n64 * k64,
+        1,
+    ));
+}
+
 /// General matrix-matrix product `C <- alpha * op(A) * op(B) + beta * C`.
 ///
 /// The result is returned as a new column-major matrix; `c` supplies the `beta`-scaled
@@ -92,9 +161,10 @@ pub fn gemm_op(
 }
 
 /// Buffer-reusing GEMM: `out <- alpha * op(A) * op(B) + beta * C`, written into a
-/// caller-owned buffer of either layout.  Produces bit-for-bit the same values (and
-/// records the same cost) as [`gemm_op`] — every output element is an independent
-/// packed dot product, so the write layout cannot change the arithmetic.
+/// caller-owned buffer of either layout.  Runs the cache-blocked GEBP kernel with the
+/// default [`BlockSizes`]; produces bit-for-bit the same values in either output layout
+/// (each element's ascending-`k` accumulator chain is independent of where it is
+/// stored) and records the same cost as [`gemm_op`].
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_into(
     device: &Device,
@@ -107,34 +177,96 @@ pub fn gemm_into(
     c: Option<&Matrix>,
     out: &mut MatrixViewMut<'_>,
 ) -> Result<(), LaError> {
-    let m = op_a.rows(a);
-    let k = op_a.cols(a);
-    let kb = op_b.rows(b);
-    let n = op_b.cols(b);
-    if k != kb {
-        return Err(dim_err(
-            "gemm",
-            format!("op(A) is {m}x{k} but op(B) is {kb}x{n}"),
-        ));
-    }
-    if let Some(c0) = c {
-        if c0.nrows() != m || c0.ncols() != n {
-            return Err(dim_err(
-                "gemm",
-                format!("C is {}x{} but product is {m}x{n}", c0.nrows(), c0.ncols()),
-            ));
+    gemm_into_with_blocks(
+        device,
+        alpha,
+        op_a,
+        a,
+        op_b,
+        b,
+        beta,
+        c,
+        out,
+        BlockSizes::default(),
+    )
+}
+
+/// [`gemm_into`] with explicit cache [`BlockSizes`].
+///
+/// Exposed so the kernel harness and the determinism proptests can pin that block-size
+/// tuning never changes the computed bits; production callers use [`gemm_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_with_blocks(
+    device: &Device,
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix,
+    op_b: Op,
+    b: &Matrix,
+    beta: f64,
+    c: Option<&Matrix>,
+    out: &mut MatrixViewMut<'_>,
+    blocks: BlockSizes,
+) -> Result<(), LaError> {
+    let (m, k, n) = gemm_dims(op_a, a, op_b, b, c, out)?;
+
+    let acc = gebp::blocked_sums(op_a, a, op_b, b, blocks, false);
+    let pn = gebp::padded(n.max(1), gebp::NR);
+    let read_beta = beta != 0.0 && c.is_some();
+    let element = |i: usize, j: usize| {
+        let mut value = alpha * acc[gebp::acc_index(pn, i, j)];
+        if read_beta {
+            if let Some(c0) = c {
+                value += beta * c0.get(i, j);
+            }
+        }
+        value
+    };
+    match out.layout() {
+        Layout::ColMajor => {
+            out.as_mut_slice()
+                .par_chunks_mut(m.max(1))
+                .enumerate()
+                .for_each(|(j, col)| {
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        *slot = element(i, j);
+                    }
+                });
+        }
+        Layout::RowMajor => {
+            out.as_mut_slice()
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(i, row)| {
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = element(i, j);
+                    }
+                });
         }
     }
-    if out.nrows() != m || out.ncols() != n {
-        return Err(dim_err(
-            "gemm",
-            format!(
-                "output buffer is {}x{} but product is {m}x{n}",
-                out.nrows(),
-                out.ncols()
-            ),
-        ));
-    }
+
+    record_gemm_cost(device, m, k, n, read_beta);
+    Ok(())
+}
+
+/// The pre-blocking per-element GEMM: every output element is one packed dot product.
+///
+/// Retained (not routed to by anything on the hot path) as the measured baseline for
+/// the `fig_kernels` speed-regression harness and as the independent oracle for the
+/// blocked-vs-naive value proptests.  Records the same modelled cost as [`gemm_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_naive_into(
+    device: &Device,
+    alpha: f64,
+    op_a: Op,
+    a: &Matrix,
+    op_b: Op,
+    b: &Matrix,
+    beta: f64,
+    c: Option<&Matrix>,
+    out: &mut MatrixViewMut<'_>,
+) -> Result<(), LaError> {
+    let (m, k, n) = gemm_dims(op_a, a, op_b, b, c, out)?;
 
     let packed_a = pack_rows(a, op_a);
     let packed_b = pack_cols(b, op_b);
@@ -173,18 +305,7 @@ pub fn gemm_into(
         }
     }
 
-    let (m64, n64, k64) = (m as u64, n as u64, k as u64);
-    let read_c = if beta != 0.0 && c.is_some() {
-        m64 * n64
-    } else {
-        0
-    };
-    device.record(KernelCost::new(
-        KernelCost::f64_bytes(m64 * k64 + k64 * n64 + read_c),
-        KernelCost::f64_bytes(m64 * n64),
-        2 * m64 * n64 * k64,
-        1,
-    ));
+    record_gemm_cost(device, m, k, n, beta != 0.0 && c.is_some());
     Ok(())
 }
 
@@ -202,35 +323,34 @@ pub fn gemm(
 
 /// Symmetric rank-k update computing the Gram matrix `G = AᵀA` (column-major result).
 ///
-/// Only the upper triangle is computed; the lower triangle is mirrored afterwards, which
-/// halves the flops compared to [`gemm_op`] with `(Op::Trans, Op::NoTrans)` — the SyRK
-/// vs GeMM trade-off discussed in Section 6.
+/// Runs the same blocked GEBP sweep as [`gemm_op`] with `(Op::Trans, Op::NoTrans)`, but
+/// skips every register tile strictly below the diagonal and mirrors the upper triangle
+/// into the lower one inside the parallel epilogue — which halves the executed flops,
+/// the SyRK vs GeMM trade-off discussed in Section 6.  Because the upper-triangle
+/// elements run the identical ascending-`k` chains, the result is bitwise equal to
+/// [`gram_gemm`].
 pub fn syrk_gram(device: &Device, a: &Matrix) -> Matrix {
     let d = a.nrows();
     let n = a.ncols();
-    // Columns of A must be contiguous for the dot products.
-    let packed = pack_cols(a, Op::NoTrans);
+    let acc = gebp::blocked_sums(Op::Trans, a, Op::NoTrans, a, BlockSizes::default(), true);
+    let pn = gebp::padded(n.max(1), gebp::NR);
 
     let mut g = Matrix::zeros(n, n);
-    {
-        let data = g.as_mut_slice();
-        data.par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(j, col)| {
-                let cj = &packed[j * d..(j + 1) * d];
-                for (i, slot) in col.iter_mut().enumerate().take(j + 1) {
-                    let ci = &packed[i * d..(i + 1) * d];
-                    *slot = dot_unrecorded(ci, cj);
-                }
-            });
-    }
-    // Mirror the strictly-upper part (stored in columns j, rows i<j) to the lower part.
-    for j in 0..n {
-        for i in 0..j {
-            let v = g.get(i, j);
-            g.set(j, i, v);
-        }
-    }
+    g.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(j, col)| {
+            // Upper part straight from the accumulators; lower part mirrored from the
+            // transposed index in the same pass (the buffer is immutable here, so both
+            // triangles read the already-finished sums).
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = if i <= j {
+                    acc[gebp::acc_index(pn, i, j)]
+                } else {
+                    acc[gebp::acc_index(pn, j, i)]
+                };
+            }
+        });
 
     let (d64, n64) = (d as u64, n as u64);
     device.record(KernelCost::new(
@@ -247,6 +367,108 @@ pub fn syrk_gram(device: &Device, a: &Matrix) -> Matrix {
 /// practice than GeMM").
 pub fn gram_gemm(device: &Device, a: &Matrix) -> Result<Matrix, LaError> {
     gemm_op(device, 1.0, Op::Trans, a, Op::NoTrans, a, 0.0, None)
+}
+
+/// Pack `op(T)` into a contiguous row-major `n x n` buffer so the solves stream each
+/// triangle row with unit stride.
+fn pack_triangle(t: &Matrix, op_t: Op) -> Vec<f64> {
+    let n = t.nrows();
+    let mut tp = vec![0.0; n * n];
+    tp.par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = op_t.get(t, i, j);
+            }
+        });
+    tp
+}
+
+/// Blocked triangular solve applied to every length-`n` vector stored contiguously in
+/// `chunk`, reading the packed row-major triangle `tp`.
+///
+/// Left-looking over [`TRSM_NB`] diagonal blocks with GEMM-style trailing updates.  Per
+/// element the subtraction order is: all already-solved `j` outside the current block
+/// in ascending order (trailing blocks ascend, and their `j` ranges concatenate into
+/// one ascending run), then the in-block `j` ascending — for the `Lower` direction that
+/// is exactly the naive ascending-`j` order.  `TRSM_NB` is a constant, so the order is
+/// a pure function of `n`.
+fn solve_vectors_blocked(tp: &[f64], n: usize, effective: Triangle, chunk: &mut [f64]) {
+    if n == 0 {
+        return;
+    }
+    let mut vecs: Vec<&mut [f64]> = chunk.chunks_mut(n).collect();
+    let nblocks = n.div_ceil(TRSM_NB);
+    match effective {
+        Triangle::Upper => {
+            for bi in (0..nblocks).rev() {
+                let i0 = bi * TRSM_NB;
+                let i1 = (i0 + TRSM_NB).min(n);
+                // Trailing update x[i0..i1] -= T[i0..i1, i1..n] · x[i1..n], blocked
+                // over j so one TRSM_NB-wide strip of T stays hot per pass.
+                let mut j0 = i1;
+                while j0 < n {
+                    let j1 = (j0 + TRSM_NB).min(n);
+                    for i in i0..i1 {
+                        let trow = &tp[i * n..(i + 1) * n];
+                        for vec in vecs.iter_mut() {
+                            let mut acc = vec[i];
+                            for j in j0..j1 {
+                                acc -= trow[j] * vec[j];
+                            }
+                            vec[i] = acc;
+                        }
+                    }
+                    j0 = j1;
+                }
+                // Diagonal block back-substitution.
+                for i in (i0..i1).rev() {
+                    let trow = &tp[i * n..(i + 1) * n];
+                    let diag = trow[i];
+                    for vec in vecs.iter_mut() {
+                        let mut acc = vec[i];
+                        for j in i + 1..i1 {
+                            acc -= trow[j] * vec[j];
+                        }
+                        vec[i] = acc / diag;
+                    }
+                }
+            }
+        }
+        Triangle::Lower => {
+            for bi in 0..nblocks {
+                let i0 = bi * TRSM_NB;
+                let i1 = (i0 + TRSM_NB).min(n);
+                let mut j0 = 0;
+                while j0 < i0 {
+                    let j1 = (j0 + TRSM_NB).min(i0);
+                    for i in i0..i1 {
+                        let trow = &tp[i * n..(i + 1) * n];
+                        for vec in vecs.iter_mut() {
+                            let mut acc = vec[i];
+                            for j in j0..j1 {
+                                acc -= trow[j] * vec[j];
+                            }
+                            vec[i] = acc;
+                        }
+                    }
+                    j0 = j1;
+                }
+                // Diagonal block forward-substitution.
+                for i in i0..i1 {
+                    let trow = &tp[i * n..(i + 1) * n];
+                    let diag = trow[i];
+                    for vec in vecs.iter_mut() {
+                        let mut acc = vec[i];
+                        for j in i0..i {
+                            acc -= trow[j] * vec[j];
+                        }
+                        vec[i] = acc / diag;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Triangular solve with multiple right-hand sides: solves `op(T) X = B` (left side).
@@ -280,35 +502,25 @@ pub fn trsm(
         }
     }
 
+    let tp = pack_triangle(t, op_t);
     let mut x = Matrix::zeros(n, nrhs);
     {
         let data = x.as_mut_slice();
-        data.par_chunks_mut(n.max(1))
+        // Column-major X: each parallel task owns TRSM_GROUP whole columns and solves
+        // them together against the packed triangle (columns are independent, so the
+        // grouping is a cache choice, not a numeric one).
+        data.par_chunks_mut((n * TRSM_GROUP).max(1))
             .enumerate()
-            .for_each(|(col_idx, col)| {
-                for i in 0..n {
-                    col[i] = b.get(i, col_idx);
-                }
-                match effective {
-                    Triangle::Upper => {
-                        for i in (0..n).rev() {
-                            let mut acc = col[i];
-                            for j in i + 1..n {
-                                acc -= op_t.get(t, i, j) * col[j];
-                            }
-                            col[i] = acc / op_t.get(t, i, i);
-                        }
-                    }
-                    Triangle::Lower => {
-                        for i in 0..n {
-                            let mut acc = col[i];
-                            for j in 0..i {
-                                acc -= op_t.get(t, i, j) * col[j];
-                            }
-                            col[i] = acc / op_t.get(t, i, i);
-                        }
+            .for_each(|(gi, chunk)| {
+                let ncols = chunk.len() / n.max(1);
+                for (c, col) in chunk.chunks_mut(n.max(1)).enumerate() {
+                    let j = gi * TRSM_GROUP + c;
+                    for (i, slot) in col.iter_mut().enumerate() {
+                        *slot = b.get(i, j);
                     }
                 }
+                debug_assert!(ncols <= TRSM_GROUP);
+                solve_vectors_blocked(&tp, n, effective, chunk);
             });
     }
 
@@ -325,6 +537,9 @@ pub fn trsm(
 /// Right-side triangular solve: solves `X op(T) = B`, i.e. `X = B op(T)^{-1}`.
 ///
 /// Used by rand_cholQR to precondition `A₀ = A R₀^{-1}` (Algorithm 4, step 3).
+/// `X op(T) = B  <=>  op(T)ᵀ Xᵀ = Bᵀ`, so the rows of `X` are solved with the flipped
+/// operand — directly inside the row-major result buffer, one flat allocation with
+/// `par_chunks_mut` over row groups (no per-row `Vec`s, no serial copy-out).
 pub fn trsm_right(
     device: &Device,
     triangle: Triangle,
@@ -345,8 +560,6 @@ pub fn trsm_right(
             format!("T is {n}x{n} but B is {}x{}", b.nrows(), b.ncols()),
         ));
     }
-    // X op(T) = B  <=>  op(T)ᵀ Xᵀ = Bᵀ.  Solve column-by-column of Xᵀ, i.e. row-by-row
-    // of X, in parallel over the rows of B.
     let flipped_op = match op_t {
         Op::NoTrans => Op::Trans,
         Op::Trans => Op::NoTrans,
@@ -362,40 +575,23 @@ pub fn trsm_right(
     }
 
     let m = b.nrows();
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-    (0..m)
-        .into_par_iter()
-        .map(|r| {
-            let mut row: Vec<f64> = (0..n).map(|j| b.get(r, j)).collect();
-            match effective {
-                Triangle::Upper => {
-                    for i in (0..n).rev() {
-                        let mut acc = row[i];
-                        for j in i + 1..n {
-                            acc -= flipped_op.get(t, i, j) * row[j];
-                        }
-                        row[i] = acc / flipped_op.get(t, i, i);
+    let tp = pack_triangle(t, flipped_op);
+    let mut x = Matrix::zeros_with_layout(m, n, Layout::RowMajor);
+    {
+        let data = x.as_mut_slice();
+        // Row-major X: rows are contiguous, so each parallel task owns TRSM_GROUP
+        // whole rows of the result and solves them in place.
+        data.par_chunks_mut((n * TRSM_GROUP).max(1))
+            .enumerate()
+            .for_each(|(gi, chunk)| {
+                for (c, row) in chunk.chunks_mut(n.max(1)).enumerate() {
+                    let r = gi * TRSM_GROUP + c;
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = b.get(r, j);
                     }
                 }
-                Triangle::Lower => {
-                    for i in 0..n {
-                        let mut acc = row[i];
-                        for j in 0..i {
-                            acc -= flipped_op.get(t, i, j) * row[j];
-                        }
-                        row[i] = acc / flipped_op.get(t, i, i);
-                    }
-                }
-            }
-            row
-        })
-        .collect_into_vec(&mut rows);
-
-    let mut x = Matrix::zeros(m, n);
-    for (r, row) in rows.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            x.set(r, j, v);
-        }
+                solve_vectors_blocked(&tp, n, effective, chunk);
+            });
     }
 
     let (n64, m64) = (n as u64, m as u64);
@@ -509,6 +705,95 @@ mod tests {
     }
 
     #[test]
+    fn blocked_gemm_bits_do_not_depend_on_block_sizes() {
+        let d = device();
+        let a = Matrix::random_gaussian(21, 33, Layout::RowMajor, 13, 0);
+        let b = Matrix::random_gaussian(33, 10, Layout::ColMajor, 13, 1);
+        let c0 = Matrix::random_gaussian(21, 10, Layout::ColMajor, 13, 2);
+        let run = |blocks: BlockSizes| {
+            let mut out = Matrix::zeros(21, 10);
+            gemm_into_with_blocks(
+                &d,
+                1.25,
+                Op::NoTrans,
+                &a,
+                Op::NoTrans,
+                &b,
+                -0.5,
+                Some(&c0),
+                &mut out.view_mut(),
+                blocks,
+            )
+            .unwrap();
+            out
+        };
+        let base = run(BlockSizes::default());
+        for blocks in [
+            BlockSizes { kc: 1, nc: 4 },
+            BlockSizes { kc: 5, nc: 8 },
+            BlockSizes { kc: 1024, nc: 2048 },
+        ] {
+            let other = run(blocks);
+            for i in 0..21 {
+                for j in 0..10 {
+                    assert_eq!(
+                        base.get(i, j).to_bits(),
+                        other.get(i, j).to_bits(),
+                        "({i},{j}) changed under {blocks:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_reference_values() {
+        let d = device();
+        for (m, k, n, seed) in [
+            (1usize, 1usize, 1usize, 1u64),
+            (17, 23, 9, 2),
+            (64, 8, 40, 3),
+        ] {
+            let a = Matrix::random_gaussian(m, k, Layout::RowMajor, seed, 0);
+            let b = Matrix::random_gaussian(k, n, Layout::ColMajor, seed, 1);
+            let mut blocked = Matrix::zeros(m, n);
+            let mut naive = Matrix::zeros(m, n);
+            gemm_into(
+                &d,
+                1.0,
+                Op::NoTrans,
+                &a,
+                Op::NoTrans,
+                &b,
+                0.0,
+                None,
+                &mut blocked.view_mut(),
+            )
+            .unwrap();
+            gemm_naive_into(
+                &d,
+                1.0,
+                Op::NoTrans,
+                &a,
+                Op::NoTrans,
+                &b,
+                0.0,
+                None,
+                &mut naive.view_mut(),
+            )
+            .unwrap();
+            let scale = naive
+                .as_slice()
+                .iter()
+                .fold(1.0f64, |acc, v| acc.max(v.abs()));
+            assert!(
+                blocked.max_abs_diff(&naive).unwrap() <= 1e-12 * scale,
+                "{m}x{k}x{n} blocked vs naive"
+            );
+        }
+    }
+
+    #[test]
     fn gemm_into_rejects_wrong_output_shape() {
         let d = device();
         let a = Matrix::identity(3);
@@ -549,6 +834,44 @@ mod tests {
     }
 
     #[test]
+    fn naive_reference_records_the_same_cost_as_blocked() {
+        let a = Matrix::zeros(6, 4);
+        let b = Matrix::zeros(4, 5);
+        let d1 = device();
+        let mut out1 = Matrix::zeros(6, 5);
+        gemm_into(
+            &d1,
+            1.0,
+            Op::NoTrans,
+            &a,
+            Op::NoTrans,
+            &b,
+            0.0,
+            None,
+            &mut out1.view_mut(),
+        )
+        .unwrap();
+        let d2 = device();
+        let mut out2 = Matrix::zeros(6, 5);
+        gemm_naive_into(
+            &d2,
+            1.0,
+            Op::NoTrans,
+            &a,
+            Op::NoTrans,
+            &b,
+            0.0,
+            None,
+            &mut out2.view_mut(),
+        )
+        .unwrap();
+        let s1 = d1.tracker().snapshot();
+        let s2 = d2.tracker().snapshot();
+        assert_eq!(s1.flops, s2.flops);
+        assert_eq!(s1.total_bytes(), s2.total_bytes());
+    }
+
+    #[test]
     fn syrk_matches_gemm_gram() {
         let d = device();
         let a = Matrix::random_gaussian(50, 8, Layout::ColMajor, 7, 0);
@@ -559,6 +882,27 @@ mod tests {
         for i in 0..8 {
             for j in 0..8 {
                 assert!((g1.get(i, j) - g1.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_is_bitwise_equal_to_gemm_gram() {
+        // The SYRK path skips sub-diagonal tiles but runs identical ascending-k chains
+        // for the upper triangle, and the mirror copies bits exactly.
+        let d = device();
+        for (rows, cols, seed) in [(50usize, 8usize, 7u64), (33, 13, 8), (8, 21, 9)] {
+            let a = Matrix::random_gaussian(rows, cols, Layout::ColMajor, seed, 0);
+            let g1 = syrk_gram(&d, &a);
+            let g2 = gram_gemm(&d, &a).unwrap();
+            for i in 0..cols {
+                for j in 0..cols {
+                    assert_eq!(
+                        g1.get(i, j).to_bits(),
+                        g2.get(i, j).to_bits(),
+                        "({i},{j}) at {rows}x{cols}"
+                    );
+                }
             }
         }
     }
@@ -601,6 +945,31 @@ mod tests {
     }
 
     #[test]
+    fn trsm_left_blocked_matches_unblocked_on_big_triangles() {
+        // n > TRSM_NB so the trailing-update path is actually exercised.
+        let d = device();
+        let n = 150;
+        let mut u = Matrix::from_fn(n, n, Layout::ColMajor, |i, j| {
+            if i <= j {
+                ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5
+            } else {
+                0.0
+            }
+        });
+        for i in 0..n {
+            u.set(i, i, 2.0 + (i % 5) as f64);
+        }
+        let x_true = Matrix::random_gaussian(n, 7, Layout::ColMajor, 21, 0);
+        let b = gemm(&d, 1.0, &u, &x_true, 0.0, None).unwrap();
+        let x = trsm(&d, Triangle::Upper, Op::NoTrans, &u, &b).unwrap();
+        assert_close(&x, &x_true, 1e-8);
+
+        let bl = gemm_op(&d, 1.0, Op::Trans, &u, Op::NoTrans, &x_true, 0.0, None).unwrap();
+        let xl = trsm(&d, Triangle::Upper, Op::Trans, &u, &bl).unwrap();
+        assert_close(&xl, &x_true, 1e-8);
+    }
+
+    #[test]
     fn trsm_right_solves_post_multiplied_system() {
         let d = device();
         let r = Matrix::from_rows(&[&[2.0, -1.0, 0.5], &[0.0, 1.5, 1.0], &[0.0, 0.0, 3.0]]);
@@ -609,6 +978,26 @@ mod tests {
         let b = gemm(&d, 1.0, &x_true, &r, 0.0, None).unwrap();
         let x = trsm_right(&d, Triangle::Upper, Op::NoTrans, &r, &b).unwrap();
         assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_solves_wide_blocked_system() {
+        let d = device();
+        let n = 130;
+        let mut r = Matrix::from_fn(n, n, Layout::ColMajor, |i, j| {
+            if i <= j {
+                ((i * 13 + j * 7) % 19) as f64 / 19.0 - 0.5
+            } else {
+                0.0
+            }
+        });
+        for i in 0..n {
+            r.set(i, i, 3.0 + (i % 3) as f64);
+        }
+        let x_true = Matrix::random_gaussian(9, n, Layout::ColMajor, 31, 0);
+        let b = gemm(&d, 1.0, &x_true, &r, 0.0, None).unwrap();
+        let x = trsm_right(&d, Triangle::Upper, Op::NoTrans, &r, &b).unwrap();
+        assert_close(&x, &x_true, 1e-8);
     }
 
     #[test]
@@ -640,5 +1029,135 @@ mod tests {
             &Matrix::zeros(2, 2)
         )
         .is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds")
+                .install(f)
+        }
+
+        fn op_of(flag: bool) -> Op {
+            if flag {
+                Op::Trans
+            } else {
+                Op::NoTrans
+            }
+        }
+
+        fn layout_of(flag: bool) -> Layout {
+            if flag {
+                Layout::RowMajor
+            } else {
+                Layout::ColMajor
+            }
+        }
+
+        /// Operand pair shaped so `op(A) (m x k) · op(B) (k x n)` is valid.
+        #[allow(clippy::too_many_arguments)]
+        fn operands(
+            m: usize,
+            k: usize,
+            n: usize,
+            ta: bool,
+            tb: bool,
+            la: Layout,
+            lb: Layout,
+            seed: u64,
+        ) -> (Matrix, Matrix) {
+            let (ar, ac) = if ta { (k, m) } else { (m, k) };
+            let (br, bc) = if tb { (n, k) } else { (k, n) };
+            (
+                Matrix::random_gaussian(ar, ac, la, seed, 0),
+                Matrix::random_gaussian(br, bc, lb, seed, 1),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The blocked kernel never drifts from the naive per-element
+            /// reference: within 1e-12 of the output scale across shapes,
+            /// layouts, op flags, and alpha/beta.
+            #[test]
+            fn prop_blocked_matches_naive_reference(
+                m in 1usize..40,
+                k in 1usize..40,
+                n in 1usize..40,
+                ta in 0u8..2,
+                tb in 0u8..2,
+                la in 0u8..2,
+                lb in 0u8..2,
+                lo in 0u8..2,
+                alpha_tenths in -20i32..20,
+                beta_tenths in -20i32..20,
+                seed in 0u64..1000,
+            ) {
+                let d = device();
+                let (ta, tb, la, lb, lo) = (ta == 1, tb == 1, la == 1, lb == 1, lo == 1);
+                let (alpha, beta) = (f64::from(alpha_tenths) / 10.0, f64::from(beta_tenths) / 10.0);
+                let (op_a, op_b) = (op_of(ta), op_of(tb));
+                let (a, b) = operands(m, k, n, ta, tb, layout_of(la), layout_of(lb), seed);
+                let c0 = Matrix::random_gaussian(m, n, Layout::ColMajor, seed, 2);
+                let mut blocked = Matrix::zeros_with_layout(m, n, layout_of(lo));
+                let mut naive = Matrix::zeros_with_layout(m, n, layout_of(lo));
+                gemm_into(&d, alpha, op_a, &a, op_b, &b, beta, Some(&c0), &mut blocked.view_mut())
+                    .expect("dims valid");
+                gemm_naive_into(&d, alpha, op_a, &a, op_b, &b, beta, Some(&c0), &mut naive.view_mut())
+                    .expect("dims valid");
+                let scale = naive
+                    .as_slice()
+                    .iter()
+                    .fold(1.0f64, |acc, v| acc.max(v.abs()));
+                let diff = blocked.max_abs_diff(&naive).expect("same shape");
+                prop_assert!(diff <= 1e-12 * scale, "diff {diff:e} vs scale {scale:e}");
+            }
+
+            /// Blocked-GEMM bits are a pure function of shape: invariant to the
+            /// thread count (1/2/4/7) and to cache block-size overrides.
+            #[test]
+            fn prop_blocked_bits_pure_function_of_shape(
+                m in 1usize..40,
+                k in 1usize..40,
+                n in 1usize..40,
+                ta in 0u8..2,
+                tb in 0u8..2,
+                kc in 1usize..512,
+                nc in 1usize..512,
+                seed in 0u64..1000,
+            ) {
+                let d = device();
+                let (ta, tb) = (ta == 1, tb == 1);
+                let (op_a, op_b) = (op_of(ta), op_of(tb));
+                let (a, b) = operands(m, k, n, ta, tb, Layout::RowMajor, Layout::ColMajor, seed);
+                let run = |threads: usize, blocks: BlockSizes| {
+                    with_threads(threads, || {
+                        let mut out = Matrix::zeros(m, n);
+                        gemm_into_with_blocks(
+                            &d, 1.0, op_a, &a, op_b, &b, 0.0, None,
+                            &mut out.view_mut(), blocks,
+                        )
+                        .expect("dims valid");
+                        out.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+                    })
+                };
+                let reference = run(1, BlockSizes::default());
+                for threads in [2usize, 4, 7] {
+                    prop_assert_eq!(&run(threads, BlockSizes::default()), &reference,
+                        "bits drifted at {} threads", threads);
+                }
+                let blocks = BlockSizes { kc, nc };
+                prop_assert_eq!(&run(1, blocks), &reference,
+                    "bits drifted under kc={} nc={}", kc, nc);
+                prop_assert_eq!(&run(7, blocks), &reference,
+                    "bits drifted under kc={} nc={} at 7 threads", kc, nc);
+            }
+        }
     }
 }

@@ -8,7 +8,8 @@
 //!   column-major),
 //! * BLAS-1/2/3 kernels — [`blas1`], [`blas2`] (GEMV, TRSV), [`blas3`] (GEMM, SYRK,
 //!   TRSM), all multi-threaded and all reporting exact byte/flop costs to the simulated
-//!   device,
+//!   device; the level-3 kernels share the cache-blocked packing/microkernel
+//!   infrastructure in [`gebp`],
 //! * [`qr`] — Householder QR (GEQRF), application of the reflectors (ORMQR) and
 //!   economy-QR helpers,
 //! * [`chol`] — Cholesky factorisation (POTRF),
@@ -39,6 +40,7 @@ pub mod blas3;
 pub mod chol;
 pub mod cond;
 pub mod error;
+pub mod gebp;
 pub mod matrix;
 pub mod norms;
 pub mod qr;
